@@ -1,0 +1,343 @@
+// Command benchjoin regenerates the paper's Fig. 9 ("Join execution
+// times"): it hosts the Aircraft Optimization initiator's toolkit on an
+// HTTP loopback and times, over many iterations,
+//
+//	(a) the join WITH the integrated trust negotiation,
+//	(b) the join WITHOUT it (the pre-integration baseline), and
+//	(c) the identical negotiation run from the standalone TN web service,
+//
+// printing the same three rows the paper reports, plus the derived
+// overhead the paper's §6.3.1 discusses. With -strategies it also prints
+// the EXT-3 per-strategy comparison (rounds and latency).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"trustvo/internal/core"
+	"trustvo/internal/negotiation"
+	"trustvo/internal/pki"
+	"trustvo/internal/vo"
+	"trustvo/internal/vo/registry"
+	"trustvo/internal/wsrpc"
+	"trustvo/internal/xtnl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjoin: ")
+	var (
+		n          = flag.Int("n", 200, "iterations per measurement")
+		strategies = flag.Bool("strategies", false, "also print the per-strategy comparison (EXT-3)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *n, *strategies); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type env struct {
+	srv    *httptest.Server
+	tk     *wsrpc.ToolkitService
+	member *wsrpc.MemberClient
+	ca     *pki.Authority
+}
+
+func newEnv() (*env, error) {
+	ca, err := pki.NewAuthority("CertCA")
+	if err != nil {
+		return nil, err
+	}
+	iniParty := &negotiation.Party{
+		Name:     "AircraftCo",
+		Profile:  xtnl.NewProfile("AircraftCo"),
+		Policies: xtnl.MustPolicySet(),
+		Trust:    pki.NewTrustStore(ca),
+	}
+	contract := &vo.Contract{
+		VOName:    "AircraftOptimizationVO",
+		Goal:      "wing optimization",
+		Initiator: "AircraftCo",
+		Roles: []vo.RoleSpec{{
+			Name: "DesignWebPortal", Capabilities: []string{"design-db"}, MinMembers: 1,
+			AdmissionPolicies: xtnl.MustParsePolicies(
+				"M <- WebDesignerQuality(regulation='UNI EN ISO 9000'), AAAMember"),
+		}},
+	}
+	ini, err := core.NewInitiator(contract, iniParty, registry.New())
+	if err != nil {
+		return nil, err
+	}
+	if err := ini.VO.StartFormation(); err != nil {
+		return nil, err
+	}
+	tk := wsrpc.NewToolkitService(ini)
+	tk.TN.MaxSessionAge = time.Second // keep the session table small across iterations
+	tk.TN.DoneRetention = 50 * time.Millisecond
+	mux := http.NewServeMux()
+	tk.Register(mux)
+	srv := httptest.NewServer(mux)
+
+	prof := xtnl.NewProfile("AerospaceCo")
+	wdq, err := ca.Issue(pki.IssueRequest{
+		Type: "WebDesignerQuality", Holder: "AerospaceCo",
+		Attributes: []xtnl.Attribute{{Name: "regulation", Value: "UNI EN ISO 9000"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	aaa, err := ca.Issue(pki.IssueRequest{Type: "AAAMember", Holder: "AerospaceCo"})
+	if err != nil {
+		return nil, err
+	}
+	prof.Add(wdq, aaa)
+	member := &wsrpc.MemberClient{
+		BaseURL: srv.URL,
+		Party: &negotiation.Party{
+			Name: "AerospaceCo", Profile: prof,
+			Policies: xtnl.MustPolicySet(), Trust: pki.NewTrustStore(ca),
+		},
+	}
+	if err := member.Publish(&registry.Description{
+		Provider: "AerospaceCo", Service: "DesignPortal", Capabilities: []string{"design-db"},
+	}); err != nil {
+		return nil, err
+	}
+	return &env{srv: srv, tk: tk, member: member, ca: ca}, nil
+}
+
+// measure runs fn n times and returns the median, preceded by a short
+// untimed warm-up.
+func measure(n int, fn func() error) (time.Duration, error) {
+	for i := 0; i < 3; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	samples := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2], nil
+}
+
+func run(w *os.File, n int, strategies bool) error {
+	e, err := newEnv()
+	if err != nil {
+		return err
+	}
+	defer e.srv.Close()
+	reset := func() {
+		if e.tk.Initiator.VO.Member("AerospaceCo") != nil {
+			e.tk.Initiator.VO.Remove("AerospaceCo")
+		}
+	}
+
+	joinTN, err := measure(n, func() error {
+		reset()
+		_, _, err := e.member.Join("DesignWebPortal")
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("join with TN: %w", err)
+	}
+	join, err := measure(n, func() error {
+		reset()
+		if _, _, err := e.member.Apply("DesignWebPortal"); err != nil {
+			return err
+		}
+		_, err := e.member.JoinDirect("DesignWebPortal")
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("join: %w", err)
+	}
+
+	// standalone TN: a separate TN service over the same policies, whose
+	// grant is a plain receipt (no admission side effects).
+	ctl := &negotiation.Party{
+		Name:     "AircraftCo",
+		Profile:  e.tk.Initiator.Party.Profile,
+		Policies: e.tk.Initiator.Party.Policies,
+		Trust:    e.tk.Initiator.Party.Trust,
+		Grant:    func(resource, peer string) ([]byte, error) { return []byte("ok"), nil },
+	}
+	mux := http.NewServeMux()
+	tnsvc := wsrpc.NewTNService(ctl)
+	tnsvc.MaxSessionAge = time.Second
+	tnsvc.DoneRetention = 50 * time.Millisecond
+	tnsvc.Register(mux)
+	tnSrv := httptest.NewServer(mux)
+	defer tnSrv.Close()
+	tnClient := &wsrpc.TNClient{BaseURL: tnSrv.URL, Party: e.member.Party}
+	resource := vo.MembershipResource("AircraftOptimizationVO", "DesignWebPortal")
+	tn, err := measure(n, func() error {
+		out, err := tnClient.Negotiate(resource)
+		if err != nil {
+			return err
+		}
+		if !out.Succeeded {
+			return fmt.Errorf("negotiation failed: %s", out.Reason)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("standalone TN: %w", err)
+	}
+
+	fmt.Fprintf(w, "Fig. 9 — Join execution times (median of %d, Aircraft Optimization scenario)\n", n)
+	fmt.Fprintf(w, "%-28s %12s    paper (P4 2GHz, SOAP+Oracle)\n", "measurement", "this run")
+	fmt.Fprintf(w, "%-28s %12s    ~4000 ms\n", "Join with trust negotiation", fmtDur(joinTN))
+	fmt.Fprintf(w, "%-28s %12s    ~3000 ms\n", "Join", fmtDur(join))
+	fmt.Fprintf(w, "%-28s %12s    ~1000 ms (read from figure)\n", "trust negotiation", fmtDur(tn))
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "shape checks:\n")
+	fmt.Fprintf(w, "  TN overhead on join:   %s (JoinTN − Join)   vs standalone TN %s\n",
+		fmtDur(joinTN-join), fmtDur(tn))
+	fmt.Fprintf(w, "  additivity Join+TN:    %s ≈ JoinTN %s\n", fmtDur(join+tn), fmtDur(joinTN))
+	fmt.Fprintf(w, "  overhead ratio:        %.2fx (paper: 1.33x; see EXPERIMENTS.md for the analysis)\n",
+		float64(joinTN)/float64(join))
+
+	if strategies {
+		fmt.Fprintln(w)
+		if err := runStrategies(w, n, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStrategies prints the EXT-3 strategy comparison over in-process
+// negotiations of the same admission scenario.
+func runStrategies(w *os.File, n int, e *env) error {
+	fmt.Fprintf(w, "EXT-3 — strategy comparison (in-process, median of %d)\n", n)
+	fmt.Fprintf(w, "%-20s %12s %8s\n", "strategy", "latency", "rounds")
+	ctl := &negotiation.Party{
+		Name:     "AircraftCo",
+		Profile:  e.tk.Initiator.Party.Profile,
+		Policies: e.tk.Initiator.Party.Policies,
+		Trust:    e.tk.Initiator.Party.Trust,
+		Grant:    func(resource, peer string) ([]byte, error) { return []byte("ok"), nil },
+	}
+	resource := vo.MembershipResource("AircraftOptimizationVO", "DesignWebPortal")
+	for _, s := range []negotiation.Strategy{negotiation.Trusting, negotiation.Standard} {
+		req := *e.member.Party
+		req.Strategy = s
+		rounds := 0
+		d, err := measure(n, func() error {
+			out, _, err := negotiation.Run(&req, ctl, resource)
+			if err != nil {
+				return err
+			}
+			if !out.Succeeded {
+				return fmt.Errorf("%s: %s", s, out.Reason)
+			}
+			rounds = out.Rounds
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-20s %12s %8d\n", s, fmtDur(d), rounds)
+	}
+	// suspicious strategies need selective credentials (§6.3)
+	sel, err := e.ca.IssueSelective(pki.IssueRequest{
+		Type: "WebDesignerQuality", Holder: "AerospaceCo",
+		Attributes: []xtnl.Attribute{{Name: "regulation", Value: "UNI EN ISO 9000"}},
+	})
+	if err != nil {
+		return err
+	}
+	selAAA, err := e.ca.IssueSelective(pki.IssueRequest{Type: "AAAMember", Holder: "AerospaceCo"})
+	if err != nil {
+		return err
+	}
+	keys, err := pki.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	ctlKeys, err := pki.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	ctl2 := *ctl
+	ctl2.Keys = ctlKeys
+	// EXT-9: the trust-ticket fast path on repeat negotiations.
+	{
+		reqT := *e.member.Party
+		reqT.Tickets = negotiation.NewTicketCache()
+		ctlT := *ctl
+		keysT, err := pki.GenerateKeyPair()
+		if err != nil {
+			return err
+		}
+		ctlT.Keys = keysT
+		ctlT.TicketTTL = time.Hour
+		if out, _, err := negotiation.Run(&reqT, &ctlT, resource); err != nil || !out.Succeeded {
+			return fmt.Errorf("ticket priming failed: %v", err)
+		}
+		rounds := 0
+		d, err := measure(n, func() error {
+			out, _, err := negotiation.Run(&reqT, &ctlT, resource)
+			if err != nil {
+				return err
+			}
+			if !out.Succeeded {
+				return fmt.Errorf("ticketed: %s", out.Reason)
+			}
+			rounds = out.Rounds
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-20s %12s %8d\n", "trust ticket", fmtDur(d), rounds)
+	}
+	for _, s := range []negotiation.Strategy{negotiation.Suspicious, negotiation.StrongSuspicious} {
+		req := negotiation.Party{
+			Name:     "AerospaceCo",
+			Profile:  xtnl.NewProfile("AerospaceCo"),
+			Policies: xtnl.MustPolicySet(),
+			Trust:    e.member.Party.Trust,
+			Strategy: s,
+			Keys:     keys,
+			Selective: map[string]*pki.SelectiveCredential{
+				sel.Committed.ID:    sel,
+				selAAA.Committed.ID: selAAA,
+			},
+		}
+		rounds := 0
+		d, err := measure(n, func() error {
+			out, _, err := negotiation.Run(&req, &ctl2, resource)
+			if err != nil {
+				return err
+			}
+			if !out.Succeeded {
+				return fmt.Errorf("%s: %s", s, out.Reason)
+			}
+			rounds = out.Rounds
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-20s %12s %8d\n", s, fmtDur(d), rounds)
+	}
+	return nil
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3f ms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,79 @@
+// Command tnserve runs the standalone Trust-X trust negotiation web
+// service (paper §6.2, Fig. 5): it loads a party configuration directory
+// and answers StartNegotiation / PolicyExchange / CredentialExchange
+// requests as that party.
+//
+// Usage:
+//
+//	tnserve -party <dir> [-addr :8080]
+//
+// Generate a demo workspace first with `voctl demo -dir demo`; then:
+//
+//	tnserve -party demo/initiator
+//
+// The service grants an opaque receipt for any resource its disclosure
+// policies release; to integrate grants with a VO (membership tokens),
+// run `voctl serve` instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"trustvo/internal/cli"
+	"trustvo/internal/partydb"
+	"trustvo/internal/store"
+	"trustvo/internal/wsrpc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tnserve: ")
+	var (
+		partyDir = flag.String("party", "", "party configuration directory (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		dbPath   = flag.String("db", "", "WAL-backed document store for policies and credentials; "+
+			"the party's profile and policies are written to it at startup and every "+
+			"StartNegotiation reloads them from it (the paper's §6.2 DB path)")
+	)
+	flag.Parse()
+	if *partyDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	party, err := cli.LoadParty(*partyDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if party.Grant == nil {
+		party.Grant = func(resource, peer string) ([]byte, error) {
+			return []byte(fmt.Sprintf("granted:%s:to:%s", resource, peer)), nil
+		}
+	}
+	svc := wsrpc.NewTNService(party)
+	if *dbPath != "" {
+		db, err := store.Open(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer db.Close()
+		if err := partydb.SaveParty(db, party); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Sync(); err != nil {
+			log.Fatal(err)
+		}
+		svc.DB = db
+		log.Printf("policies and credentials stored in %s", *dbPath)
+	}
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	log.Printf("negotiating as %q (strategy %s) on %s", party.Name, party.Strategy, *addr)
+	log.Printf("operations: POST /tn/start /tn/policyExchange /tn/credentialExchange, GET /tn/status")
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}

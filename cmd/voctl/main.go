@@ -1,0 +1,355 @@
+// Command voctl is the VO Management toolkit CLI (paper §6.1): it runs
+// the Initiator edition as a service and drives the Member edition
+// against it.
+//
+// Subcommands:
+//
+//	voctl demo    -dir <dir>                       generate a runnable demo workspace
+//	voctl serve   -party <dir> -contract <file>    host the initiator toolkit (+ TN service)
+//	voctl publish -party <dir> -url <base> -service <name> [-capability c]...
+//	voctl join    -party <dir> -url <base> -role <role> [-direct]
+//	voctl members -url <base>
+//	voctl status  -url <base>
+//	voctl phase   -url <base> -to formation|operation|dissolution
+//	voctl operate -party <dir> -url <base> -operation <op>
+//	voctl reputation -url <base> -member <name>
+//	voctl audit   -url <base>
+//
+// A complete session:
+//
+//	voctl demo -dir demo
+//	voctl serve -party demo/initiator -contract demo/initiator/contract.xml &
+//	voctl publish -party demo/member -url http://localhost:8080 -service DesignPortal -capability design-db
+//	voctl join -party demo/member -url http://localhost:8080 -role DesignWebPortal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"trustvo/internal/cli"
+	"trustvo/internal/core"
+	"trustvo/internal/negotiation"
+	"trustvo/internal/partydb"
+	"trustvo/internal/store"
+	"trustvo/internal/vo/registry"
+	"trustvo/internal/wsrpc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("voctl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "demo":
+		err = cmdDemo(args)
+	case "serve":
+		err = cmdServe(args)
+	case "publish":
+		err = cmdPublish(args)
+	case "join":
+		err = cmdJoin(args)
+	case "members":
+		err = cmdMembers(args)
+	case "status":
+		err = cmdStatus(args)
+	case "phase":
+		err = cmdPhase(args)
+	case "operate":
+		err = cmdOperate(args)
+	case "reputation":
+		err = cmdReputation(args)
+	case "audit":
+		err = cmdAudit(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: voctl <demo|serve|publish|join|members|status|phase|operate|reputation|audit> [flags]")
+	os.Exit(2)
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	dir := fs.String("dir", "demo", "output directory")
+	fs.Parse(args)
+	if err := cli.WriteDemo(*dir); err != nil {
+		return err
+	}
+	log.Printf("demo workspace written to %s (ca.xml, initiator/, member/)", *dir)
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	partyDir := fs.String("party", "", "initiator party directory (required)")
+	contractPath := fs.String("contract", "", "contract.xml path (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	dbPath := fs.String("db", "", "WAL-backed store for the initiator's policies and credentials "+
+		"(reloaded on every StartNegotiation, the paper's §6.2 DB path)")
+	fs.Parse(args)
+	if *partyDir == "" || *contractPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	party, err := cli.LoadParty(*partyDir)
+	if err != nil {
+		return err
+	}
+	contract, err := cli.LoadContract(*contractPath)
+	if err != nil {
+		return err
+	}
+	ini, err := core.NewInitiator(contract, party, registry.New())
+	if err != nil {
+		return err
+	}
+	if err := ini.VO.StartFormation(); err != nil {
+		return err
+	}
+	tk := wsrpc.NewToolkitService(ini)
+	if *dbPath != "" {
+		db, err := store.Open(*dbPath)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		// persist AFTER NewInitiator: the admission policies and the
+		// VO-property credential are part of the negotiating state
+		if err := partydb.SaveParty(db, party); err != nil {
+			return err
+		}
+		if err := db.Sync(); err != nil {
+			return err
+		}
+		tk.TN.DB = db
+		log.Printf("policies and credentials stored in %s", *dbPath)
+	}
+	mux := http.NewServeMux()
+	tk.Register(mux)
+	log.Printf("VO %q (initiator %s) in %s phase on %s", contract.VOName, party.Name, ini.VO.Phase(), *addr)
+	return http.ListenAndServe(*addr, mux)
+}
+
+type stringsFlag []string
+
+func (s *stringsFlag) String() string     { return strings.Join(*s, ",") }
+func (s *stringsFlag) Set(v string) error { *s = append(*s, v); return nil }
+
+func memberClient(fs *flag.FlagSet, args []string) (*wsrpc.MemberClient, *flag.FlagSet, error) {
+	partyDir := fs.String("party", "", "party directory")
+	url := fs.String("url", "http://localhost:8080", "toolkit base URL")
+	fs.Parse(args)
+	c := &wsrpc.MemberClient{BaseURL: *url}
+	if *partyDir != "" {
+		p, err := cli.LoadParty(*partyDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.Party = p
+	}
+	return c, fs, nil
+}
+
+func cmdPublish(args []string) error {
+	fs := flag.NewFlagSet("publish", flag.ExitOnError)
+	service := fs.String("service", "", "service name (required)")
+	quality := fs.String("quality", "", "advertised quality")
+	var caps stringsFlag
+	fs.Var(&caps, "capability", "offered capability (repeatable)")
+	c, _, err := memberClient(fs, args)
+	if err != nil {
+		return err
+	}
+	if c.Party == nil || *service == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	err = c.Publish(&registry.Description{
+		Provider: c.Party.Name, Service: *service,
+		Capabilities: caps, Quality: *quality,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("published %s (%s)", c.Party.Name, *service)
+	return nil
+}
+
+func cmdJoin(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	role := fs.String("role", "", "role to join (required)")
+	direct := fs.Bool("direct", false, "baseline join without trust negotiation")
+	verbose := fs.Bool("v", false, "trace the negotiation message flow")
+	c, _, err := memberClient(fs, args)
+	if err != nil {
+		return err
+	}
+	if c.Party == nil || *role == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *verbose {
+		c.Party.Trace = func(dir string, m *negotiation.Message) {
+			arrow := "->"
+			if dir == "recv" {
+				arrow = "<-"
+			}
+			log.Printf("  tn %s %s", arrow, m.Summary())
+		}
+	}
+	if *direct {
+		der, err := c.JoinDirect(*role)
+		if err != nil {
+			return err
+		}
+		log.Printf("joined %s without negotiation; membership token %d bytes (DER)", *role, len(der))
+		return nil
+	}
+	der, out, err := c.Join(*role)
+	if err != nil {
+		return err
+	}
+	log.Printf("joined %s after a %d-round trust negotiation; membership token %d bytes (DER)",
+		*role, out.Rounds, len(der))
+	for _, d := range out.Received {
+		log.Printf("  counterpart disclosed: %s (issuer %s)", d.Credential.Type, d.Credential.Issuer)
+	}
+	for _, d := range out.Sent {
+		log.Printf("  we disclosed:          %s (issuer %s)", d.Credential.Type, d.Credential.Issuer)
+	}
+	return nil
+}
+
+func cmdMembers(args []string) error {
+	fs := flag.NewFlagSet("members", flag.ExitOnError)
+	c, _, err := memberClient(fs, args)
+	if err != nil {
+		return err
+	}
+	members, err := c.Members()
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(members))
+	for n := range members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-24s %s\n", n, members[n])
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	c, _, err := memberClient(fs, args)
+	if err != nil {
+		return err
+	}
+	phase, members, err := c.VOStatus()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase=%s members=%d\n", phase, members)
+	return nil
+}
+
+func cmdPhase(args []string) error {
+	fs := flag.NewFlagSet("phase", flag.ExitOnError)
+	to := fs.String("to", "", "target phase: formation|operation|dissolution")
+	url := fs.String("url", "http://localhost:8080", "toolkit base URL")
+	fs.Parse(args)
+	path := map[string]string{
+		"formation":   "/vo/start-formation",
+		"operation":   "/vo/start-operation",
+		"dissolution": "/vo/dissolve",
+	}[*to]
+	if path == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	resp, err := http.Post(strings.TrimRight(*url, "/")+path, wsrpc.ContentType, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("phase change failed: %s", resp.Status)
+	}
+	log.Printf("phase changed to %s", *to)
+	return nil
+}
+
+func cmdOperate(args []string) error {
+	fs := flag.NewFlagSet("operate", flag.ExitOnError)
+	op := fs.String("operation", "", "operation to invoke (required)")
+	c, _, err := memberClient(fs, args)
+	if err != nil {
+		return err
+	}
+	if c.Party == nil || *op == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := c.Operate(*op); err != nil {
+		return err
+	}
+	log.Printf("operation %q authorized for %s", *op, c.Party.Name)
+	return nil
+}
+
+func cmdReputation(args []string) error {
+	fs := flag.NewFlagSet("reputation", flag.ExitOnError)
+	member := fs.String("member", "", "member name (required)")
+	c, _, err := memberClient(fs, args)
+	if err != nil {
+		return err
+	}
+	if *member == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	score, err := c.Reputation(*member)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %.4f\n", *member, score)
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	c, _, err := memberClient(fs, args)
+	if err != nil {
+		return err
+	}
+	entries, err := c.Audit()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		verdict := "ALLOWED"
+		if !e.Allowed {
+			verdict = "DENIED "
+		}
+		fmt.Printf("%s  %s  %-24s %-16s %s\n",
+			e.At.Format("2006-01-02T15:04:05Z"), verdict, e.Member, e.Operation, e.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+// Command xtnl is the X-TNL toolbox: it lints policy files, formats and
+// inspects credential/policy XML, generates credential authorities, and
+// issues and verifies credentials from the command line.
+//
+// Subcommands:
+//
+//	xtnl lint   -policies <file.tnl>                         parse & report policies
+//	xtnl fmt    -in <file.xml>                               pretty-print an XML artifact
+//	xtnl keygen -name <CA name> -out <ca.xml>                create an authority
+//	xtnl issue  -ca <ca.xml> -type <T> -holder <H> [-attr k=v]... [-sensitivity low|medium|high] [-out cred.xml]
+//	xtnl verify -ca <ca.xml> -in <cred.xml>                  verify a credential
+//	xtnl show   -in <file.xml>                               summarize a credential or policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"trustvo/internal/cli"
+	"trustvo/internal/ontology"
+	"trustvo/internal/pki"
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xtnl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xtnl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "lint":
+		err = cmdLint(args)
+	case "fmt":
+		err = cmdFmt(args)
+	case "keygen":
+		err = cmdKeygen(args)
+	case "issue":
+		err = cmdIssue(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "show":
+		err = cmdShow(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xtnl <lint|fmt|keygen|issue|verify|show> [flags]")
+	os.Exit(2)
+}
+
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	path := fs.String("policies", "", "policy DSL file (required)")
+	fs.Parse(args)
+	if *path == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	pols, err := xtnl.ParsePolicies(string(text))
+	if err != nil {
+		return err
+	}
+	byResource := make(map[string]int)
+	for _, p := range pols {
+		byResource[p.Resource]++
+		fmt.Println(p.String())
+	}
+	fmt.Fprintf(os.Stderr, "%d policies across %d resources — OK\n", len(pols), len(byResource))
+	return nil
+}
+
+func cmdFmt(args []string) error {
+	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+	in := fs.String("in", "", "XML file (required); '-' for stdin")
+	write := fs.Bool("w", false, "rewrite the file in place")
+	fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var text []byte
+	var err error
+	if *in == "-" {
+		if text, err = readAll(os.Stdin); err != nil {
+			return err
+		}
+	} else if text, err = os.ReadFile(*in); err != nil {
+		return err
+	}
+	root, err := xmldom.ParseString(string(text))
+	if err != nil {
+		return err
+	}
+	out := root.Indented()
+	if *write && *in != "-" {
+		return os.WriteFile(*in, []byte(out), 0o644)
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func readAll(f *os.File) ([]byte, error) {
+	var out []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return out, nil
+			}
+			return out, nil
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	name := fs.String("name", "", "authority name (required)")
+	out := fs.String("out", "ca.xml", "output file")
+	fs.Parse(args)
+	if *name == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	ca, err := pki.NewAuthority(*name)
+	if err != nil {
+		return err
+	}
+	if err := cli.SaveAuthority(*out, ca); err != nil {
+		return err
+	}
+	log.Printf("authority %q written to %s", *name, *out)
+	return nil
+}
+
+type attrsFlag []xtnl.Attribute
+
+func (a *attrsFlag) String() string { return fmt.Sprint([]xtnl.Attribute(*a)) }
+func (a *attrsFlag) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("attribute must be name=value, got %q", v)
+	}
+	*a = append(*a, xtnl.Attribute{Name: k, Value: val})
+	return nil
+}
+
+func cmdIssue(args []string) error {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	caPath := fs.String("ca", "", "authority file (required)")
+	credType := fs.String("type", "", "credential type (required)")
+	holder := fs.String("holder", "", "holder name")
+	sens := fs.String("sensitivity", "medium", "low|medium|high")
+	days := fs.Int("days", 365, "validity in days")
+	out := fs.String("out", "", "output file (stdout when empty)")
+	var attrs attrsFlag
+	fs.Var(&attrs, "attr", "content attribute name=value (repeatable)")
+	fs.Parse(args)
+	if *caPath == "" || *credType == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	ca, err := cli.LoadAuthority(*caPath)
+	if err != nil {
+		return err
+	}
+	cred, err := ca.Issue(pki.IssueRequest{
+		Type:        *credType,
+		Holder:      *holder,
+		Attributes:  attrs,
+		Sensitivity: xtnl.ParseSensitivity(*sens),
+		Lifetime:    time.Duration(*days) * 24 * time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	text := cred.DOM().Indented()
+	if *out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(text), 0o644)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	caPath := fs.String("ca", "", "authority file (required)")
+	in := fs.String("in", "", "credential XML file (required)")
+	fs.Parse(args)
+	if *caPath == "" || *in == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	ca, err := cli.LoadAuthority(*caPath)
+	if err != nil {
+		return err
+	}
+	text, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	cred, err := xtnl.ParseCredential(string(text))
+	if err != nil {
+		return err
+	}
+	if err := pki.NewTrustStore(ca).Verify(cred, time.Now()); err != nil {
+		return err
+	}
+	log.Printf("OK: %s %q issued by %s, valid until %s",
+		cred.ID, cred.Type, cred.Issuer, cred.ValidUntil.Format(xtnl.TimeLayout))
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("in", "", "credential or policy XML file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	root, err := xmldom.ParseString(string(text))
+	if err != nil {
+		return err
+	}
+	switch root.Name {
+	case "credential":
+		cred, err := xtnl.CredentialFromDOM(root)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("credential %s\n  type:        %s\n  issuer:      %s\n  holder:      %s\n  sensitivity: %s\n",
+			cred.ID, cred.Type, cred.Issuer, cred.Holder, cred.Sensitivity)
+		if !cred.ValidUntil.IsZero() {
+			fmt.Printf("  valid:       %s .. %s\n",
+				cred.ValidFrom.Format(xtnl.TimeLayout), cred.ValidUntil.Format(xtnl.TimeLayout))
+		}
+		for _, a := range cred.Attributes {
+			fmt.Printf("  attr %s = %q\n", a.Name, a.Value)
+		}
+		fmt.Printf("  signed:      %v\n", len(cred.Signature) > 0)
+	case "policy":
+		pol, err := xtnl.PolicyFromDOM(root)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pol.String())
+	case "X-Profile":
+		prof, err := xtnl.ParseProfile(string(text))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("X-Profile of %s: %d credentials\n", prof.Owner, prof.Len())
+		for _, c := range prof.All() {
+			fmt.Printf("  %-28s issuer=%s sensitivity=%s\n", c.Type, c.Issuer, c.Sensitivity)
+		}
+	case "Ontology":
+		o, err := ontology.ParseOntology(string(text))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ontology: %d concepts\n", o.Len())
+		for _, name := range o.Names() {
+			c, _ := o.Concept(name)
+			fmt.Printf("  %s", name)
+			if parents := o.Parents(name); len(parents) > 0 {
+				fmt.Printf(" is_a %s", strings.Join(parents, ", "))
+			}
+			fmt.Println()
+			for _, im := range c.Implementations {
+				fmt.Printf("    implemented by %s\n", im)
+			}
+		}
+	default:
+		return fmt.Errorf("unrecognized artifact <%s>", root.Name)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package trustvo_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trustvo"
+)
+
+// The golden corpus under testdata/ pins the on-disk artifact formats:
+// every file must keep parsing, and structured round trips must be
+// stable. The mutation tests then hammer the same parsers with corrupted
+// inputs — they must reject or accept deterministically, never panic.
+
+func readCorpus(t testing.TB, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCorpusCredential(t *testing.T) {
+	cred, err := trustvo.ParseCredential(readCorpus(t, "credential_iso9000.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.Type != "ISO 9000 Certified" || cred.Issuer != "INFN" || cred.Holder != "AerospaceCo" {
+		t.Fatalf("credential = %+v", cred)
+	}
+	if v, _ := cred.Attr("QualityRegulation"); v != "UNI EN ISO 9000" {
+		t.Fatalf("attribute = %q", v)
+	}
+	if cred.Sensitivity != trustvo.SensitivityLow {
+		t.Fatalf("sensitivity = %v", cred.Sensitivity)
+	}
+	// round trip is stable
+	re, err := trustvo.ParseCredential(cred.XML())
+	if err != nil || re.XML() != cred.XML() {
+		t.Fatalf("round trip unstable: %v", err)
+	}
+}
+
+func TestCorpusPolicy(t *testing.T) {
+	pol, err := trustvo.ParsePolicy(readCorpus(t, "policy_iso9000.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Resource != "ISO 9000 Certified" || len(pol.Terms) != 1 {
+		t.Fatalf("policy = %+v", pol)
+	}
+	if pol.Terms[0].CredType != "AAAccreditation" {
+		t.Fatalf("term = %+v", pol.Terms[0])
+	}
+}
+
+func TestCorpusPolicyDSL(t *testing.T) {
+	pols, err := trustvo.ParsePolicies(readCorpus(t, "policies_aircraft.tnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 plain lines, one 2-alternative line, one 3-combination group
+	if len(pols) != 7+2+3 {
+		t.Fatalf("policies = %d", len(pols))
+	}
+	// every policy re-parses from its String() form
+	for _, p := range pols {
+		if _, err := trustvo.ParsePolicyRule(p.String()); err != nil {
+			t.Fatalf("%q does not re-parse: %v", p.String(), err)
+		}
+	}
+}
+
+func TestCorpusOntology(t *testing.T) {
+	o, err := trustvo.ParseOntology(readCorpus(t, "ontology.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 4 {
+		t.Fatalf("concepts = %d", o.Len())
+	}
+	if !o.IsA("Texas_DriverLicense", "Civilian_DriverLicense") {
+		t.Fatal("is_a lost")
+	}
+	re, err := trustvo.ParseOntology(o.XML())
+	if err != nil || re.Len() != o.Len() {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestCorpusContract(t *testing.T) {
+	c, err := trustvo.ParseContract(readCorpus(t, "contract_aircraft.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VOName != "AircraftOptimizationVO" || len(c.Roles) != 3 || len(c.Rules) != 2 {
+		t.Fatalf("contract = %+v", c)
+	}
+	// the corpus contract actually drives an initiator
+	party := &trustvo.Party{
+		Name:     c.Initiator,
+		Profile:  trustvo.NewProfile(c.Initiator),
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(),
+	}
+	if _, err := trustvo.NewInitiator(c, party, trustvo.NewRegistry()); err != nil {
+		t.Fatalf("corpus contract unusable: %v", err)
+	}
+}
+
+func TestCorpusProfile(t *testing.T) {
+	p, err := trustvo.ParseProfile(readCorpus(t, "profile.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Owner != "AerospaceCo" || p.Len() != 2 {
+		t.Fatalf("profile = owner %q, %d creds", p.Owner, p.Len())
+	}
+}
+
+func TestCorpusMessage(t *testing.T) {
+	m, err := trustvo.ParseMessage(readCorpus(t, "message_policy.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != "AircraftCo" || len(m.Answers) != 1 || len(m.Answers[0].Policies) != 1 {
+		t.Fatalf("message = %+v", m)
+	}
+	re, err := trustvo.ParseMessage(m.XML())
+	if err != nil || re.XML() != m.XML() {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestCorpusMutationsNeverPanic corrupts every corpus document in many
+// random ways; the parsers must return errors (or parse, when the
+// mutation is benign) without panicking.
+func TestCorpusMutationsNeverPanic(t *testing.T) {
+	files := []struct {
+		name  string
+		parse func(string) error
+	}{
+		{"credential_iso9000.xml", func(s string) error { _, err := trustvo.ParseCredential(s); return err }},
+		{"policy_iso9000.xml", func(s string) error { _, err := trustvo.ParsePolicy(s); return err }},
+		{"policies_aircraft.tnl", func(s string) error { _, err := trustvo.ParsePolicies(s); return err }},
+		{"ontology.xml", func(s string) error { _, err := trustvo.ParseOntology(s); return err }},
+		{"contract_aircraft.xml", func(s string) error { _, err := trustvo.ParseContract(s); return err }},
+		{"profile.xml", func(s string) error { _, err := trustvo.ParseProfile(s); return err }},
+		{"message_policy.xml", func(s string) error { _, err := trustvo.ParseMessage(s); return err }},
+	}
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte(`<>/"'=abcXYZ0123 &;`)
+	for _, f := range files {
+		orig := readCorpus(t, f.name)
+		for i := 0; i < 300; i++ {
+			b := []byte(orig)
+			// 1..4 random single-byte mutations
+			for k := 0; k <= rng.Intn(4); k++ {
+				switch pos := rng.Intn(len(b)); rng.Intn(3) {
+				case 0: // replace
+					b[pos] = alphabet[rng.Intn(len(alphabet))]
+				case 1: // delete
+					b = append(b[:pos], b[pos+1:]...)
+				case 2: // truncate
+					b = b[:pos]
+				}
+				if len(b) == 0 {
+					break
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: parser panicked on mutation %d: %v\ninput: %q", f.name, i, r, b)
+					}
+				}()
+				_ = f.parse(string(b)) // error or success, both fine
+			}()
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package trustvo_test
+
+import (
+	"fmt"
+	"log"
+
+	"trustvo"
+)
+
+// Example demonstrates the minimal trust negotiation: Alice requests
+// Bob's Report resource; Bob's policy requires an employee badge.
+func Example() {
+	ca := trustvo.MustNewAuthority("CertCA")
+
+	alice := &trustvo.Party{
+		Name:     "alice",
+		Profile:  trustvo.NewProfile("alice"),
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(ca),
+	}
+	alice.Profile.Add(ca.MustIssue(trustvo.IssueRequest{Type: "EmployeeBadge", Holder: "alice"}))
+
+	bob := &trustvo.Party{
+		Name:    "bob",
+		Profile: trustvo.NewProfile("bob"),
+		Policies: trustvo.MustPolicySet(trustvo.MustParsePolicies(
+			"Report <- EmployeeBadge",
+		)...),
+		Trust: trustvo.NewTrustStore(ca),
+	}
+
+	out, _, err := trustvo.Negotiate(alice, bob, "Report")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("succeeded:", out.Succeeded)
+	// Output: succeeded: true
+}
+
+// ExampleParsePolicies shows the disclosure-policy DSL, including
+// alternatives and the k-of-n group-condition extension.
+func ExampleParsePolicies() {
+	policies, err := trustvo.ParsePolicies(`
+# formation-phase policies
+VoMembership <- WebDesignerQuality(regulation='UNI EN ISO 9000')
+Certification <- AAAccreditation | BalanceSheet(issuer='BBB')
+Audit <- 2 of (TaxRecord | BalanceSheet | ISOCert)
+PublicCatalog <- DELIV
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(policies), "policies")
+	fmt.Println(policies[0])
+	// Output:
+	// 7 policies
+	// VoMembership <- WebDesignerQuality[/credential/content/regulation='UNI EN ISO 9000']
+}
+
+// ExampleMapper demonstrates the paper's Algorithm 1: a policy concept
+// is mapped onto the least sensitive local credential implementing it.
+func ExampleMapper() {
+	o := trustvo.NewOntology()
+	o.MustAdd(&trustvo.Concept{
+		Name:       "gender",
+		Attributes: []string{"gender"},
+		Implementations: []trustvo.Implementation{
+			{CredType: "Passport", Attribute: "gender"},
+			{CredType: "DrivingLicense", Attribute: "sex"},
+		},
+	})
+	ca := trustvo.MustNewAuthority("CA")
+	profile := trustvo.NewProfile("me")
+	profile.Add(
+		ca.MustIssue(trustvo.IssueRequest{
+			Type: "Passport", Holder: "me", Sensitivity: trustvo.SensitivityHigh,
+			Attributes: []trustvo.Attribute{{Name: "gender", Value: "F"}},
+		}),
+		ca.MustIssue(trustvo.IssueRequest{
+			Type: "DrivingLicense", Holder: "me", Sensitivity: trustvo.SensitivityMedium,
+			Attributes: []trustvo.Attribute{{Name: "sex", Value: "F"}},
+		}),
+	)
+	m := &trustvo.Mapper{Ontology: o, Profile: profile}
+	mapping, err := m.MapConcept("gender")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("disclose:", mapping.Credential.Type)
+	// Output: disclose: DrivingLicense
+}
+
+// ExampleIssueTicket shows the trust-ticket fast path for repeat
+// negotiations.
+func ExampleIssueTicket() {
+	ca := trustvo.MustNewAuthority("CertCA")
+	keys := trustvo.MustGenerateKeyPair()
+
+	requester := &trustvo.Party{
+		Name:     "member",
+		Profile:  trustvo.NewProfile("member"),
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(ca),
+		Tickets:  trustvo.NewTicketCache(),
+	}
+	requester.Profile.Add(ca.MustIssue(trustvo.IssueRequest{Type: "WorkPermit", Holder: "member"}))
+
+	controller := &trustvo.Party{
+		Name:      "portal",
+		Profile:   trustvo.NewProfile("portal"),
+		Policies:  trustvo.MustPolicySet(trustvo.MustParsePolicies("Service <- WorkPermit")...),
+		Trust:     trustvo.NewTrustStore(ca),
+		Keys:      keys,
+		TicketTTL: 3600e9, // one hour in nanoseconds
+	}
+
+	first, _, _ := trustvo.Negotiate(requester, controller, "Service")
+	second, _, _ := trustvo.Negotiate(requester, controller, "Service")
+	fmt.Println("full negotiation rounds:", first.Rounds)
+	fmt.Println("ticketed rounds:        ", second.Rounds)
+	// Output:
+	// full negotiation rounds: 6
+	// ticketed rounds:         2
+}

@@ -1,0 +1,227 @@
+// The Aircraft Optimization VO — the paper's §3 running example, end to
+// end across the whole extended lifecycle (§5, Figs. 1 and 3):
+//
+//   - Preparation: five service providers publish their capabilities.
+//
+//   - Identification: the Aircraft company defines the contract and the
+//     per-role admission policies.
+//
+//   - Formation: each candidate joins through a trust negotiation and
+//     receives an X.509 membership token (Fig. 4).
+//
+//   - Operation: the optimize loop of Fig. 1 runs under the
+//     collaboration rules; the optimizer re-validates the portal's ISO
+//     certification via a fresh TN; the HPC provider violates its
+//     contract, its reputation drops, and it is replaced through a new
+//     formation-style negotiation.
+//
+//   - Dissolution.
+//
+//     go run ./examples/aircraft
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trustvo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	qualityCA := trustvo.MustNewAuthority("QualityCA")
+	certCA := trustvo.MustNewAuthority("CertCA")
+	newTrust := func() *trustvo.TrustStore { return trustvo.NewTrustStore(qualityCA, certCA) }
+
+	// ---- Preparation: providers assemble profiles and publish ----
+	fmt.Println("== preparation ==")
+	reg := trustvo.NewRegistry()
+	mkAgent := func(name, service string, caps []string, creds ...*trustvo.Credential) *trustvo.MemberAgent {
+		prof := trustvo.NewProfile(name)
+		prof.Add(creds...)
+		agent := trustvo.NewMemberAgent(&trustvo.Party{
+			Name: name, Profile: prof,
+			Policies: trustvo.MustPolicySet(),
+			Trust:    newTrust(),
+		}, &trustvo.Description{Provider: name, Service: service, Capabilities: caps})
+		if err := agent.Publish(reg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s published %q (capabilities %v)\n", name, service, caps)
+		return agent
+	}
+
+	aerospace := mkAgent("AerospaceCo", "Design Partner Web Portal", []string{"design-db"},
+		qualityCA.MustIssue(trustvo.IssueRequest{
+			Type: "WebDesignerQuality", Holder: "AerospaceCo",
+			Attributes: []trustvo.Attribute{{Name: "regulation", Value: "UNI EN ISO 9000"}},
+		}),
+		certCA.MustIssue(trustvo.IssueRequest{
+			Type: "ISO 9000 Certified", Holder: "AerospaceCo",
+			Attributes: []trustvo.Attribute{{Name: "QualityRegulation", Value: "UNI EN ISO 9000"}},
+		}))
+	optimizer := mkAgent("OptimizeCo", "Design Optimization Partner Service", []string{"optimization"},
+		certCA.MustIssue(trustvo.IssueRequest{Type: "OptimizationLicense", Holder: "OptimizeCo"}),
+		certCA.MustIssue(trustvo.IssueRequest{Type: "PrivacyRegulator", Holder: "OptimizeCo"}))
+	hpc := mkAgent("HPCCo", "HPC Partner Service", []string{"simulation"},
+		certCA.MustIssue(trustvo.IssueRequest{Type: "HPCCertification", Holder: "HPCCo"}))
+	storage := mkAgent("StorageCo", "Storage Partner Service", []string{"storage"})
+
+	// ---- Identification: contract + admission policies (§5.1) ----
+	fmt.Println("\n== identification ==")
+	contract := &trustvo.Contract{
+		VOName:    "AircraftOptimizationVO",
+		Goal:      "civil aircraft with low emissions and efficient fuel consumption",
+		Initiator: "AircraftCo",
+		Roles: []trustvo.RoleSpec{
+			{Name: "DesignWebPortal", Capabilities: []string{"design-db"}, MinMembers: 1,
+				AdmissionPolicies: trustvo.MustParsePolicies(
+					"M <- WebDesignerQuality(regulation='UNI EN ISO 9000')")},
+			{Name: "DesignOptimization", Capabilities: []string{"optimization"}, MinMembers: 1,
+				AdmissionPolicies: trustvo.MustParsePolicies("M <- OptimizationLicense")},
+			{Name: "HPC", Capabilities: []string{"simulation"}, MinMembers: 1, MaxMembers: 2,
+				AdmissionPolicies: trustvo.MustParsePolicies("M <- HPCCertification")},
+			{Name: "Storage", Capabilities: []string{"storage"}, MinMembers: 1,
+				AdmissionPolicies: trustvo.MustParsePolicies("M <- DELIV")},
+		},
+		Rules: []trustvo.Rule{
+			{Operation: "select-design", Callers: []string{"DesignWebPortal"}},
+			{Operation: "optimize", Callers: []string{"DesignOptimization"}, Target: "HPC"},
+			{Operation: "simulate", Callers: []string{"DesignOptimization", "HPC"}, Target: "HPC"},
+			{Operation: "store", Target: "Storage"},
+		},
+	}
+	iniParty := &trustvo.Party{
+		Name: "AircraftCo", Profile: trustvo.NewProfile("AircraftCo"),
+		Policies: trustvo.MustPolicySet(), Trust: newTrust(),
+	}
+	ini, err := trustvo.NewInitiator(contract, iniParty, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  contract %q defined with %d roles and %d collaboration rules\n",
+		contract.VOName, len(contract.Roles), len(contract.Rules))
+
+	// ---- Formation: TN-backed joins (Fig. 4) ----
+	fmt.Println("\n== formation ==")
+	agents := map[string]*trustvo.MemberAgent{
+		"AerospaceCo": aerospace, "OptimizeCo": optimizer, "HPCCo": hpc, "StorageCo": storage,
+	}
+	if err := ini.VO.StartFormation(); err != nil {
+		log.Fatal(err)
+	}
+	for _, role := range contract.Roles {
+		descs, err := ini.Discover(role.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range descs {
+			agent := agents[d.Provider]
+			m, out, err := ini.Join(agent, role.Name, trustvo.JoinOptions{Negotiate: true})
+			if err != nil {
+				fmt.Printf("  %-12s rejected for %s: %v\n", d.Provider, role.Name, err)
+				continue
+			}
+			rounds := 0
+			if out != nil {
+				rounds = out.Rounds
+			}
+			fmt.Printf("  %-12s joined as %-18s (TN: %d rounds, token %d bytes)\n",
+				m.Name, m.Role, rounds, len(m.Token.DER))
+			break
+		}
+	}
+	if err := ini.VO.StartOperation(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  VO phase: %s with %d members\n", ini.VO.Phase(), len(ini.VO.Members()))
+
+	// ---- Operation: the Fig. 1 optimize loop ----
+	fmt.Println("\n== operation ==")
+	steps := []struct{ member, op, desc string }{
+		{"AerospaceCo", "select-design", "1. engineer selects a wing design on the Design Web Portal"},
+		{"OptimizeCo", "optimize", "2-4. optimization service reads the control file, activates"},
+		{"OptimizeCo", "simulate", "5. HPC computes the new wing profile and flow solution"},
+		{"HPCCo", "store", "6. lift/drag values stored at the storage provider"},
+		{"OptimizeCo", "optimize", "7-8. revised design computed; loop repeats"},
+	}
+	for _, s := range steps {
+		if err := ini.VO.Authorize(s.member, s.op); err != nil {
+			log.Fatalf("  %s: %v", s.desc, err)
+		}
+		fmt.Printf("  ok  %s\n", s.desc)
+	}
+
+	// Operational TN (§5.1): the optimizer re-checks the portal's ISO
+	// certification, which the portal protects behind a privacy-
+	// regulator requirement.
+	fmt.Println("\n  -- operational trust negotiation (3a): ISO certification re-validation --")
+	aerospace.Party.Policies.Add(trustvo.MustParsePolicies("Certification <- PrivacyRegulator")[0])
+	out, err := ini.Revalidate(optimizer, aerospace, "Certification")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  revalidation succeeded=%v in %d rounds\n", out.Succeeded, out.Rounds)
+
+	// The optimize loop re-validates repeatedly (steps 5–6 "executed
+	// repeatedly until the target result is achieved"); trust tickets
+	// collapse the repeats to a two-message exchange.
+	aerospace.Party.Keys = trustvo.MustGenerateKeyPair()
+	aerospace.Party.TicketTTL = time.Hour
+	optimizer.Party.Tickets = trustvo.NewTicketCache()
+	prime, err := ini.Revalidate(optimizer, aerospace, "Certification")
+	if err != nil {
+		log.Fatal(err)
+	}
+	repeat, err := ini.Revalidate(optimizer, aerospace, "Certification")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with trust tickets: first %d rounds, repeats %d rounds\n", prime.Rounds, repeat.Rounds)
+
+	// Violation + replacement (§5.1): the HPC provider's reputation
+	// drops after a contract violation and it is replaced via TN.
+	fmt.Println("\n  -- violation, reputation drop, replacement TN --")
+	now := time.Now()
+	fmt.Printf("  HPCCo reputation before violation: %.3f\n", ini.VO.Reputation.Score("HPCCo", now))
+	ini.VO.ReportViolation("HPCCo", "simulate", "quality-of-service breach", 3)
+	fmt.Printf("  HPCCo reputation after violation:  %.3f\n", ini.VO.Reputation.Score("HPCCo", now))
+
+	betterProfile := trustvo.NewProfile("BetterHPCCo")
+	betterProfile.Add(certCA.MustIssue(trustvo.IssueRequest{Type: "HPCCertification", Holder: "BetterHPCCo"}))
+	better := trustvo.NewMemberAgent(&trustvo.Party{
+		Name: "BetterHPCCo", Profile: betterProfile,
+		Policies: trustvo.MustPolicySet(), Trust: newTrust(),
+	}, &trustvo.Description{Provider: "BetterHPCCo", Service: "HPC v2", Capabilities: []string{"simulation"}})
+	better.Publish(reg)
+	m, err := ini.Replace("HPCCo", []*trustvo.MemberAgent{better}, trustvo.JoinOptions{Negotiate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  HPCCo replaced by %s (role %s)\n", m.Name, m.Role)
+
+	// The host edition's monitoring view (§2: "All the interactions must
+	// be monitored").
+	fmt.Println("\n  -- interaction audit log (last entries) --")
+	audit := ini.VO.Audit()
+	if len(audit) > 4 {
+		audit = audit[len(audit)-4:]
+	}
+	for _, e := range audit {
+		verdict := "allowed"
+		if !e.Allowed {
+			verdict = "DENIED"
+		}
+		fmt.Printf("  %-8s %-14s by %-12s %s\n", verdict, e.Operation, e.Member, e.Detail)
+	}
+
+	// ---- Dissolution ----
+	fmt.Println("\n== dissolution ==")
+	if err := ini.VO.Dissolve(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  VO dissolved; contractual bindings nullified (members now: %d)\n",
+		len(ini.VO.Members()))
+}

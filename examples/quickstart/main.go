@@ -1,0 +1,85 @@
+// Quickstart: two parties that have never met establish mutual trust
+// over a protected resource with a Trust-X negotiation.
+//
+// Alice (a hospital) wants Bob's (a lab's) test-results service. Bob
+// releases it only to certified hospitals; Alice discloses her hospital
+// certification only to HIPAA-compliant counterparts. The negotiation
+// discovers and executes the trust sequence automatically.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trustvo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A credential authority both sides trust.
+	ca := trustvo.MustNewAuthority("HealthCA")
+
+	// Alice's X-Profile: her hospital certification (sensitive — she
+	// discloses it only under policy).
+	aliceProfile := trustvo.NewProfile("alice-hospital")
+	aliceProfile.Add(ca.MustIssue(trustvo.IssueRequest{
+		Type:        "HospitalCertification",
+		Holder:      "alice-hospital",
+		Sensitivity: trustvo.SensitivityMedium,
+		Attributes:  []trustvo.Attribute{{Name: "beds", Value: "450"}},
+	}))
+	alice := &trustvo.Party{
+		Name:    "alice-hospital",
+		Profile: aliceProfile,
+		// Alice's disclosure policy: her certification is released only
+		// to counterparts proving HIPAA compliance.
+		Policies: trustvo.MustPolicySet(trustvo.MustParsePolicies(
+			"HospitalCertification <- HIPAACompliance",
+		)...),
+		Trust: trustvo.NewTrustStore(ca),
+	}
+
+	// Bob's X-Profile: his HIPAA compliance credential, freely
+	// disclosable.
+	bobProfile := trustvo.NewProfile("bob-lab")
+	bobProfile.Add(ca.MustIssue(trustvo.IssueRequest{
+		Type:        "HIPAACompliance",
+		Holder:      "bob-lab",
+		Sensitivity: trustvo.SensitivityLow,
+	}))
+	bob := &trustvo.Party{
+		Name:    "bob-lab",
+		Profile: bobProfile,
+		// Bob's policy: the test-results service requires a hospital
+		// certification.
+		Policies: trustvo.MustPolicySet(trustvo.MustParsePolicies(
+			"TestResults <- HospitalCertification(beds>=100)",
+		)...),
+		Trust: trustvo.NewTrustStore(ca),
+		Grant: func(resource, peer string) ([]byte, error) {
+			return []byte("access-token-for-" + peer), nil
+		},
+	}
+
+	// Alice requests Bob's TestResults resource.
+	out, _, err := trustvo.Negotiate(alice, bob, "TestResults")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !out.Succeeded {
+		log.Fatalf("negotiation failed: %s", out.Reason)
+	}
+
+	fmt.Println("negotiation succeeded in", out.Rounds, "rounds")
+	fmt.Printf("grant: %s\n", out.Grant)
+	fmt.Println("\ntrust sequence executed:")
+	for _, d := range out.Received {
+		fmt.Printf("  bob  -> alice: %s (issuer %s)\n", d.Credential.Type, d.Credential.Issuer)
+	}
+	for _, d := range out.Sent {
+		fmt.Printf("  alice -> bob:  %s (issuer %s)\n", d.Credential.Type, d.Credential.Issuer)
+	}
+}

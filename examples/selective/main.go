@@ -1,0 +1,134 @@
+// Selective disclosure and the suspicious strategies (paper §6.3).
+//
+// The paper notes that X.509-style credentials "do not support partial
+// hiding of the credential contents", so only the standard and trusting
+// strategies can be used with them — and sketches the fix: replace each
+// attribute with the hash of its name and value, sign the hashed
+// content, and open only the attributes a negotiation actually needs.
+//
+// This example shows all three behaviours:
+//
+//  1. a suspicious negotiation with plain credentials FAILS with the
+//     §6.3 restriction;
+//
+//  2. the same negotiation with hashed-commitment credentials succeeds,
+//     opening ONLY the attribute the counterpart's condition references
+//     (the confidential ones stay hidden);
+//
+//  3. ownership proofs: the suspicious receiver challenges the
+//     discloser to sign a nonce with the credential's holder key.
+//
+//     go run ./examples/selective
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trustvo"
+)
+
+func main() {
+	log.SetFlags(0)
+	ca := trustvo.MustNewAuthority("FinanceCA")
+
+	// The controller (a bank) requires a balance sheet with year >= 2009
+	// before granting a credit line.
+	bankKeys := trustvo.MustGenerateKeyPair()
+	bankProfile := trustvo.NewProfile("bank")
+	bank := &trustvo.Party{
+		Name:    "bank",
+		Profile: bankProfile,
+		Policies: trustvo.MustPolicySet(trustvo.MustParsePolicies(
+			"CreditLine <- BalanceSheet(year>='2009')",
+		)...),
+		Trust: trustvo.NewTrustStore(ca),
+		Keys:  bankKeys,
+		Grant: func(resource, peer string) ([]byte, error) {
+			return []byte("credit-line-for-" + peer), nil
+		},
+	}
+
+	// ---- 1. suspicious + plain credential: the §6.3 restriction ----
+	companyKeys := trustvo.MustGenerateKeyPair()
+	plainProfile := trustvo.NewProfile("company")
+	plainProfile.Add(ca.MustIssue(trustvo.IssueRequest{
+		Type: "BalanceSheet", Holder: "company", HolderKey: companyKeys.Public,
+		Attributes: []trustvo.Attribute{
+			{Name: "year", Value: "2009"},
+			{Name: "revenue", Value: "12,400,000"},
+			{Name: "auditNotes", Value: "CONFIDENTIAL: pending litigation"},
+		},
+	}))
+	plainCompany := &trustvo.Party{
+		Name:     "company",
+		Profile:  plainProfile,
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(ca),
+		Keys:     companyKeys,
+		Strategy: trustvo.Suspicious,
+	}
+	out, _, err := trustvo.Negotiate(plainCompany, bank, "CreditLine")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. suspicious strategy with a plain (X.509-style) credential:")
+	fmt.Printf("   succeeded=%v\n   reason: %s\n\n", out.Succeeded, out.Reason)
+
+	// ---- 2. suspicious + hashed commitments: partial hiding works ----
+	sel, err := ca.IssueSelective(trustvo.IssueRequest{
+		Type: "BalanceSheet", Holder: "company", HolderKey: companyKeys.Public,
+		Attributes: []trustvo.Attribute{
+			{Name: "year", Value: "2009"},
+			{Name: "revenue", Value: "12,400,000"},
+			{Name: "auditNotes", Value: "CONFIDENTIAL: pending litigation"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	company := &trustvo.Party{
+		Name:     "company",
+		Profile:  trustvo.NewProfile("company"),
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(ca),
+		Keys:     companyKeys,
+		Strategy: trustvo.Suspicious,
+		Selective: map[string]*trustvo.SelectiveCredential{
+			sel.Committed.ID: sel,
+		},
+	}
+	out, ctlOut, err := trustvo.Negotiate(company, bank, "CreditLine")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !out.Succeeded {
+		log.Fatalf("selective negotiation failed: %s", out.Reason)
+	}
+	fmt.Println("2. suspicious strategy with hashed-commitment credentials:")
+	fmt.Printf("   succeeded=%v in %d rounds; grant=%s\n", out.Succeeded, out.Rounds, out.Grant)
+	view := ctlOut.Received[0].Credential
+	fmt.Println("   what the bank actually saw of the balance sheet:")
+	for _, a := range view.Attributes {
+		fmt.Printf("     %s = %q\n", a.Name, a.Value)
+	}
+	if _, leaked := view.Attr("auditNotes"); !leaked {
+		fmt.Println("   auditNotes and revenue stayed hidden (only their salted hashes travelled)")
+	}
+
+	// ---- 3. ownership proof mechanics ----
+	fmt.Println("\n3. ownership proof (challenge/response over the holder key):")
+	nonce, err := trustvo.NewNonce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	proof := trustvo.ProveOwnership(companyKeys, nonce)
+	if err := trustvo.VerifyOwnership(sel.Committed, nonce, proof); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("   holder proved possession of the key bound into the credential")
+	thief := trustvo.MustGenerateKeyPair()
+	if err := trustvo.VerifyOwnership(sel.Committed, nonce, trustvo.ProveOwnership(thief, nonce)); err != nil {
+		fmt.Printf("   a stolen credential fails the challenge: %v\n", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Semantic negotiation (paper §4.3): two VO parties that use different
+// local credential naming schemes negotiate through a shared reference
+// ontology.
+//
+// The Aircraft company abstracts its admission policy to the
+// quality-certification *concept* instead of naming a credential type —
+// hiding which exact document it wants and freeing the counterpart from
+// knowing its credential syntax. The Aerospace company's reasoning
+// engine runs the paper's Algorithm 1: it maps the concept onto its own
+// profile (choosing the least sensitive implementation) and discloses
+// that credential.
+//
+//	go run ./examples/semantic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trustvo"
+)
+
+// referenceOntology is the common ontology (Fig. 8 sketch): the
+// quality-certification concept is implemented by several credential
+// formats, and the gender concept by attributes of different documents.
+func referenceOntology() *trustvo.Ontology {
+	o := trustvo.NewOntology()
+	o.MustAdd(&trustvo.Concept{
+		Name:       "quality-certification",
+		Attributes: []string{"regulation"},
+		Implementations: []trustvo.Implementation{
+			{CredType: "WebDesignerQuality", Attribute: "regulation"},
+			{CredType: "ISO 9000 Certified", Attribute: "QualityRegulation"},
+		},
+	})
+	o.MustAdd(&trustvo.Concept{
+		Name:       "gender",
+		Attributes: []string{"gender"},
+		Implementations: []trustvo.Implementation{
+			{CredType: "Passport", Attribute: "gender"},
+			{CredType: "DrivingLicense", Attribute: "sex"},
+		},
+	})
+	o.MustAdd(&trustvo.Concept{
+		Name:            "Civilian_DriverLicense",
+		Implementations: []trustvo.Implementation{{CredType: "DrivingLicense"}},
+	})
+	o.MustAdd(&trustvo.Concept{
+		Name:            "Texas_DriverLicense",
+		Implementations: []trustvo.Implementation{{CredType: "TexasDrivingLicense"}},
+	})
+	o.MustAddIsA("Texas_DriverLicense", "Civilian_DriverLicense")
+	return o
+}
+
+func main() {
+	log.SetFlags(0)
+	ca := trustvo.MustNewAuthority("CertCA")
+
+	// ---- Algorithm 1 in isolation ----
+	fmt.Println("== Algorithm 1: concept -> credential mapping ==")
+	profile := trustvo.NewProfile("AerospaceCo")
+	profile.Add(
+		ca.MustIssue(trustvo.IssueRequest{
+			Type: "ISO 9000 Certified", Holder: "AerospaceCo",
+			Sensitivity: trustvo.SensitivityLow,
+			Attributes:  []trustvo.Attribute{{Name: "QualityRegulation", Value: "UNI EN ISO 9000"}},
+		}),
+		ca.MustIssue(trustvo.IssueRequest{
+			Type: "Passport", Holder: "AerospaceCo",
+			Sensitivity: trustvo.SensitivityHigh,
+			Attributes:  []trustvo.Attribute{{Name: "gender", Value: "F"}},
+		}),
+		ca.MustIssue(trustvo.IssueRequest{
+			Type: "DrivingLicense", Holder: "AerospaceCo",
+			Sensitivity: trustvo.SensitivityMedium,
+			Attributes:  []trustvo.Attribute{{Name: "sex", Value: "F"}},
+		}),
+	)
+	mapper := &trustvo.Mapper{Ontology: referenceOntology(), Profile: profile}
+
+	for _, concept := range []string{"quality-certification", "gender", "QualityCertification"} {
+		m, err := mapper.MapConcept(concept)
+		if err != nil {
+			log.Fatalf("  %s: %v", concept, err)
+		}
+		fmt.Printf("  concept %-24q -> local concept %-24q (confidence %.2f) -> credential %q (%s)\n",
+			concept, m.Matched, m.Confidence, m.Credential.Type, m.Credential.Sensitivity)
+	}
+	fmt.Println("  note: gender resolved to the DrivingLicense, not the Passport —")
+	fmt.Println("        CredCluster prefers the lower-sensitivity implementation.")
+
+	// ---- dictionary (§4.3): exact synonyms skip similarity matching ----
+	fmt.Println("\n== dictionary synonyms ==")
+	if err := mapper.Ontology.AddSynonym("certificazione-di-qualita", "quality-certification"); err != nil {
+		log.Fatal(err)
+	}
+	syn, err := mapper.MapConcept("certificazione-di-qualita")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %q resolved by dictionary -> %q (confidence %.2f)\n",
+		"certificazione-di-qualita", syn.Matched, syn.Confidence)
+
+	// ---- similarity matching across naming schemes ----
+	fmt.Println("\n== GLUE-style Jaccard similarity (ComputeSimilarity) ==")
+	a := &trustvo.Concept{Name: "quality-certification", Attributes: []string{"regulation"}}
+	for _, b := range []*trustvo.Concept{
+		{Name: "QualityCertification", Attributes: []string{"regulation"}},
+		{Name: "QualityCertificate"},
+		{Name: "storage-capacity"},
+	} {
+		fmt.Printf("  sim(%q, %q) = %.2f\n", a.Name, b.Name, trustvo.ComputeSimilarity(a, b))
+	}
+
+	// ---- full concept-level negotiation ----
+	fmt.Println("\n== concept-level trust negotiation ==")
+	aerospace := &trustvo.Party{
+		Name:     "AerospaceCo",
+		Profile:  profile,
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(ca),
+		Mapper:   mapper,
+	}
+	aircraftProfile := trustvo.NewProfile("AircraftCo")
+	aircraft := &trustvo.Party{
+		Name:    "AircraftCo",
+		Profile: aircraftProfile,
+		// The concrete policy names WebDesignerQuality, a credential the
+		// aerospace company does NOT hold under that name…
+		Policies: trustvo.MustPolicySet(trustvo.MustParsePolicies(
+			"VoMembership <- WebDesignerQuality(regulation='UNI EN ISO 9000')",
+		)...),
+		Trust:  trustvo.NewTrustStore(ca),
+		Mapper: &trustvo.Mapper{Ontology: referenceOntology(), Profile: aircraftProfile},
+		// …but with AbstractLevels the policy is sent as the
+		// quality-certification concept, which Algorithm 1 maps onto the
+		// aerospace company's ISO 9000 credential.
+		AbstractLevels: 1,
+		Grant: func(resource, peer string) ([]byte, error) {
+			return []byte("membership-for-" + peer), nil
+		},
+	}
+
+	// Show what actually goes on the wire.
+	concrete := aircraft.Policies.For("VoMembership")[0]
+	abstracted := trustvo.AbstractPolicy(concrete, aircraft.Mapper.Ontology, 1)
+	fmt.Printf("  concrete policy:   %s\n", concrete)
+	fmt.Printf("  abstracted policy: %s\n", abstracted)
+
+	out, _, err := trustvo.Negotiate(aerospace, aircraft, "VoMembership")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !out.Succeeded {
+		log.Fatalf("  negotiation failed: %s", out.Reason)
+	}
+	fmt.Printf("  negotiation succeeded in %d rounds; disclosed under the concept: %q\n",
+		out.Rounds, out.Sent[0].Credential.Type)
+	fmt.Printf("  grant: %s\n", out.Grant)
+}

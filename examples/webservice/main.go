@@ -1,0 +1,134 @@
+// Web-service deployment (paper Fig. 5 and §6): the VO Management
+// toolkit — with the TN web service integrated — runs as an HTTP server;
+// a member-edition client publishes its service description, applies for
+// a role, and joins through a trust negotiation transported over the
+// StartNegotiation / PolicyExchange / CredentialExchange operations.
+//
+// The example then re-runs the join WITHOUT the negotiation and prints
+// both timings: a one-shot, human-readable version of the Fig. 9
+// measurement (cmd/benchjoin produces the full table).
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"trustvo"
+)
+
+func main() {
+	log.SetFlags(0)
+	ca := trustvo.MustNewAuthority("CertCA")
+
+	// ---- server side: initiator + toolkit + TN service ----
+	iniParty := &trustvo.Party{
+		Name:     "AircraftCo",
+		Profile:  trustvo.NewProfile("AircraftCo"),
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(ca),
+	}
+	contract := &trustvo.Contract{
+		VOName:    "AircraftOptimizationVO",
+		Goal:      "wing optimization",
+		Initiator: "AircraftCo",
+		Roles: []trustvo.RoleSpec{{
+			Name: "DesignWebPortal", Capabilities: []string{"design-db"}, MinMembers: 1,
+			AdmissionPolicies: trustvo.MustParsePolicies(
+				"M <- WebDesignerQuality(regulation='UNI EN ISO 9000'), AAAMember"),
+		}},
+		Rules: []trustvo.Rule{{Operation: "select-design", Callers: []string{"DesignWebPortal"}}},
+	}
+	ini, err := trustvo.NewInitiator(contract, iniParty, trustvo.NewRegistry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ini.VO.StartFormation(); err != nil {
+		log.Fatal(err)
+	}
+	tk := trustvo.NewToolkitService(ini)
+	mux := http.NewServeMux()
+	tk.Register(mux)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("toolkit + TN service listening on %s\n", base)
+	fmt.Println("  TN operations: /tn/start /tn/policyExchange /tn/credentialExchange /tn/status")
+	fmt.Println("  toolkit:       /registry/* /vo/*")
+
+	// ---- member side ----
+	prof := trustvo.NewProfile("AerospaceCo")
+	prof.Add(
+		ca.MustIssue(trustvo.IssueRequest{
+			Type: "WebDesignerQuality", Holder: "AerospaceCo",
+			Attributes: []trustvo.Attribute{{Name: "regulation", Value: "UNI EN ISO 9000"}},
+		}),
+		ca.MustIssue(trustvo.IssueRequest{Type: "AAAMember", Holder: "AerospaceCo"}),
+	)
+	member := &trustvo.MemberClient{
+		BaseURL: base,
+		Party: &trustvo.Party{
+			Name:     "AerospaceCo",
+			Profile:  prof,
+			Policies: trustvo.MustPolicySet(),
+			Trust:    trustvo.NewTrustStore(ca),
+		},
+	}
+	if err := member.Publish(&trustvo.Description{
+		Provider: "AerospaceCo", Service: "Design Partner Web Portal",
+		Capabilities: []string{"design-db"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmember published its service description (preparation phase)")
+
+	// Join WITH the integrated trust negotiation.
+	t0 := time.Now()
+	der, out, err := member.Join("DesignWebPortal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	withTN := time.Since(t0)
+	tok, err := ini.VO.Authority.VerifyMembership(der)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoin WITH trust negotiation: %v (%d TN rounds)\n", withTN, out.Rounds)
+	fmt.Printf("  X.509 membership token: member=%s role=%s vo=%s (%d bytes DER)\n",
+		tok.Member, tok.Role, tok.VO, len(der))
+	for _, d := range out.Sent {
+		fmt.Printf("  disclosed to the initiator: %s\n", d.Credential.Type)
+	}
+
+	// Baseline: the pre-integration join (no TN).
+	if err := ini.VO.Remove("AerospaceCo"); err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	if _, _, err := member.Apply("DesignWebPortal"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := member.JoinDirect("DesignWebPortal"); err != nil {
+		log.Fatal(err)
+	}
+	baseline := time.Since(t0)
+	fmt.Printf("\njoin WITHOUT trust negotiation: %v\n", baseline)
+	fmt.Printf("\nFig. 9 one-shot: overhead of the integrated TN = %v (%.1fx the baseline join)\n",
+		withTN-baseline, float64(withTN)/float64(baseline))
+
+	phase, members, err := member.VOStatus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VO status: phase=%s members=%d\n", phase, members)
+}

@@ -1,0 +1,3 @@
+module trustvo
+
+go 1.22

@@ -1,0 +1,215 @@
+// Package cli loads and saves the file-based configuration used by the
+// command-line tools (cmd/tnserve, cmd/voctl, cmd/xtnl): negotiation
+// parties, credential authorities and VO contracts.
+//
+// A party directory holds:
+//
+//	party.xml      <party name=… strategy=…><holderKey>b64 ed25519 private</holderKey></party>
+//	profile.xml    the X-Profile (credentials)
+//	policies.tnl   disclosure policies in DSL form ('#' comments allowed)
+//	roots.xml      <trustRoots><root name=… key=b64/></trustRoots>
+//	ontology.xml   optional OWL-sketch ontology (enables the semantic layer)
+//
+// An authority file holds the CA name and its Ed25519 private key.
+package cli
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/ontology"
+	"trustvo/internal/pki"
+	"trustvo/internal/vo"
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xtnl"
+)
+
+// Party directory file names.
+const (
+	PartyFile    = "party.xml"
+	ProfileFile  = "profile.xml"
+	PoliciesFile = "policies.tnl"
+	RootsFile    = "roots.xml"
+	OntologyFile = "ontology.xml"
+	ContractFile = "contract.xml"
+)
+
+// LoadParty reads a party directory into a negotiation.Party.
+func LoadParty(dir string) (*negotiation.Party, error) {
+	meta, err := readXML(filepath.Join(dir, PartyFile))
+	if err != nil {
+		return nil, err
+	}
+	if meta.Name != "party" {
+		return nil, fmt.Errorf("cli: %s: root element <%s>, want <party>", PartyFile, meta.Name)
+	}
+	p := &negotiation.Party{Name: meta.AttrOr("name", "")}
+	if p.Name == "" {
+		return nil, fmt.Errorf("cli: %s: party without name", PartyFile)
+	}
+	if p.Strategy, err = negotiation.ParseStrategy(meta.AttrOr("strategy", "standard")); err != nil {
+		return nil, fmt.Errorf("cli: %s: %w", PartyFile, err)
+	}
+	if hk := meta.ChildText("holderKey"); hk != "" {
+		raw, err := base64.StdEncoding.DecodeString(hk)
+		if err != nil || len(raw) != ed25519.PrivateKeySize {
+			return nil, fmt.Errorf("cli: %s: invalid holderKey", PartyFile)
+		}
+		priv := ed25519.PrivateKey(raw)
+		p.Keys = &pki.KeyPair{Private: priv, Public: priv.Public().(ed25519.PublicKey)}
+	}
+
+	profText, err := os.ReadFile(filepath.Join(dir, ProfileFile))
+	if err != nil {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	if p.Profile, err = xtnl.ParseProfile(string(profText)); err != nil {
+		return nil, fmt.Errorf("cli: %s: %w", ProfileFile, err)
+	}
+
+	polText, err := os.ReadFile(filepath.Join(dir, PoliciesFile))
+	if err != nil {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	pols, err := xtnl.ParsePolicies(string(polText))
+	if err != nil {
+		return nil, fmt.Errorf("cli: %s: %w", PoliciesFile, err)
+	}
+	if p.Policies, err = xtnl.NewPolicySet(pols...); err != nil {
+		return nil, fmt.Errorf("cli: %s: %w", PoliciesFile, err)
+	}
+
+	roots, err := readXML(filepath.Join(dir, RootsFile))
+	if err != nil {
+		return nil, err
+	}
+	if roots.Name != "trustRoots" {
+		return nil, fmt.Errorf("cli: %s: root element <%s>, want <trustRoots>", RootsFile, roots.Name)
+	}
+	p.Trust = pki.NewTrustStore()
+	for _, r := range roots.Childs("root") {
+		key, err := base64.StdEncoding.DecodeString(r.AttrOr("key", ""))
+		if err != nil || len(key) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("cli: %s: invalid key for root %q", RootsFile, r.AttrOr("name", ""))
+		}
+		p.Trust.AddRoot(r.AttrOr("name", ""), ed25519.PublicKey(key))
+	}
+
+	if ontText, err := os.ReadFile(filepath.Join(dir, OntologyFile)); err == nil {
+		o, err := ontology.ParseOntology(string(ontText))
+		if err != nil {
+			return nil, fmt.Errorf("cli: %s: %w", OntologyFile, err)
+		}
+		p.Mapper = &ontology.Mapper{Ontology: o, Profile: p.Profile}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	return p, nil
+}
+
+// SaveParty writes a party directory. Trust roots and optional ontology
+// are taken from the party's fields.
+func SaveParty(dir string, p *negotiation.Party) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cli: %w", err)
+	}
+	meta := xmldom.NewElement("party").
+		SetAttr("name", p.Name).
+		SetAttr("strategy", p.Strategy.String())
+	if p.Keys != nil {
+		hk := xmldom.NewElement("holderKey")
+		hk.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(p.Keys.Private)))
+		meta.AppendChild(hk)
+	}
+	if err := writeFile(filepath.Join(dir, PartyFile), meta.Indented()); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, ProfileFile), p.Profile.DOM().Indented()); err != nil {
+		return err
+	}
+	var pol string
+	for _, rule := range p.Policies.All() {
+		pol += rule.String() + "\n"
+	}
+	if err := writeFile(filepath.Join(dir, PoliciesFile), pol); err != nil {
+		return err
+	}
+	roots := xmldom.NewElement("trustRoots")
+	for _, name := range p.Trust.Roots() {
+		key, _ := p.Trust.KeyFor(name)
+		roots.AppendChild(xmldom.NewElement("root").
+			SetAttr("name", name).
+			SetAttr("key", base64.StdEncoding.EncodeToString(key)))
+	}
+	if err := writeFile(filepath.Join(dir, RootsFile), roots.Indented()); err != nil {
+		return err
+	}
+	if p.Mapper != nil {
+		if err := writeFile(filepath.Join(dir, OntologyFile), p.Mapper.Ontology.DOM().Indented()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveAuthority persists a credential authority (name + private key).
+func SaveAuthority(path string, a *pki.Authority) error {
+	root := xmldom.NewElement("authority").SetAttr("name", a.Name)
+	priv := xmldom.NewElement("private")
+	priv.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(a.Keys.Private)))
+	root.AppendChild(priv)
+	return writeFile(path, root.Indented())
+}
+
+// LoadAuthority restores a credential authority.
+func LoadAuthority(path string) (*pki.Authority, error) {
+	root, err := readXML(path)
+	if err != nil {
+		return nil, err
+	}
+	if root.Name != "authority" {
+		return nil, fmt.Errorf("cli: %s: root element <%s>, want <authority>", path, root.Name)
+	}
+	raw, err := base64.StdEncoding.DecodeString(root.ChildText("private"))
+	if err != nil || len(raw) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("cli: %s: invalid private key", path)
+	}
+	priv := ed25519.PrivateKey(raw)
+	return &pki.Authority{
+		Name: root.AttrOr("name", ""),
+		Keys: &pki.KeyPair{Private: priv, Public: priv.Public().(ed25519.PublicKey)},
+	}, nil
+}
+
+// LoadContract reads a contract.xml.
+func LoadContract(path string) (*vo.Contract, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	return vo.ParseContract(string(text))
+}
+
+func readXML(path string) (*xmldom.Node, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	root, err := xmldom.ParseString(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("cli: %s: %w", path, err)
+	}
+	return root, nil
+}
+
+func writeFile(path, content string) error {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return fmt.Errorf("cli: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/ontology"
+	"trustvo/internal/pki"
+	"trustvo/internal/xtnl"
+)
+
+func TestPartySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ca := pki.MustNewAuthority("CertCA")
+	keys := pki.MustGenerateKeyPair()
+	prof := xtnl.NewProfile("alice")
+	prof.Add(ca.MustIssue(pki.IssueRequest{
+		Type: "EmployeeBadge", Holder: "alice", HolderKey: keys.Public,
+		Attributes: []xtnl.Attribute{{Name: "dept", Value: "R&D"}},
+	}))
+	o := ontology.New()
+	o.MustAdd(&ontology.Concept{Name: "badge",
+		Implementations: []ontology.Implementation{{CredType: "EmployeeBadge"}}})
+	p := &negotiation.Party{
+		Name:     "alice",
+		Strategy: negotiation.Trusting,
+		Profile:  prof,
+		Policies: xtnl.MustPolicySet(xtnl.MustParsePolicies("EmployeeBadge <- CounterpartBadge")...),
+		Trust:    pki.NewTrustStore(ca),
+		Keys:     keys,
+		Mapper:   &ontology.Mapper{Ontology: o, Profile: prof},
+	}
+	if err := SaveParty(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadParty(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Name != "alice" || re.Strategy != negotiation.Trusting {
+		t.Fatalf("meta lost: %+v", re)
+	}
+	if re.Profile.Len() != 1 || re.Profile.All()[0].Type != "EmployeeBadge" {
+		t.Fatalf("profile lost: %+v", re.Profile.All())
+	}
+	if re.Policies.Len() != 1 {
+		t.Fatalf("policies lost: %d", re.Policies.Len())
+	}
+	if re.Keys == nil || string(re.Keys.Public) != string(keys.Public) {
+		t.Fatal("holder key lost")
+	}
+	if re.Mapper == nil || re.Mapper.Ontology.Len() != 1 {
+		t.Fatal("ontology lost")
+	}
+	// the reloaded credentials still verify
+	if err := re.Trust.Verify(re.Profile.All()[0], time.Now()); err != nil {
+		t.Fatalf("reloaded credential does not verify: %v", err)
+	}
+}
+
+func TestLoadPartyErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	write(PartyFile, "<wrong/>")
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("wrong party root accepted")
+	}
+	write(PartyFile, `<party/>`)
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("nameless party accepted")
+	}
+	write(PartyFile, `<party name="a" strategy="bogus"/>`)
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	write(PartyFile, `<party name="a"><holderKey>!!</holderKey></party>`)
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("bad holder key accepted")
+	}
+	write(PartyFile, `<party name="a"/>`)
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("missing profile accepted")
+	}
+	write(ProfileFile, `<X-Profile owner="a"/>`)
+	write(PoliciesFile, "broken <-")
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("broken policies accepted")
+	}
+	write(PoliciesFile, "# empty\n")
+	write(RootsFile, `<trustRoots><root name="x" key="!!"/></trustRoots>`)
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("bad root key accepted")
+	}
+	write(RootsFile, `<trustRoots/>`)
+	write(OntologyFile, "not xml")
+	if _, err := LoadParty(dir); err == nil {
+		t.Fatal("broken ontology accepted")
+	}
+	os.Remove(filepath.Join(dir, OntologyFile))
+	if _, err := LoadParty(dir); err != nil {
+		t.Fatalf("minimal valid party rejected: %v", err)
+	}
+}
+
+func TestAuthoritySaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ca.xml")
+	ca := pki.MustNewAuthority("CertCA")
+	cred := ca.MustIssue(pki.IssueRequest{Type: "T", Holder: "h"})
+	if err := SaveAuthority(path, ca); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadAuthority(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Name != "CertCA" {
+		t.Fatalf("name lost: %q", re.Name)
+	}
+	// the reloaded authority verifies what the original issued and can
+	// itself issue verifiable credentials
+	ts := pki.NewTrustStore(re)
+	if err := ts.Verify(cred, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	cred2, err := re.Issue(pki.IssueRequest{Type: "T2", Holder: "h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pki.NewTrustStore(ca).Verify(cred2, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAuthority(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteDemoIsRunnable(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDemo(dir); err != nil {
+		t.Fatal(err)
+	}
+	member, err := LoadParty(filepath.Join(dir, "member"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initiator, err := LoadParty(filepath.Join(dir, "initiator"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	contract, err := LoadContract(filepath.Join(dir, "initiator", ContractFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contract.VOName != "AircraftOptimizationVO" {
+		t.Fatalf("contract = %+v", contract)
+	}
+	// the generated materials support a successful admission negotiation
+	res := "VoMembership/AircraftOptimizationVO/DesignWebPortal"
+	for _, p := range contract.Roles[0].AdmissionPolicies {
+		cp := *p
+		cp.Resource = res
+		if err := initiator.Policies.Add(&cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, _, err := negotiation.Run(member, initiator, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded {
+		t.Fatalf("demo negotiation failed: %s", out.Reason)
+	}
+}
+
+func TestLoadContractErrors(t *testing.T) {
+	if _, err := LoadContract(filepath.Join(t.TempDir(), "nope.xml")); err == nil {
+		t.Fatal("missing contract accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/pki"
+	"trustvo/internal/vo"
+	"trustvo/internal/xtnl"
+)
+
+// WriteDemo generates a ready-to-run Aircraft Optimization workspace
+// under dir:
+//
+//	dir/ca.xml          the certification authority
+//	dir/initiator/      the Aircraft company (VO Initiator) + contract.xml
+//	dir/member/         the Aerospace company (Design Web Portal candidate)
+//
+// After generation:
+//
+//	voctl serve -party dir/initiator -contract dir/initiator/contract.xml
+//	voctl join  -party dir/member -url http://localhost:8080 -role DesignWebPortal
+func WriteDemo(dir string) error {
+	ca, err := pki.NewAuthority("CertCA")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cli: %w", err)
+	}
+	if err := SaveAuthority(filepath.Join(dir, "ca.xml"), ca); err != nil {
+		return err
+	}
+
+	memberKeys, err := pki.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	memberProfile := xtnl.NewProfile("AerospaceCo")
+	wdq, err := ca.Issue(pki.IssueRequest{
+		Type: "WebDesignerQuality", Holder: "AerospaceCo", HolderKey: memberKeys.Public,
+		Attributes: []xtnl.Attribute{{Name: "regulation", Value: "UNI EN ISO 9000"}},
+	})
+	if err != nil {
+		return err
+	}
+	aaa, err := ca.Issue(pki.IssueRequest{
+		Type: "AAAMember", Holder: "AerospaceCo", HolderKey: memberKeys.Public,
+		Sensitivity: xtnl.SensitivityLow,
+	})
+	if err != nil {
+		return err
+	}
+	memberProfile.Add(wdq, aaa)
+	member := &negotiation.Party{
+		Name:     "AerospaceCo",
+		Profile:  memberProfile,
+		Policies: xtnl.MustPolicySet(), // quality credential freely disclosable in the demo
+		Trust:    pki.NewTrustStore(ca),
+		Keys:     memberKeys,
+	}
+	if err := SaveParty(filepath.Join(dir, "member"), member); err != nil {
+		return err
+	}
+
+	iniKeys, err := pki.GenerateKeyPair()
+	if err != nil {
+		return err
+	}
+	iniProfile := xtnl.NewProfile("AircraftCo")
+	acc, err := ca.Issue(pki.IssueRequest{
+		Type: "AAAccreditation", Holder: "AircraftCo", HolderKey: iniKeys.Public,
+		Sensitivity: xtnl.SensitivityLow,
+	})
+	if err != nil {
+		return err
+	}
+	iniProfile.Add(acc)
+	initiator := &negotiation.Party{
+		Name:     "AircraftCo",
+		Profile:  iniProfile,
+		Policies: xtnl.MustPolicySet(),
+		Trust:    pki.NewTrustStore(ca),
+		Keys:     iniKeys,
+	}
+	iniDir := filepath.Join(dir, "initiator")
+	if err := SaveParty(iniDir, initiator); err != nil {
+		return err
+	}
+	contract := &vo.Contract{
+		VOName:    "AircraftOptimizationVO",
+		Goal:      "low-emission, fuel-efficient wing design",
+		Initiator: "AircraftCo",
+		Roles: []vo.RoleSpec{
+			{Name: "DesignWebPortal", Capabilities: []string{"design-db"}, MinMembers: 1,
+				AdmissionPolicies: xtnl.MustParsePolicies(
+					"M <- WebDesignerQuality(regulation='UNI EN ISO 9000'), AAAMember")},
+			{Name: "Storage", MinMembers: 0,
+				AdmissionPolicies: xtnl.MustParsePolicies("M <- DELIV")},
+		},
+		Rules: []vo.Rule{
+			{Operation: "optimize", Callers: []string{"DesignWebPortal"}},
+			{Operation: "store", Target: "Storage"},
+		},
+	}
+	return writeFile(filepath.Join(iniDir, ContractFile), contract.DOM().Indented())
+}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/pki"
+	"trustvo/internal/vo"
+	"trustvo/internal/vo/registry"
+	"trustvo/internal/xtnl"
+)
+
+// scenario builds the Aircraft Optimization VO of §3: the Aircraft
+// company initiates; the Aerospace company (Design Web Portal), a design
+// optimization consultancy, an HPC provider and a storage provider are
+// the candidates.
+type scenario struct {
+	qualityCA *pki.Authority
+	certCA    *pki.Authority
+
+	reg *registry.Registry
+	ini *Initiator
+
+	aerospace *MemberAgent
+	optimizer *MemberAgent
+	hpc       *MemberAgent
+	storage   *MemberAgent
+}
+
+func trust(t testing.TB, cas ...*pki.Authority) *pki.TrustStore {
+	t.Helper()
+	return pki.NewTrustStore(cas...)
+}
+
+func (s *scenario) agents() map[string]*MemberAgent {
+	return map[string]*MemberAgent{
+		"AerospaceCo": s.aerospace,
+		"OptimizeCo":  s.optimizer,
+		"HPCCo":       s.hpc,
+		"StorageCo":   s.storage,
+	}
+}
+
+func newScenario(t testing.TB) *scenario {
+	t.Helper()
+	s := &scenario{
+		qualityCA: pki.MustNewAuthority("QualityCA"),
+		certCA:    pki.MustNewAuthority("CertCA"),
+		reg:       registry.New(),
+	}
+	mkAgent := func(name, service string, caps []string, creds ...*xtnl.Credential) *MemberAgent {
+		prof := xtnl.NewProfile(name)
+		prof.Add(creds...)
+		p := &negotiation.Party{
+			Name:     name,
+			Profile:  prof,
+			Policies: xtnl.MustPolicySet(),
+			Trust:    trust(t, s.qualityCA, s.certCA),
+		}
+		return NewMemberAgent(p, &registry.Description{
+			Provider: name, Service: service, Capabilities: caps,
+		})
+	}
+	s.aerospace = mkAgent("AerospaceCo", "DesignPortal", []string{"design-db"},
+		s.qualityCA.MustIssue(pki.IssueRequest{
+			Type: "WebDesignerQuality", Holder: "AerospaceCo",
+			Attributes: []xtnl.Attribute{{Name: "regulation", Value: "UNI EN ISO 9000"}},
+		}),
+		s.certCA.MustIssue(pki.IssueRequest{
+			Type: "ISO 9000 Certified", Holder: "AerospaceCo",
+			Attributes: []xtnl.Attribute{{Name: "QualityRegulation", Value: "UNI EN ISO 9000"}},
+		}),
+	)
+	s.optimizer = mkAgent("OptimizeCo", "DesignOptimization", []string{"optimization"},
+		s.certCA.MustIssue(pki.IssueRequest{Type: "OptimizationLicense", Holder: "OptimizeCo"}),
+		s.certCA.MustIssue(pki.IssueRequest{Type: "PrivacyRegulator", Holder: "OptimizeCo"}),
+	)
+	s.hpc = mkAgent("HPCCo", "NumericalSimulation", []string{"simulation"},
+		s.certCA.MustIssue(pki.IssueRequest{Type: "HPCCertification", Holder: "HPCCo"}))
+	s.storage = mkAgent("StorageCo", "IndustrialStorage", []string{"storage"})
+
+	contract := &vo.Contract{
+		VOName:    "AircraftOptimizationVO",
+		Goal:      "low-emission, fuel-efficient wing design",
+		Initiator: "AircraftCo",
+		Roles: []vo.RoleSpec{
+			{Name: "DesignWebPortal", Capabilities: []string{"design-db"}, MinMembers: 1,
+				AdmissionPolicies: xtnl.MustParsePolicies("Membership <- WebDesignerQuality(regulation='UNI EN ISO 9000')")},
+			{Name: "DesignOptimization", Capabilities: []string{"optimization"}, MinMembers: 1,
+				AdmissionPolicies: xtnl.MustParsePolicies("Membership <- OptimizationLicense")},
+			{Name: "HPC", Capabilities: []string{"simulation"}, MinMembers: 1, MaxMembers: 2,
+				AdmissionPolicies: xtnl.MustParsePolicies("Membership <- HPCCertification")},
+			{Name: "Storage", Capabilities: []string{"storage"}, MinMembers: 1,
+				AdmissionPolicies: xtnl.MustParsePolicies("Membership <- DELIV")},
+		},
+		Rules: []vo.Rule{
+			{Operation: "optimize", Callers: []string{"DesignWebPortal", "DesignOptimization"}, Target: "HPC"},
+			{Operation: "store", Target: "Storage"},
+		},
+	}
+	iniParty := &negotiation.Party{
+		Name:     "AircraftCo",
+		Profile:  xtnl.NewProfile("AircraftCo"),
+		Policies: xtnl.MustPolicySet(),
+		Trust:    trust(t, s.qualityCA, s.certCA),
+	}
+	iniParty.Profile.Add(s.certCA.MustIssue(pki.IssueRequest{
+		Type: "AAAccreditation", Holder: "AircraftCo", Sensitivity: xtnl.SensitivityLow,
+	}))
+	ini, err := NewInitiator(contract, iniParty, s.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ini = ini
+
+	for _, a := range s.agents() {
+		if err := a.Publish(s.reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestLifecycleInterleavingFig3 walks the complete extended lifecycle of
+// Fig. 3: identification (admission policies installed), formation
+// (TN-backed joins), operation (re-validation TN, violation, member
+// replacement TN) and dissolution.
+func TestLifecycleInterleavingFig3(t *testing.T) {
+	s := newScenario(t)
+
+	// Identification: admission policies were installed per role.
+	res := vo.MembershipResource("AircraftOptimizationVO", "DesignWebPortal")
+	if got := s.ini.Party.Policies.For(res); len(got) != 1 {
+		t.Fatalf("admission policies for %s = %d", res, len(got))
+	}
+
+	// Formation: every role filled through TN, then operation starts.
+	if err := s.ini.Form(s.agents(), JoinOptions{Negotiate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.ini.VO.Phase() != vo.Operation {
+		t.Fatalf("phase = %v", s.ini.VO.Phase())
+	}
+	if got := len(s.ini.VO.Members()); got != 4 {
+		t.Fatalf("members = %d", got)
+	}
+	// every member holds a verifiable X.509 token
+	for name, a := range s.agents() {
+		der := a.MembershipToken("AircraftOptimizationVO")
+		if der == nil {
+			t.Fatalf("%s has no membership token", name)
+		}
+		if _, err := s.ini.VerifyPeerMembership(der); err != nil {
+			t.Fatalf("%s token: %v", name, err)
+		}
+	}
+
+	// Operation: the optimizer re-validates the portal's ISO cert via TN
+	// (§5.1 second example). The portal protects the certification
+	// behind the privacy-regulator requirement.
+	s.aerospace.Party.Policies.Add(xtnl.MustParsePolicies("Certification <- PrivacyRegulator")[0])
+	out, err := s.ini.Revalidate(s.optimizer, s.aerospace, "Certification")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded {
+		t.Fatalf("revalidation failed: %s", out.Reason)
+	}
+
+	// A violation lowers the HPC provider's reputation, and it gets
+	// replaced via a fresh formation-style TN (§5.1 third example).
+	now := time.Now()
+	before := s.ini.VO.Reputation.Score("HPCCo", now)
+	s.ini.VO.ReportViolation("HPCCo", "simulate", "quality of service breach", 3)
+	if s.ini.VO.Reputation.Score("HPCCo", now) >= before {
+		t.Fatal("violation did not lower reputation")
+	}
+	newHPCParty := &negotiation.Party{
+		Name:     "BetterHPCCo",
+		Profile:  xtnl.NewProfile("BetterHPCCo"),
+		Policies: xtnl.MustPolicySet(),
+		Trust:    trust(t, s.qualityCA, s.certCA),
+	}
+	newHPCParty.Profile.Add(s.certCA.MustIssue(pki.IssueRequest{Type: "HPCCertification", Holder: "BetterHPCCo"}))
+	newHPC := NewMemberAgent(newHPCParty, &registry.Description{Provider: "BetterHPCCo", Service: "Sim", Capabilities: []string{"simulation"}})
+	newHPC.Publish(s.reg)
+	m, err := s.ini.Replace("HPCCo", []*MemberAgent{newHPC}, JoinOptions{Negotiate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "BetterHPCCo" || s.ini.VO.Member("HPCCo") != nil {
+		t.Fatalf("replacement: %+v", m)
+	}
+
+	// Dissolution.
+	if err := s.ini.VO.Dissolve(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ini.VO.Phase() != vo.Dissolution {
+		t.Fatalf("phase = %v", s.ini.VO.Phase())
+	}
+}
+
+// TestFormationSequenceFig4 checks the Fig. 4 message sequence for a
+// single candidate: invitation delivered, mutual acceptance, TN run,
+// membership token released on success.
+func TestFormationSequenceFig4(t *testing.T) {
+	s := newScenario(t)
+	if err := s.ini.VO.StartFormation(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, out, err := s.ini.Join(s.aerospace, "DesignWebPortal", JoinOptions{Negotiate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// invitation reached the mailbox
+	inbox := s.aerospace.Mailbox()
+	if len(inbox) != 1 || inbox[0].Role != "DesignWebPortal" || inbox[0].VO != "AircraftOptimizationVO" {
+		t.Fatalf("mailbox = %+v", inbox)
+	}
+	// a real negotiation ran
+	if out == nil || out.Rounds == 0 {
+		t.Fatalf("no negotiation rounds recorded: %+v", out)
+	}
+	// the initiator received and verified the quality credential
+	if m.Role != "DesignWebPortal" {
+		t.Fatalf("member = %+v", m)
+	}
+	// the grant is the member's X.509 token
+	tok, err := s.ini.VO.Authority.VerifyMembership(out.Grant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Member != "AerospaceCo" || tok.Role != "DesignWebPortal" {
+		t.Fatalf("token = %+v", tok)
+	}
+}
+
+func TestJoinMutualAcceptance(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	s.aerospace.AcceptInvitation = func(inv *Invitation) bool {
+		return inv.VO != "AircraftOptimizationVO" // declines this VO
+	}
+	_, _, err := s.ini.Join(s.aerospace, "DesignWebPortal", JoinOptions{Negotiate: true})
+	if !errors.Is(err, ErrDeclined) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.ini.VO.Member("AerospaceCo") != nil {
+		t.Fatal("declined candidate admitted")
+	}
+}
+
+func TestJoinRequiresPublication(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	s.reg.Withdraw("AerospaceCo")
+	_, _, err := s.ini.Join(s.aerospace, "DesignWebPortal", JoinOptions{Negotiate: true})
+	if !errors.Is(err, ErrNotPublished) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJoinFailedNegotiationNotAdmitted(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	// the storage provider lacks the HPC certification
+	_, out, err := s.ini.Join(s.storage, "HPC", JoinOptions{Negotiate: true})
+	if !errors.Is(err, ErrNegotiation) {
+		t.Fatalf("err = %v", err)
+	}
+	if out == nil || out.Succeeded {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if s.ini.VO.Member("StorageCo") != nil {
+		t.Fatal("failed negotiator admitted")
+	}
+}
+
+func TestJoinWithoutNegotiationBaseline(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	m, out, err := s.ini.Join(s.hpc, "HPC", JoinOptions{Negotiate: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Fatal("baseline join should not negotiate")
+	}
+	if m.Role != "HPC" || s.hpc.MembershipToken("AircraftOptimizationVO") == nil {
+		t.Fatalf("baseline join incomplete: %+v", m)
+	}
+}
+
+func TestJoinFirstFallsBack(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	// storage (no HPC cert) fails, hpc succeeds
+	m, err := s.ini.JoinFirst([]*MemberAgent{s.storage, s.hpc}, "HPC", JoinOptions{Negotiate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "HPCCo" {
+		t.Fatalf("joined = %s", m.Name)
+	}
+	// all candidates failing surfaces every error
+	_, err = s.ini.JoinFirst([]*MemberAgent{s.storage}, "DesignOptimization", JoinOptions{Negotiate: true})
+	if err == nil || !strings.Contains(err.Error(), "StorageCo") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJoinConcurrentKeepsCapacity(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	// two capable HPC candidates, role capacity 2
+	otherParty := &negotiation.Party{
+		Name:     "HPC2Co",
+		Profile:  xtnl.NewProfile("HPC2Co"),
+		Policies: xtnl.MustPolicySet(),
+		Trust:    trust(t, s.qualityCA, s.certCA),
+	}
+	otherParty.Profile.Add(s.certCA.MustIssue(pki.IssueRequest{Type: "HPCCertification", Holder: "HPC2Co"}))
+	other := NewMemberAgent(otherParty, &registry.Description{Provider: "HPC2Co", Service: "Sim", Capabilities: []string{"simulation"}})
+	other.Publish(s.reg)
+
+	members, err := s.ini.JoinConcurrent([]*MemberAgent{s.hpc, other}, "HPC", JoinOptions{Negotiate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("concurrent joins = %d", len(members))
+	}
+	// all-failure case
+	_, err = s.ini.JoinConcurrent([]*MemberAgent{s.storage}, "DesignOptimization", JoinOptions{Negotiate: true})
+	if err == nil {
+		t.Fatal("expected concurrent join failure")
+	}
+}
+
+func TestRevalidateFailureLowersReputation(t *testing.T) {
+	s := newScenario(t)
+	if err := s.ini.Form(s.agents(), JoinOptions{Negotiate: true}); err != nil {
+		t.Fatal(err)
+	}
+	// aerospace protects Certification behind something the optimizer lacks
+	s.aerospace.Party.Policies.Add(xtnl.MustParsePolicies("Certification <- SomethingRare")[0])
+	now := time.Now()
+	before := s.ini.VO.Reputation.Score("AerospaceCo", now)
+	out, err := s.ini.Revalidate(s.optimizer, s.aerospace, "Certification")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded {
+		t.Fatal("revalidation should fail")
+	}
+	if s.ini.VO.Reputation.Score("AerospaceCo", now) >= before {
+		t.Fatal("failed revalidation did not lower reputation")
+	}
+}
+
+func TestDiscoverMatchesCapabilities(t *testing.T) {
+	s := newScenario(t)
+	descs, err := s.ini.Discover("HPC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 1 || descs[0].Provider != "HPCCo" {
+		t.Fatalf("discover(HPC) = %+v", descs)
+	}
+	if _, err := s.ini.Discover("Nope"); !errors.Is(err, vo.ErrUnknownRole) {
+		t.Fatalf("unknown role: %v", err)
+	}
+}
+
+func TestNewInitiatorRejectsPolicylessRole(t *testing.T) {
+	contract := &vo.Contract{
+		VOName: "V", Initiator: "I",
+		Roles: []vo.RoleSpec{{Name: "R"}},
+	}
+	party := &negotiation.Party{Name: "I", Profile: xtnl.NewProfile("I"), Policies: xtnl.MustPolicySet()}
+	if _, err := NewInitiator(contract, party, registry.New()); err == nil {
+		t.Fatal("role without admission policies accepted")
+	}
+}
+
+func TestGrantRejectsForeignResource(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	if _, err := s.ini.Party.Grant("VoMembership/OtherVO/Role", "peer"); err == nil {
+		t.Fatal("grant for foreign VO accepted")
+	}
+	if _, err := s.ini.Party.Grant("garbage", "peer"); err == nil {
+		t.Fatal("grant for malformed resource accepted")
+	}
+}
+
+func TestReplaceUnknownMember(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.ini.Replace("Nobody", nil, JoinOptions{}); !errors.Is(err, vo.ErrNotMember) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestVOPropertyCredential covers the §8 "credentials that describe VO
+// properties" extension: a candidate's transient formation policy
+// demands proof of the VO's goal before the candidate discloses its
+// quality credential. The initiator answers with its self-signed
+// VO-property credential.
+func TestVOPropertyCredential(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+
+	// The initiator's profile carries the VOProperty credential.
+	prop := s.ini.VOProperty()
+	if prop == nil {
+		t.Fatal("VO-property credential missing")
+	}
+	if v, _ := prop.Attr("voName"); v != "AircraftOptimizationVO" {
+		t.Fatalf("voName = %q", v)
+	}
+	if v, _ := prop.Attr("goal"); v == "" {
+		t.Fatal("goal attribute missing")
+	}
+
+	// Candidate-side transient policy (§5.1): only join VOs whose
+	// property credential names this VO.
+	s.aerospace.Party.Policies.Add(xtnl.MustParsePolicies(
+		"WebDesignerQuality <- VOProperty(voName='AircraftOptimizationVO')")[0])
+	// Without trusting the initiator's self CA, verification fails.
+	if _, _, err := s.ini.Join(s.aerospace, "DesignWebPortal", JoinOptions{Negotiate: true}); err == nil {
+		t.Fatal("VO property accepted without trusting the initiator CA")
+	}
+	// After installing the trust root, the mutual negotiation succeeds.
+	s.aerospace.Party.Trust.AddRoot(s.ini.SelfCA.Name, s.ini.SelfCA.Keys.Public)
+	m, out, err := s.ini.Join(s.aerospace, "DesignWebPortal", JoinOptions{Negotiate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Role != "DesignWebPortal" {
+		t.Fatalf("member = %+v", m)
+	}
+	// the candidate received and verified the VO-property credential
+	found := false
+	for _, d := range out.Received {
+		if d.Credential.Type == VOPropertyType {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("VO property not disclosed: %+v", out.Received)
+	}
+
+	// A candidate demanding a DIFFERENT VO never joins.
+	s.optimizer.Party.Trust.AddRoot(s.ini.SelfCA.Name, s.ini.SelfCA.Keys.Public)
+	s.optimizer.Party.Policies.Add(xtnl.MustParsePolicies(
+		"OptimizationLicense <- VOProperty(voName='SomeOtherVO')")[0])
+	if _, _, err := s.ini.Join(s.optimizer, "DesignOptimization", JoinOptions{Negotiate: true}); err == nil {
+		t.Fatal("joined a VO whose properties fail the transient policy")
+	}
+}
+
+// TestParticipationTicketAcrossVOs implements the §5.1 requirement that
+// admission policies "can require … tickets attesting their
+// participation to other VOs": the aerospace company joins the Aircraft
+// Optimization VO, registers its membership token as a ticket, and then
+// joins a SECOND VO whose admission policy demands proof of that
+// participation.
+func TestParticipationTicketAcrossVOs(t *testing.T) {
+	s := newScenario(t)
+	s.ini.VO.StartFormation()
+	if _, _, err := s.ini.Join(s.aerospace, "DesignWebPortal", JoinOptions{Negotiate: true}); err != nil {
+		t.Fatal(err)
+	}
+	// turn the membership token into a usable credential
+	if err := s.aerospace.RegisterTicket("AircraftOptimizationVO"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second VO requires the ticket for admission.
+	contract2 := &vo.Contract{
+		VOName: "FollowUpVO", Initiator: "ConsortiumCo",
+		Roles: []vo.RoleSpec{{
+			Name: "Partner", MinMembers: 1,
+			AdmissionPolicies: xtnl.MustParsePolicies(
+				"M <- VOParticipation(vo='AircraftOptimizationVO')"),
+		}},
+	}
+	ini2Party := &negotiation.Party{
+		Name:     "ConsortiumCo",
+		Profile:  xtnl.NewProfile("ConsortiumCo"),
+		Policies: xtnl.MustPolicySet(),
+		Trust:    trust(t, s.qualityCA, s.certCA),
+	}
+	// the second VO trusts the first VO's membership authority
+	anchorName, anchorKey := s.ini.VO.Authority.TrustAnchor()
+	ini2Party.Trust.AddRoot(anchorName, anchorKey)
+	reg2 := registry.New()
+	ini2, err := NewInitiator(contract2, ini2Party, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini2.VO.StartFormation()
+	if err := s.aerospace.Publish(reg2); err != nil {
+		t.Fatal(err)
+	}
+	m, out, err := ini2.Join(s.aerospace, "Partner", JoinOptions{Negotiate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Role != "Partner" || !out.Succeeded {
+		t.Fatalf("ticket-based join: %+v %+v", m, out)
+	}
+
+	// Without the trust anchor, the ticket is rejected.
+	s.optimizer.Party.Profile.Add(func() *xtnl.Credential {
+		return &xtnl.Credential{Type: "nothing-useful"}
+	}())
+	contract3 := &vo.Contract{
+		VOName: "UntrustingVO", Initiator: "SkepticCo",
+		Roles: []vo.RoleSpec{{
+			Name: "Partner", MinMembers: 1,
+			AdmissionPolicies: xtnl.MustParsePolicies(
+				"M <- VOParticipation(vo='AircraftOptimizationVO')"),
+		}},
+	}
+	ini3Party := &negotiation.Party{
+		Name:     "SkepticCo",
+		Profile:  xtnl.NewProfile("SkepticCo"),
+		Policies: xtnl.MustPolicySet(),
+		Trust:    trust(t, s.qualityCA, s.certCA), // NO anchor for the VO authority
+	}
+	ini3, err := NewInitiator(contract3, ini3Party, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini3.VO.StartFormation()
+	if _, _, err := ini3.Join(s.aerospace, "Partner", JoinOptions{Negotiate: true}); err == nil {
+		t.Fatal("ticket accepted without trust anchor")
+	}
+}
+
+func TestRegisterTicketWithoutJoin(t *testing.T) {
+	s := newScenario(t)
+	if err := s.aerospace.RegisterTicket("NeverJoinedVO"); err == nil {
+		t.Fatal("ticket registered without membership")
+	}
+}

@@ -1,0 +1,224 @@
+package negotiation
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"trustvo/internal/pki"
+	"trustvo/internal/xtnl"
+)
+
+// Adversarial protocol tests: a man-in-the-middle (or buggy peer)
+// mutates messages in flight; the receiving endpoint must fail the
+// negotiation rather than accept the mutation.
+
+// driveWithMITM pumps messages between the endpoints, letting mutate
+// rewrite each message before delivery. It returns the requester outcome.
+func driveWithMITM(t *testing.T, f *fixture, mutate func(step int, m *Message) *Message) *Outcome {
+	t.Helper()
+	rq := NewRequester(f.aerospace, "VoMembership")
+	ct := NewController(f.aircraft)
+	msg, err := rq.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := ct
+	for step := 0; msg != nil && step < 64; step++ {
+		msg = mutate(step, msg)
+		reply, err := to.Handle(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if to == ct {
+			to = rq
+		} else {
+			to = ct
+		}
+		msg = reply
+	}
+	if !rq.Done() {
+		t.Fatal("requester did not finish")
+	}
+	return rq.Outcome()
+}
+
+func TestMITMTamperedSequenceRejected(t *testing.T) {
+	f := newFixture(t)
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		if m.Type == MsgSequence && len(m.Sequence) >= 2 {
+			// swap the disclosure order
+			m.Sequence[0], m.Sequence[1] = m.Sequence[1], m.Sequence[0]
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("tampered trust sequence accepted")
+	}
+	if !strings.Contains(out.Reason, "sequence mismatch") {
+		t.Fatalf("reason = %q", out.Reason)
+	}
+}
+
+func TestMITMSwappedCredentialRejected(t *testing.T) {
+	// Replace the disclosed quality credential with a different (validly
+	// signed) credential that does not satisfy the term.
+	f := newFixture(t)
+	decoy := f.qualityCA.MustIssue(pki.IssueRequest{
+		Type: "WebDesignerQuality", Holder: "AerospaceCo",
+		Attributes: []xtnl.Attribute{{Name: "regulation", Value: "NONE"}},
+	})
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		for i := range m.Disclosures {
+			if m.Disclosures[i].Credential != nil && m.Disclosures[i].Credential.Type == "WebDesignerQuality" {
+				m.Disclosures[i].Credential = decoy
+			}
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("swapped credential accepted")
+	}
+}
+
+func TestMITMForgedSignatureRejected(t *testing.T) {
+	f := newFixture(t)
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		for i := range m.Disclosures {
+			if c := m.Disclosures[i].Credential; c != nil {
+				forged := c.Clone()
+				forged.SetAttr("regulation", "UNI EN ISO 9000") // keep satisfying...
+				forged.Signature[0] ^= 0xFF                     // ...but break the signature
+				m.Disclosures[i].Credential = forged
+			}
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("forged signature accepted")
+	}
+}
+
+func TestMITMInjectedNodeRejected(t *testing.T) {
+	// Injecting an answer for a node the peer does not own must abort.
+	f := newFixture(t)
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		if m.Type == MsgPolicy && step == 2 {
+			m.Answers = append(m.Answers, Answer{NodeID: "r.9.9", Kind: AnswerComply})
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("answer for unknown node accepted")
+	}
+}
+
+func TestMITMDuplicateAnswerRejected(t *testing.T) {
+	f := newFixture(t)
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		if m.Type == MsgPolicy && len(m.Answers) > 0 {
+			m.Answers = append(m.Answers, m.Answers[0])
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("duplicate answer accepted")
+	}
+}
+
+func TestMITMExtraDisclosureRejected(t *testing.T) {
+	// A disclosure beyond the agreed trust sequence must be rejected.
+	f := newFixture(t)
+	extra := f.aaaCA.MustIssue(pki.IssueRequest{Type: "AAAccreditation", Holder: "AircraftCo"})
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		if m.Type == MsgCredential {
+			m.Disclosures = append(m.Disclosures, CredentialDisclosure{
+				NodeID:     "r.0.0.0.0",
+				Credential: extra,
+			})
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("extra disclosure accepted")
+	}
+}
+
+func TestMITMEmptyDisclosureRejected(t *testing.T) {
+	f := newFixture(t)
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		for i := range m.Disclosures {
+			m.Disclosures[i].Credential = nil
+			m.Disclosures[i].Committed = nil
+			m.Disclosures[i].X509 = nil
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("empty disclosure accepted")
+	}
+}
+
+func TestMITMPhaseConfusionRejected(t *testing.T) {
+	// Turning an early policy message into a credential message must be
+	// rejected as out-of-phase.
+	f := newFixture(t)
+	out := driveWithMITM(t, f, func(step int, m *Message) *Message {
+		if step == 1 && m.Type == MsgPolicy {
+			m.Type = MsgCredential
+			m.Answers = nil
+		}
+		return m
+	})
+	if out.Succeeded {
+		t.Fatal("phase confusion accepted")
+	}
+}
+
+// TestPolicyBombBounded: interlocking policies that branch 4-ways at
+// every level (distinct types per level, so the cycle guard never cuts)
+// would grow the negotiation tree to ~4^6 nodes; the MaxTreeNodes bound
+// fails the negotiation long before memory exhaustion.
+func TestPolicyBombBounded(t *testing.T) {
+	f := newFixture(t)
+	f.aerospace.MaxTreeNodes = 64
+	f.aircraft.MaxTreeNodes = 64
+
+	ca := f.qualityCA
+	aeroProf := xtnl.NewProfile("AerospaceCo")
+	aeroProf.Add(f.wdqCred)
+	airProf := xtnl.NewProfile("AircraftCo")
+	var aeroRules, airRules []string
+	aeroRules = append(aeroRules, "WebDesignerQuality <- Bomb0")
+	const depth = 6
+	for i := 0; i <= depth; i++ {
+		name := fmt.Sprintf("Bomb%d", i)
+		next := fmt.Sprintf("Bomb%d", i+1)
+		holder, prof, rules := "AircraftCo", airProf, &airRules
+		if i%2 == 1 {
+			holder, prof, rules = "AerospaceCo", aeroProf, &aeroRules
+		}
+		prof.Add(ca.MustIssue(pki.IssueRequest{Type: name, Holder: holder}))
+		if i < depth {
+			// two alternatives, each a 2-term multiedge: 4 children/node
+			*rules = append(*rules, fmt.Sprintf("%s <- %s, %s | %s, %s", name, next, next, next, next))
+		}
+	}
+	f.aerospace.Profile = aeroProf
+	f.aircraft.Profile = airProf
+	f.aerospace.Policies = xtnl.MustPolicySet(xtnl.MustParsePolicies(joinLines(aeroRules))...)
+	f.aircraft.Policies = xtnl.MustPolicySet(append(
+		xtnl.MustParsePolicies("VoMembership <- WebDesignerQuality"),
+		xtnl.MustParsePolicies(joinLines(airRules))...)...)
+
+	out, _, err := Run(f.aerospace, f.aircraft, "VoMembership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded {
+		t.Fatal("policy bomb negotiation succeeded within an impossible bound")
+	}
+	if !strings.Contains(out.Reason, "exceeds") {
+		t.Fatalf("reason = %q", out.Reason)
+	}
+}

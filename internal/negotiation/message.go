@@ -1,0 +1,435 @@
+package negotiation
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xtnl"
+)
+
+// MsgType enumerates the negotiation protocol messages.
+type MsgType int
+
+const (
+	// MsgRequest opens a negotiation for a resource (requester → controller).
+	MsgRequest MsgType = iota
+	// MsgPolicy carries policy-evaluation answers for open tree nodes.
+	MsgPolicy
+	// MsgContinue keeps the alternation alive when the sender has no new
+	// answers yet (used by the strong-suspicious one-answer pacing).
+	MsgContinue
+	// MsgSequence proposes the agreed trust sequence, ending phase 1.
+	MsgSequence
+	// MsgCredential discloses the sender's next run of credentials in
+	// the trust sequence.
+	MsgCredential
+	// MsgAck acknowledges verified disclosures without disclosing
+	// (carries the challenge nonce for the counterpart's next turn).
+	MsgAck
+	// MsgSuccess ends the negotiation with the resource grant.
+	MsgSuccess
+	// MsgFail aborts the negotiation.
+	MsgFail
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgRequest: "request", MsgPolicy: "policy", MsgContinue: "continue",
+	MsgSequence: "sequence", MsgCredential: "credential", MsgAck: "ack",
+	MsgSuccess: "success", MsgFail: "fail",
+}
+
+func (m MsgType) String() string {
+	if s, ok := msgTypeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", int(m))
+}
+
+func parseMsgType(s string) (MsgType, error) {
+	for k, v := range msgTypeNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("negotiation: unknown message type %q", s)
+}
+
+// AnswerKind discriminates policy-evaluation answers.
+type AnswerKind int
+
+const (
+	// AnswerPolicies: the node is protected; the attached policies must
+	// be satisfied first.
+	AnswerPolicies AnswerKind = iota
+	// AnswerComply: the node will be satisfied freely (and, under the
+	// trusting strategy, the disclosure may be attached immediately).
+	AnswerComply
+	// AnswerDeny: the sender does not possess a satisfying credential or
+	// refuses (also used to cut policy cycles).
+	AnswerDeny
+)
+
+func (k AnswerKind) String() string {
+	switch k {
+	case AnswerPolicies:
+		return "policies"
+	case AnswerComply:
+		return "comply"
+	case AnswerDeny:
+		return "deny"
+	default:
+		return fmt.Sprintf("AnswerKind(%d)", int(k))
+	}
+}
+
+// Answer is one policy-evaluation verdict for a tree node owned by the
+// sender.
+type Answer struct {
+	NodeID   string
+	Kind     AnswerKind
+	Policies []*xtnl.Policy // AnswerPolicies: the protecting alternatives
+	Reason   string         // AnswerDeny: human-readable cause
+	// Disclosure carries the eager credential of a trusting COMPLY.
+	Disclosure *CredentialDisclosure
+}
+
+// CredentialDisclosure is one disclosed credential: either a full
+// credential or a selective disclosure (committed credential + opened
+// attributes), plus an optional ownership proof over the receiver's
+// nonce and any delegation credentials supporting the issuer chain.
+type CredentialDisclosure struct {
+	NodeID string
+	// Credential is the full credential (nil when selective or X.509).
+	Credential *xtnl.Credential
+	// X509 carries the credential as an X.509 v2-style attribute
+	// certificate (DER) instead of X-TNL XML — the §6.3 dual-format
+	// support.
+	X509 []byte
+	// Committed and Opened carry a selective disclosure.
+	Committed *xtnl.Credential
+	Opened    []OpenedAttr
+	// OwnershipProof is the holder-key signature over the receiver's
+	// last nonce.
+	OwnershipProof []byte
+	// Chain holds AuthorityDelegation credentials linking the issuer to
+	// one of the receiver's trust roots.
+	Chain []*xtnl.Credential
+}
+
+// OpenedAttr mirrors pki.OpenedAttr on the wire.
+type OpenedAttr struct {
+	Name  string
+	Value string
+	Salt  []byte
+}
+
+// Message is one protocol message. Messages serialize to XML for the TN
+// web service transport (internal/wsrpc).
+type Message struct {
+	Type     MsgType
+	From     string
+	Resource string   // MsgRequest
+	Strategy Strategy // MsgRequest: requester's strategy (informational)
+	// RequireProof tells the counterpart that this sender demands
+	// ownership proofs on the credentials it receives.
+	RequireProof bool
+	Answers      []Answer // MsgPolicy
+	// Sequence carries the proposed trust sequence node IDs (MsgSequence).
+	Sequence []string
+	// Disclosures carries phase-2 credentials (MsgCredential) .
+	Disclosures []CredentialDisclosure
+	// Nonce is the fresh challenge for the counterpart's next disclosure.
+	Nonce []byte
+	// Grant is the opaque resource payload of MsgSuccess.
+	Grant []byte
+	// Ticket is a trust ticket: presented with MsgRequest to skip the
+	// negotiation, or freshly issued with MsgSuccess.
+	Ticket *Ticket
+	// Reason explains MsgFail.
+	Reason string
+}
+
+// ---- XML codec ----
+
+// DOM serializes the message. The layout is the reproduction's TN wire
+// format: <tnMessage type=… from=…> with one child per populated field.
+func (m *Message) DOM() *xmldom.Node {
+	root := xmldom.NewElement("tnMessage").
+		SetAttr("type", m.Type.String()).
+		SetAttr("from", m.From)
+	if m.Resource != "" {
+		root.SetAttr("resource", m.Resource)
+	}
+	if m.Type == MsgRequest {
+		root.SetAttr("strategy", m.Strategy.String())
+	}
+	if m.RequireProof {
+		root.SetAttr("requireProof", "true")
+	}
+	for _, a := range m.Answers {
+		an := xmldom.NewElement("answer").
+			SetAttr("node", a.NodeID).
+			SetAttr("kind", a.Kind.String())
+		if a.Reason != "" {
+			an.SetAttr("reason", a.Reason)
+		}
+		for _, p := range a.Policies {
+			an.AppendChild(p.DOM())
+		}
+		if a.Disclosure != nil {
+			an.AppendChild(a.Disclosure.dom())
+		}
+		root.AppendChild(an)
+	}
+	if len(m.Sequence) > 0 {
+		seq := xmldom.NewElement("trustSequence")
+		for _, id := range m.Sequence {
+			seq.AppendChild(xmldom.NewElement("entry").SetAttr("node", id))
+		}
+		root.AppendChild(seq)
+	}
+	for _, d := range m.Disclosures {
+		root.AppendChild(d.dom())
+	}
+	if len(m.Nonce) > 0 {
+		n := xmldom.NewElement("nonce")
+		n.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(m.Nonce)))
+		root.AppendChild(n)
+	}
+	if len(m.Grant) > 0 {
+		g := xmldom.NewElement("grant")
+		g.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(m.Grant)))
+		root.AppendChild(g)
+	}
+	if m.Ticket != nil {
+		root.AppendChild(m.Ticket.DOM())
+	}
+	if m.Reason != "" {
+		r := xmldom.NewElement("reason")
+		r.AppendChild(xmldom.NewText(m.Reason))
+		root.AppendChild(r)
+	}
+	return root
+}
+
+func (d *CredentialDisclosure) dom() *xmldom.Node {
+	el := xmldom.NewElement("disclosure").SetAttr("node", d.NodeID)
+	if d.Credential != nil {
+		el.AppendChild(d.Credential.DOM())
+	}
+	if len(d.X509) > 0 {
+		xe := xmldom.NewElement("x509")
+		xe.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(d.X509)))
+		el.AppendChild(xe)
+	}
+	if d.Committed != nil {
+		com := xmldom.NewElement("committed")
+		com.AppendChild(d.Committed.DOM())
+		el.AppendChild(com)
+		for _, o := range d.Opened {
+			oe := xmldom.NewElement("opened").
+				SetAttr("name", o.Name).
+				SetAttr("salt", base64.StdEncoding.EncodeToString(o.Salt))
+			oe.AppendChild(xmldom.NewText(o.Value))
+			el.AppendChild(oe)
+		}
+	}
+	if len(d.OwnershipProof) > 0 {
+		pr := xmldom.NewElement("ownershipProof")
+		pr.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(d.OwnershipProof)))
+		el.AppendChild(pr)
+	}
+	if len(d.Chain) > 0 {
+		ch := xmldom.NewElement("chain")
+		for _, c := range d.Chain {
+			ch.AppendChild(c.DOM())
+		}
+		el.AppendChild(ch)
+	}
+	return el
+}
+
+// XML serializes the message in canonical form.
+func (m *Message) XML() string { return m.DOM().XML() }
+
+// ErrBadMessage reports a malformed wire message.
+var ErrBadMessage = errors.New("negotiation: malformed message")
+
+// ParseMessage decodes a wire message.
+func ParseMessage(xmlText string) (*Message, error) {
+	root, err := xmldom.ParseString(xmlText)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return MessageFromDOM(root)
+}
+
+// MessageFromDOM decodes a message from a parsed tree.
+func MessageFromDOM(root *xmldom.Node) (*Message, error) {
+	if root.Name != "tnMessage" {
+		return nil, fmt.Errorf("%w: root <%s>", ErrBadMessage, root.Name)
+	}
+	mt, err := parseMsgType(root.AttrOr("type", ""))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	m := &Message{
+		Type:         mt,
+		From:         root.AttrOr("from", ""),
+		Resource:     root.AttrOr("resource", ""),
+		RequireProof: root.AttrOr("requireProof", "") == "true",
+	}
+	if st, ok := root.Attr("strategy"); ok {
+		s, err := ParseStrategy(st)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		m.Strategy = s
+	}
+	b64 := func(s string) ([]byte, error) {
+		if s == "" {
+			return nil, nil
+		}
+		return base64.StdEncoding.DecodeString(s)
+	}
+	for _, an := range root.Childs("answer") {
+		a := Answer{NodeID: an.AttrOr("node", ""), Reason: an.AttrOr("reason", "")}
+		switch an.AttrOr("kind", "") {
+		case "policies":
+			a.Kind = AnswerPolicies
+		case "comply":
+			a.Kind = AnswerComply
+		case "deny":
+			a.Kind = AnswerDeny
+		default:
+			return nil, fmt.Errorf("%w: answer kind %q", ErrBadMessage, an.AttrOr("kind", ""))
+		}
+		for _, pe := range an.Childs("policy") {
+			p, err := xtnl.PolicyFromDOM(pe)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			}
+			a.Policies = append(a.Policies, p)
+		}
+		if de := an.Child("disclosure"); de != nil {
+			d, err := disclosureFromDOM(de)
+			if err != nil {
+				return nil, err
+			}
+			a.Disclosure = d
+		}
+		m.Answers = append(m.Answers, a)
+	}
+	if seq := root.Child("trustSequence"); seq != nil {
+		for _, e := range seq.Childs("entry") {
+			m.Sequence = append(m.Sequence, e.AttrOr("node", ""))
+		}
+	}
+	for _, de := range root.Childs("disclosure") {
+		d, err := disclosureFromDOM(de)
+		if err != nil {
+			return nil, err
+		}
+		m.Disclosures = append(m.Disclosures, *d)
+	}
+	if n := root.Child("nonce"); n != nil {
+		if m.Nonce, err = b64(n.Text()); err != nil {
+			return nil, fmt.Errorf("%w: nonce: %v", ErrBadMessage, err)
+		}
+	}
+	if g := root.Child("grant"); g != nil {
+		if m.Grant, err = b64(g.Text()); err != nil {
+			return nil, fmt.Errorf("%w: grant: %v", ErrBadMessage, err)
+		}
+	}
+	if tk := root.Child("ticket"); tk != nil {
+		t, err := ticketFromDOM(tk)
+		if err != nil {
+			return nil, err
+		}
+		m.Ticket = t
+	}
+	if r := root.Child("reason"); r != nil {
+		m.Reason = r.Text()
+	}
+	return m, nil
+}
+
+func disclosureFromDOM(el *xmldom.Node) (*CredentialDisclosure, error) {
+	d := &CredentialDisclosure{NodeID: el.AttrOr("node", "")}
+	if ce := el.Child("credential"); ce != nil {
+		c, err := xtnl.CredentialFromDOM(ce)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		d.Credential = c
+	}
+	if xe := el.Child("x509"); xe != nil {
+		b, err := base64.StdEncoding.DecodeString(strings.TrimSpace(xe.Text()))
+		if err != nil {
+			return nil, fmt.Errorf("%w: x509: %v", ErrBadMessage, err)
+		}
+		d.X509 = b
+	}
+	if com := el.Child("committed"); com != nil {
+		ce := com.Child("credential")
+		if ce == nil {
+			return nil, fmt.Errorf("%w: committed without credential", ErrBadMessage)
+		}
+		c, err := xtnl.CredentialFromDOM(ce)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		}
+		d.Committed = c
+	}
+	for _, oe := range el.Childs("opened") {
+		salt, err := base64.StdEncoding.DecodeString(oe.AttrOr("salt", ""))
+		if err != nil {
+			return nil, fmt.Errorf("%w: opened salt: %v", ErrBadMessage, err)
+		}
+		d.Opened = append(d.Opened, OpenedAttr{
+			Name:  oe.AttrOr("name", ""),
+			Value: oe.Text(),
+			Salt:  salt,
+		})
+	}
+	if pr := el.Child("ownershipProof"); pr != nil {
+		b, err := base64.StdEncoding.DecodeString(pr.Text())
+		if err != nil {
+			return nil, fmt.Errorf("%w: ownership proof: %v", ErrBadMessage, err)
+		}
+		d.OwnershipProof = b
+	}
+	if ch := el.Child("chain"); ch != nil {
+		for _, ce := range ch.Childs("credential") {
+			c, err := xtnl.CredentialFromDOM(ce)
+			if err != nil {
+				return nil, fmt.Errorf("%w: chain: %v", ErrBadMessage, err)
+			}
+			d.Chain = append(d.Chain, c)
+		}
+	}
+	return d, nil
+}
+
+// Summary is a short human-readable rendering for logs.
+func (m *Message) Summary() string {
+	switch m.Type {
+	case MsgRequest:
+		return fmt.Sprintf("request(%s, %s)", m.Resource, m.Strategy)
+	case MsgPolicy:
+		return fmt.Sprintf("policy(%d answers)", len(m.Answers))
+	case MsgCredential:
+		return fmt.Sprintf("credential(%d disclosures)", len(m.Disclosures))
+	case MsgSequence:
+		return fmt.Sprintf("sequence(%d entries)", len(m.Sequence))
+	case MsgFail:
+		return "fail(" + m.Reason + ")"
+	default:
+		return m.Type.String() + "(" + strconv.Itoa(len(m.Disclosures)) + ")"
+	}
+}

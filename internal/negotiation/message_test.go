@@ -1,0 +1,212 @@
+package negotiation
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"trustvo/internal/xtnl"
+)
+
+func TestMessageRoundTripRequest(t *testing.T) {
+	m := &Message{
+		Type:         MsgRequest,
+		From:         "AerospaceCo",
+		Resource:     "VoMembership",
+		Strategy:     Suspicious,
+		RequireProof: true,
+		Nonce:        []byte{1, 2, 3},
+	}
+	re, err := ParseMessage(m.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Type != MsgRequest || re.From != m.From || re.Resource != m.Resource {
+		t.Fatalf("fields lost: %+v", re)
+	}
+	if re.Strategy != Suspicious || !re.RequireProof {
+		t.Fatalf("strategy lost: %+v", re)
+	}
+	if !bytes.Equal(re.Nonce, m.Nonce) {
+		t.Fatalf("nonce lost: %v", re.Nonce)
+	}
+}
+
+func TestMessageRoundTripPolicyAnswers(t *testing.T) {
+	m := &Message{
+		Type: MsgPolicy,
+		From: "AircraftCo",
+		Answers: []Answer{
+			{NodeID: "r", Kind: AnswerPolicies, Policies: []*xtnl.Policy{
+				{Resource: "VoMembership", Terms: []xtnl.Term{
+					{CredType: "WebDesignerQuality", Conditions: []string{"/credential/content/regulation='UNI EN ISO 9000'"}},
+				}},
+				{Resource: "VoMembership", Terms: []xtnl.Term{{CredType: "BalanceSheet"}}},
+			}},
+			{NodeID: "r.0.0", Kind: AnswerDeny, Reason: "credential not possessed"},
+			{NodeID: "r.1.0", Kind: AnswerComply},
+		},
+	}
+	re, err := ParseMessage(m.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Answers) != 3 {
+		t.Fatalf("answers = %d", len(re.Answers))
+	}
+	a0 := re.Answers[0]
+	if a0.Kind != AnswerPolicies || len(a0.Policies) != 2 {
+		t.Fatalf("answer 0: %+v", a0)
+	}
+	if got := a0.Policies[0].Terms[0].Conditions[0]; got != "/credential/content/regulation='UNI EN ISO 9000'" {
+		t.Fatalf("condition lost: %q", got)
+	}
+	if re.Answers[1].Kind != AnswerDeny || re.Answers[1].Reason != "credential not possessed" {
+		t.Fatalf("answer 1: %+v", re.Answers[1])
+	}
+	if re.Answers[2].Kind != AnswerComply {
+		t.Fatalf("answer 2: %+v", re.Answers[2])
+	}
+}
+
+func TestMessageRoundTripCredential(t *testing.T) {
+	cred := &xtnl.Credential{
+		ID: "c1", Type: "ISO 9000 Certified", Issuer: "INFN",
+		Attributes: []xtnl.Attribute{{Name: "QualityRegulation", Value: "UNI EN ISO 9000"}},
+		Signature:  []byte{9, 8, 7},
+	}
+	chain := &xtnl.Credential{ID: "d1", Type: "AuthorityDelegation", Issuer: "Root",
+		Attributes: []xtnl.Attribute{{Name: "authorityName", Value: "INFN"}}}
+	m := &Message{
+		Type: MsgCredential,
+		From: "AerospaceCo",
+		Disclosures: []CredentialDisclosure{{
+			NodeID:         "r.0.0",
+			Credential:     cred,
+			OwnershipProof: []byte{4, 5},
+			Chain:          []*xtnl.Credential{chain},
+		}},
+		Nonce: []byte{6},
+	}
+	re, err := ParseMessage(m.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Disclosures) != 1 {
+		t.Fatalf("disclosures = %d", len(re.Disclosures))
+	}
+	d := re.Disclosures[0]
+	if d.NodeID != "r.0.0" || d.Credential == nil || d.Credential.ID != "c1" {
+		t.Fatalf("disclosure lost: %+v", d)
+	}
+	if !bytes.Equal(d.OwnershipProof, []byte{4, 5}) {
+		t.Fatalf("proof lost: %v", d.OwnershipProof)
+	}
+	if len(d.Chain) != 1 || d.Chain[0].ID != "d1" {
+		t.Fatalf("chain lost: %+v", d.Chain)
+	}
+}
+
+func TestMessageRoundTripSelectiveDisclosure(t *testing.T) {
+	committed := &xtnl.Credential{
+		ID: "c2", Type: "BalanceSheet (hashed)", Issuer: "INFN",
+		Attributes: []xtnl.Attribute{{Name: "year", Value: "aGFzaA=="}},
+		Signature:  []byte{1},
+	}
+	m := &Message{
+		Type: MsgCredential,
+		Disclosures: []CredentialDisclosure{{
+			NodeID:    "r.0.0",
+			Committed: committed,
+			Opened:    []OpenedAttr{{Name: "year", Value: "2009", Salt: []byte{1, 2}}},
+		}},
+	}
+	re, err := ParseMessage(m.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := re.Disclosures[0]
+	if d.Committed == nil || d.Committed.ID != "c2" {
+		t.Fatalf("committed lost: %+v", d)
+	}
+	if len(d.Opened) != 1 || d.Opened[0].Value != "2009" || !bytes.Equal(d.Opened[0].Salt, []byte{1, 2}) {
+		t.Fatalf("opened lost: %+v", d.Opened)
+	}
+}
+
+func TestMessageRoundTripSequenceSuccessFail(t *testing.T) {
+	seq := &Message{Type: MsgSequence, From: "a", Sequence: []string{"r.0.0", "r.0.1"}}
+	re, err := ParseMessage(seq.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re.Sequence, seq.Sequence) {
+		t.Fatalf("sequence lost: %v", re.Sequence)
+	}
+
+	suc := &Message{Type: MsgSuccess, From: "b", Grant: []byte("membership-der")}
+	re, err = ParseMessage(suc.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Grant, suc.Grant) {
+		t.Fatalf("grant lost: %v", re.Grant)
+	}
+
+	fail := &Message{Type: MsgFail, From: "b", Reason: "revoked certificate"}
+	re, err = ParseMessage(fail.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Reason != "revoked certificate" {
+		t.Fatalf("reason lost: %q", re.Reason)
+	}
+}
+
+func TestParseMessageErrors(t *testing.T) {
+	cases := []string{
+		`not xml`,
+		`<wrong/>`,
+		`<tnMessage type="bogus"/>`,
+		`<tnMessage type="policy"><answer node="r" kind="bogus"/></tnMessage>`,
+		`<tnMessage type="policy"><answer node="r" kind="policies"><policy/></answer></tnMessage>`,
+		`<tnMessage type="credential"><disclosure node="x"><committed/></disclosure></tnMessage>`,
+		`<tnMessage type="request" strategy="bogus"/>`,
+		`<tnMessage type="ack"><nonce>!!</nonce></tnMessage>`,
+	}
+	for _, c := range cases {
+		if _, err := ParseMessage(c); err == nil {
+			t.Errorf("ParseMessage(%q): expected error", c)
+		}
+	}
+}
+
+func TestStrategyParsing(t *testing.T) {
+	for _, s := range []Strategy{Trusting, Standard, Suspicious, StrongSuspicious} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if got, err := ParseStrategy(""); err != nil || got != Standard {
+		t.Errorf("empty strategy: %v, %v", got, err)
+	}
+}
+
+func TestMessageSummary(t *testing.T) {
+	for _, m := range []*Message{
+		{Type: MsgRequest, Resource: "R"},
+		{Type: MsgPolicy, Answers: []Answer{{}}},
+		{Type: MsgCredential},
+		{Type: MsgSequence, Sequence: []string{"a"}},
+		{Type: MsgFail, Reason: "x"},
+		{Type: MsgAck},
+	} {
+		if m.Summary() == "" {
+			t.Errorf("empty summary for %v", m.Type)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package negotiation
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Run drives a complete in-process negotiation between requester and
+// controller for the named resource, returning both outcomes. It is the
+// programmatic equivalent of the paper's standalone TN execution (the
+// "trust negotiation" bar of Fig. 9); the web-service deployment in
+// internal/wsrpc transports the same messages over HTTP.
+func Run(requester, controller *Party, resource string) (reqOut, ctlOut *Outcome, err error) {
+	rq := NewRequester(requester, resource)
+	ct := NewController(controller)
+	msg, err := rq.Start()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := Drive(rq, ct, msg); err != nil {
+		return nil, nil, err
+	}
+	return rq.Outcome(), ct.Outcome(), nil
+}
+
+// Drive pumps messages between two endpoints until both finish. first is
+// the opening message from a (already produced by a.Start or a prior
+// Handle); it is delivered to b.
+func Drive(a, b *Endpoint, first *Message) error {
+	cur := first
+	from, to := a, b
+	for cur != nil {
+		reply, err := to.Handle(cur)
+		if err != nil {
+			return fmt.Errorf("negotiation: %s: %w", to.party.Name, err)
+		}
+		from, to = to, from
+		cur = reply
+	}
+	if !a.Done() || !b.Done() {
+		return errors.New("negotiation: message flow ended before both endpoints finished")
+	}
+	return nil
+}
+
+// MustSucceed is Run that fails with an error unless the negotiation
+// succeeded; convenient for examples.
+func MustSucceed(requester, controller *Party, resource string) (*Outcome, error) {
+	out, _, err := Run(requester, controller, resource)
+	if err != nil {
+		return nil, err
+	}
+	if !out.Succeeded {
+		return nil, fmt.Errorf("negotiation for %q failed: %s", resource, out.Reason)
+	}
+	return out, nil
+}

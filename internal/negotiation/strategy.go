@@ -1,0 +1,92 @@
+// Package negotiation implements the Trust-X trust negotiation engine
+// (paper §4.2): the bilateral policy-evaluation phase over a shared
+// negotiation tree (simple edges, multiedges, views), trust-sequence
+// extraction, and the credential-exchange phase, under the four
+// negotiation strategies the prototype supports (§6.2): trusting,
+// standard, suspicious and strong suspicious.
+//
+// Two parties participate: the requester, who wants a resource, and the
+// controller, who owns it. Each party is represented by a Party value
+// (profile, disclosure policies, trust store, optional ontology mapper)
+// and each live negotiation by an Endpoint — a message-driven state
+// machine. Endpoints exchange Message values; Run wires two endpoints
+// directly for in-process negotiations, while internal/wsrpc transports
+// the same messages over HTTP as the paper's TN web service does.
+package negotiation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy selects the confidentiality/efficiency trade-off of a party
+// (§6.2: "the standard, the strong suspicious, the suspicious and the
+// trusting negotiation strategies").
+type Strategy int
+
+const (
+	// Standard (the zero value) runs the two clean Trust-X phases: full
+	// policy evaluation first, then credential exchange along the agreed
+	// trust sequence.
+	Standard Strategy = iota
+	// Trusting discloses unprotected credentials eagerly, piggybacked on
+	// the policy-evaluation phase — fewest rounds, least confidentiality.
+	Trusting
+	// Suspicious additionally demands ownership proofs for every
+	// received credential and disclosures reveal only the attributes the
+	// counterpart's conditions actually reference, which requires
+	// credentials supporting selective disclosure (§6.3: with plain
+	// X.509-style credentials this strategy cannot be adopted).
+	Suspicious
+	// StrongSuspicious further hides the party's policy structure by
+	// answering a single requirement per message instead of batching.
+	StrongSuspicious
+)
+
+// String returns the wire label of the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Trusting:
+		return "trusting"
+	case Standard:
+		return "standard"
+	case Suspicious:
+		return "suspicious"
+	case StrongSuspicious:
+		return "strong-suspicious"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a wire label to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "trusting":
+		return Trusting, nil
+	case "standard", "":
+		return Standard, nil
+	case "suspicious":
+		return Suspicious, nil
+	case "strong-suspicious", "strong_suspicious", "strongsuspicious":
+		return StrongSuspicious, nil
+	default:
+		return Standard, fmt.Errorf("negotiation: unknown strategy %q", s)
+	}
+}
+
+// RequiresOwnershipProof reports whether a party using this strategy
+// demands challenge/response ownership proofs on received credentials.
+func (s Strategy) RequiresOwnershipProof() bool { return s >= Suspicious }
+
+// RequiresSelectiveDisclosure reports whether disclosures must partially
+// hide credential content (§6.3 restriction).
+func (s Strategy) RequiresSelectiveDisclosure() bool { return s >= Suspicious }
+
+// OneAnswerPerMessage reports whether policy answers are paced one per
+// message to hide policy structure.
+func (s Strategy) OneAnswerPerMessage() bool { return s == StrongSuspicious }
+
+// EagerDisclosure reports whether unprotected credentials are disclosed
+// during the policy-evaluation phase.
+func (s Strategy) EagerDisclosure() bool { return s == Trusting }

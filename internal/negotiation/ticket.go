@@ -1,0 +1,175 @@
+package negotiation
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trustvo/internal/pki"
+	"trustvo/internal/xmldom"
+)
+
+// Trust tickets.
+//
+// The Trust-X system the paper integrates supports negotiations based on
+// trust tickets: after a successful negotiation, the resource's
+// controller can issue the requester a ticket; presenting it in a later
+// negotiation for the same resource skips the policy-evaluation and
+// credential-exchange phases entirely. This matters for the VO
+// operational phase, where the same members re-negotiate repeatedly
+// ("executed repeatedly until the target result is achieved", §3).
+//
+// A ticket is a signed statement ⟨issuer, peer, resource, expiry⟩ under
+// the issuer's Ed25519 key. The issuer verifies its own signature on
+// presentation, so no extra trust setup is needed.
+
+// Ticket is a trust ticket for one (peer, resource) pair.
+type Ticket struct {
+	Issuer    string
+	Peer      string
+	Resource  string
+	Expires   time.Time
+	Signature []byte
+}
+
+func (t *Ticket) signedBytes() []byte {
+	return []byte("trustvo-ticket|" + t.Issuer + "|" + t.Peer + "|" + t.Resource + "|" +
+		t.Expires.UTC().Format(time.RFC3339))
+}
+
+// IssueTicket signs a ticket for peer over resource, valid for ttl.
+func IssueTicket(keys *pki.KeyPair, issuer, peer, resource string, ttl time.Duration) *Ticket {
+	t := &Ticket{
+		Issuer:   issuer,
+		Peer:     peer,
+		Resource: resource,
+		Expires:  time.Now().Add(ttl).UTC().Truncate(time.Second),
+	}
+	t.Signature = keys.Sign(t.signedBytes())
+	return t
+}
+
+// ErrBadTicket reports an invalid or expired trust ticket.
+var ErrBadTicket = errors.New("negotiation: invalid trust ticket")
+
+// Verify checks the ticket against the issuer's public key, the
+// expected peer and resource, and the clock.
+func (t *Ticket) Verify(pub ed25519.PublicKey, peer, resource string, now time.Time) error {
+	if t.Peer != peer || t.Resource != resource {
+		return fmt.Errorf("%w: bound to %s/%s", ErrBadTicket, t.Peer, t.Resource)
+	}
+	if now.After(t.Expires) {
+		return fmt.Errorf("%w: expired %s", ErrBadTicket, t.Expires.Format(time.RFC3339))
+	}
+	if !ed25519.Verify(pub, t.signedBytes(), t.Signature) {
+		return fmt.Errorf("%w: signature", ErrBadTicket)
+	}
+	return nil
+}
+
+// DOM serializes the ticket for the wire.
+func (t *Ticket) DOM() *xmldom.Node {
+	n := xmldom.NewElement("ticket").
+		SetAttr("issuer", t.Issuer).
+		SetAttr("peer", t.Peer).
+		SetAttr("resource", t.Resource).
+		SetAttr("expires", t.Expires.UTC().Format(time.RFC3339))
+	n.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(t.Signature)))
+	return n
+}
+
+func ticketFromDOM(n *xmldom.Node) (*Ticket, error) {
+	exp, err := time.Parse(time.RFC3339, n.AttrOr("expires", ""))
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad expiry: %v", ErrBadMessage, err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(n.Text())
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad ticket signature encoding: %v", ErrBadMessage, err)
+	}
+	return &Ticket{
+		Issuer:    n.AttrOr("issuer", ""),
+		Peer:      n.AttrOr("peer", ""),
+		Resource:  n.AttrOr("resource", ""),
+		Expires:   exp,
+		Signature: sig,
+	}, nil
+}
+
+// TicketCache stores the trust tickets a party has received, keyed by
+// (issuer, resource). Safe for concurrent use.
+type TicketCache struct {
+	mu      sync.RWMutex
+	tickets map[string]*Ticket
+}
+
+// NewTicketCache returns an empty cache.
+func NewTicketCache() *TicketCache {
+	return &TicketCache{tickets: make(map[string]*Ticket)}
+}
+
+func ticketKey(issuer, resource string) string { return issuer + "\x00" + resource }
+
+// Put stores a ticket.
+func (c *TicketCache) Put(t *Ticket) {
+	if c == nil || t == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tickets[ticketKey(t.Issuer, t.Resource)] = t
+}
+
+// Get returns the cached ticket for (issuer, resource), nil if absent
+// or expired (expired entries are dropped).
+func (c *TicketCache) Get(issuer, resource string, now time.Time) *Ticket {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tickets[ticketKey(issuer, resource)]
+	if t == nil {
+		return nil
+	}
+	if now.After(t.Expires) {
+		delete(c.tickets, ticketKey(issuer, resource))
+		return nil
+	}
+	return t
+}
+
+// GetByResource returns any unexpired cached ticket for the resource
+// (a requester usually does not know the controller's name before the
+// first reply; the controller validates the binding anyway).
+func (c *TicketCache) GetByResource(resource string, now time.Time) *Ticket {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, t := range c.tickets {
+		if t.Resource != resource {
+			continue
+		}
+		if now.After(t.Expires) {
+			delete(c.tickets, k)
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// Len returns the number of cached tickets.
+func (c *TicketCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tickets)
+}

@@ -1,0 +1,199 @@
+package negotiation
+
+import (
+	"testing"
+	"time"
+
+	"trustvo/internal/pki"
+)
+
+func TestTicketVerify(t *testing.T) {
+	keys := pki.MustGenerateKeyPair()
+	tk := IssueTicket(keys, "AircraftCo", "AerospaceCo", "Certification", time.Hour)
+	now := time.Now()
+	if err := tk.Verify(keys.Public, "AerospaceCo", "Certification", now); err != nil {
+		t.Fatal(err)
+	}
+	// wrong peer
+	if err := tk.Verify(keys.Public, "Mallory", "Certification", now); err == nil {
+		t.Fatal("wrong peer accepted")
+	}
+	// wrong resource
+	if err := tk.Verify(keys.Public, "AerospaceCo", "Other", now); err == nil {
+		t.Fatal("wrong resource accepted")
+	}
+	// expired
+	if err := tk.Verify(keys.Public, "AerospaceCo", "Certification", now.Add(2*time.Hour)); err == nil {
+		t.Fatal("expired ticket accepted")
+	}
+	// wrong key
+	other := pki.MustGenerateKeyPair()
+	if err := tk.Verify(other.Public, "AerospaceCo", "Certification", now); err == nil {
+		t.Fatal("foreign key accepted")
+	}
+	// tampered fields
+	forged := *tk
+	forged.Resource = "Everything"
+	if err := forged.Verify(keys.Public, "AerospaceCo", "Everything", now); err == nil {
+		t.Fatal("tampered ticket accepted")
+	}
+}
+
+func TestTicketCache(t *testing.T) {
+	c := NewTicketCache()
+	keys := pki.MustGenerateKeyPair()
+	now := time.Now()
+	c.Put(IssueTicket(keys, "a", "me", "R1", time.Hour))
+	c.Put(IssueTicket(keys, "b", "me", "R2", -time.Hour)) // already expired
+	if got := c.Get("a", "R1", now); got == nil {
+		t.Fatal("cached ticket missing")
+	}
+	if got := c.Get("b", "R2", now); got != nil {
+		t.Fatal("expired ticket served")
+	}
+	if got := c.GetByResource("R1", now); got == nil || got.Issuer != "a" {
+		t.Fatalf("GetByResource = %+v", got)
+	}
+	if got := c.GetByResource("R2", now); got != nil {
+		t.Fatal("expired ticket served by resource")
+	}
+	if c.Len() != 1 { // expired entries were dropped on access
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// nil-safety
+	var nilCache *TicketCache
+	nilCache.Put(nil)
+	if nilCache.Get("a", "R1", now) != nil || nilCache.GetByResource("R1", now) != nil || nilCache.Len() != 0 {
+		t.Fatal("nil cache misbehaved")
+	}
+}
+
+// TestTicketSkipsRenegotiation: the first negotiation runs the full
+// protocol and yields a ticket; the second presents it and completes in
+// two messages.
+func TestTicketSkipsRenegotiation(t *testing.T) {
+	f := newFixture(t)
+	f.aircraft.TicketTTL = time.Hour
+	f.aerospace.Tickets = NewTicketCache()
+
+	first, _, err := Run(f.aerospace, f.aircraft, "VoMembership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Succeeded {
+		t.Fatalf("first negotiation failed: %s", first.Reason)
+	}
+	if f.aerospace.Tickets.Len() != 1 {
+		t.Fatalf("ticket not cached: %d", f.aerospace.Tickets.Len())
+	}
+
+	second, _, err := Run(f.aerospace, f.aircraft, "VoMembership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Succeeded {
+		t.Fatalf("ticketed negotiation failed: %s", second.Reason)
+	}
+	if second.Rounds >= first.Rounds {
+		t.Fatalf("ticket did not shorten the negotiation: %d vs %d rounds", second.Rounds, first.Rounds)
+	}
+	if len(second.Sent) != 0 || len(second.Received) != 0 {
+		t.Fatal("ticketed negotiation should disclose nothing")
+	}
+}
+
+// TestForgedTicketIgnored: a ticket signed by someone else falls back to
+// the full negotiation instead of failing (graceful degradation) — and
+// the negotiation still succeeds on the merits.
+func TestForgedTicketIgnored(t *testing.T) {
+	f := newFixture(t)
+	mallory := pki.MustGenerateKeyPair()
+	f.aerospace.Tickets = NewTicketCache()
+	f.aerospace.Tickets.Put(IssueTicket(mallory, "AircraftCo", "AerospaceCo", "VoMembership", time.Hour))
+
+	out, ctlOut, err := Run(f.aerospace, f.aircraft, "VoMembership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded {
+		t.Fatalf("fallback negotiation failed: %s", out.Reason)
+	}
+	// the full protocol ran: credentials were exchanged
+	if len(ctlOut.Received) == 0 {
+		t.Fatal("expected a full negotiation after the forged ticket")
+	}
+}
+
+// TestTicketBoundToPeer: a stolen ticket presented by another party is
+// rejected (the binding includes the peer name) and the thief must run
+// the full negotiation.
+func TestTicketBoundToPeer(t *testing.T) {
+	f := newFixture(t)
+	f.aircraft.Keys = f.aircraftKeys
+	// the ticket was issued to AerospaceCo...
+	stolen := IssueTicket(f.aircraftKeys, "AircraftCo", "AerospaceCo", "VoMembership", time.Hour)
+	// ...but a different party presents it
+	thiefProfile := f.aerospace.Profile
+	thief := &Party{
+		Name:     "ThiefCo",
+		Profile:  thiefProfile,
+		Policies: f.aerospace.Policies,
+		Trust:    f.aerospace.Trust,
+		Tickets:  NewTicketCache(),
+	}
+	thief.Tickets.Put(stolen)
+	out, _, err := Run(thief, f.aircraft, "VoMembership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the thief still succeeds — but only because it (ab)uses the same
+	// profile and runs the FULL negotiation; the point is the ticket
+	// short-circuit did not trigger for the wrong peer.
+	if !out.Succeeded {
+		t.Fatalf("negotiation failed: %s", out.Reason)
+	}
+	if len(out.Sent) == 0 {
+		t.Fatal("stolen ticket skipped the negotiation")
+	}
+}
+
+func TestTicketWireRoundTrip(t *testing.T) {
+	keys := pki.MustGenerateKeyPair()
+	tk := IssueTicket(keys, "a", "b", "R", time.Hour)
+	m := &Message{Type: MsgSuccess, From: "a", Ticket: tk, Grant: []byte("g")}
+	re, err := ParseMessage(m.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Ticket == nil || re.Ticket.Issuer != "a" || re.Ticket.Peer != "b" || re.Ticket.Resource != "R" {
+		t.Fatalf("ticket lost: %+v", re.Ticket)
+	}
+	if err := re.Ticket.Verify(keys.Public, "b", "R", time.Now()); err != nil {
+		t.Fatalf("ticket signature lost in transit: %v", err)
+	}
+	// malformed wire tickets rejected
+	if _, err := ParseMessage(`<tnMessage type="success"><ticket expires="nope">c2ln</ticket></tnMessage>`); err == nil {
+		t.Fatal("bad ticket expiry accepted")
+	}
+	if _, err := ParseMessage(`<tnMessage type="success"><ticket expires="2026-01-01T00:00:00Z">!!</ticket></tnMessage>`); err == nil {
+		t.Fatal("bad ticket signature encoding accepted")
+	}
+}
+
+// BenchmarkNegotiationWithTicket quantifies the trust-ticket speedup
+// (EXT-9).
+func BenchmarkNegotiationWithTicket(b *testing.B) {
+	f := newFixture(b)
+	f.aircraft.TicketTTL = time.Hour
+	f.aerospace.Tickets = NewTicketCache()
+	if out, _, err := Run(f.aerospace, f.aircraft, "VoMembership"); err != nil || !out.Succeeded {
+		b.Fatalf("priming negotiation failed: %v %+v", err, out)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := Run(f.aerospace, f.aircraft, "VoMembership")
+		if err != nil || !out.Succeeded {
+			b.Fatalf("ticketed negotiation failed: %v %+v", err, out)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"trustvo/internal/xtnl"
+)
+
+// This file implements Algorithm 1 of the paper ("Mapping algorithm"):
+// given a disclosure policy expressed as a list of concepts, find for
+// each concept a local credential to disclose. The concept is first
+// looked up in the local ontology; if absent, the most similar local
+// concept is selected via ComputeSimilarity; then the candidate
+// credentials implementing the concept are clustered by sensitivity
+// (CredCluster) and the least sensitive available credential wins.
+
+// Mapper resolves policy concepts against a party's local ontology and
+// X-Profile.
+type Mapper struct {
+	Ontology *Ontology
+	Profile  *xtnl.Profile
+	// MinConfidence is the similarity floor below which a foreign
+	// concept is considered unmatchable. Zero means the default 0.34
+	// (at least a third of the feature tokens shared).
+	MinConfidence float64
+}
+
+// Mapping is the result for one requested concept.
+type Mapping struct {
+	// Requested is the concept named in the counterpart's policy.
+	Requested string
+	// Matched is the local concept that answered it (== Requested when
+	// the concept exists locally).
+	Matched string
+	// Confidence is 1 for direct hits, otherwise the Jaccard similarity
+	// of the chosen local concept.
+	Confidence float64
+	// Credential is the selected local credential.
+	Credential *xtnl.Credential
+}
+
+// Errors reported by mapping.
+var (
+	ErrNoMatch      = errors.New("ontology: no local concept matches")
+	ErrNoCredential = errors.New("ontology: no local credential implements concept")
+)
+
+func (m *Mapper) minConfidence() float64 {
+	if m.MinConfidence > 0 {
+		return m.MinConfidence
+	}
+	return 0.34
+}
+
+// MapConcept resolves a single concept name (Algorithm 1, lines 1–29 for
+// one Ci).
+func (m *Mapper) MapConcept(name string) (Mapping, error) {
+	// Dictionary first (§4.3): an exact synonym resolves without any
+	// similarity computation.
+	name = m.Ontology.Resolve(name)
+	matched := name
+	confidence := 1.0
+	if _, ok := m.Ontology.Concept(name); !ok {
+		// Lines 20–29: find the most similar local concept.
+		best := m.Ontology.BestMatchName(name)
+		if best.Concept == "" || best.Confidence < m.minConfidence() {
+			return Mapping{}, fmt.Errorf("%w: %q (best %q at %.2f)",
+				ErrNoMatch, name, best.Concept, best.Confidence)
+		}
+		matched = best.Concept
+		confidence = best.Confidence
+	}
+	cred, err := m.selectCredential(matched)
+	if err != nil {
+		return Mapping{}, err
+	}
+	return Mapping{Requested: name, Matched: matched, Confidence: confidence, Credential: cred}, nil
+}
+
+// selectCredential implements lines 4–18: collect the credentials
+// associated with the concept, cluster them by sensitivity, and return
+// one from the lowest non-empty cluster.
+func (m *Mapper) selectCredential(concept string) (*xtnl.Credential, error) {
+	impls := m.Ontology.ImplementationsOf(concept)
+	var cands []*xtnl.Credential
+	seen := make(map[string]bool)
+	for _, im := range impls {
+		for _, c := range m.Profile.ByType(im.CredType) {
+			if im.Attribute != "" {
+				if _, ok := c.Attr(im.Attribute); !ok {
+					continue // implementation names an attribute the credential lacks
+				}
+			}
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				cands = append(cands, c)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoCredential, concept)
+	}
+	for _, s := range []xtnl.Sensitivity{xtnl.SensitivityLow, xtnl.SensitivityMedium, xtnl.SensitivityHigh} {
+		if cluster := xtnl.Cluster(cands, s); len(cluster) > 0 {
+			return cluster[0], nil
+		}
+	}
+	// unreachable: every credential belongs to one of the three clusters
+	return cands[0], nil
+}
+
+// Map resolves every concept of a policy (Algorithm 1's outer loop).
+// It fails on the first unresolvable concept — a concept-level policy is
+// a conjunction, so a single miss means the policy cannot be satisfied.
+func (m *Mapper) Map(concepts []string) ([]Mapping, error) {
+	out := make([]Mapping, 0, len(concepts))
+	for _, c := range concepts {
+		mp, err := m.MapConcept(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mp)
+	}
+	return out, nil
+}
+
+// ---- policy abstraction (§4.3.1, first case) ----
+
+// Abstract rewrites a concrete disclosure policy into a concept-level
+// one: each term's credential type is replaced by a concept it
+// implements, "which [is] more generic and disclose[s] less information".
+// levels > 1 climbs the is_a hierarchy that many extra steps ("the
+// process can be iterated so as to hide even more information, if the
+// ancestor concept is used").
+//
+// Terms whose credential type implements no known concept are left
+// concrete. Conditions are preserved: they still constrain whatever
+// credential the counterpart eventually maps the concept back to.
+func Abstract(p *xtnl.Policy, o *Ontology, levels int) *xtnl.Policy {
+	if levels < 1 {
+		levels = 1
+	}
+	out := &xtnl.Policy{
+		ID:       p.ID,
+		Resource: p.Resource,
+		Deliver:  p.Deliver,
+	}
+	for _, t := range p.Terms {
+		nt := xtnl.Term{CredType: t.CredType, Conditions: append([]string(nil), t.Conditions...)}
+		if !t.Wildcard() {
+			if concepts := o.ConceptsFor(t.CredType); len(concepts) > 0 {
+				name := concepts[0]
+				for i := 1; i < levels; i++ {
+					parents := o.Parents(name)
+					if len(parents) == 0 {
+						break
+					}
+					name = parents[0]
+				}
+				nt.CredType = ConceptRef(name)
+				// Conditions are re-phrased against the concept's
+				// canonical attribute so the receiver can map them onto
+				// its own implementation's attribute names.
+				nt.Conditions = o.ToConceptConditions(name, t.CredType, t.Conditions)
+				out.Concepts = append(out.Concepts, name)
+			}
+		}
+		out.Terms = append(out.Terms, nt)
+	}
+	return out
+}
+
+// Condition translation between naming schemes (§4.3): a concept-level
+// policy phrases its XPath conditions against the concept's canonical
+// attribute (the first entry of Concept.Attributes); each side rewrites
+// them to/from the attribute name of its own implementation. The
+// rewrite replaces "content/<name>" references at identifier boundaries.
+
+// canonicalAttr returns the concept's canonical attribute name, "" when
+// the concept declares none.
+func (o *Ontology) canonicalAttr(concept string) string {
+	c, ok := o.Concept(concept)
+	if !ok || len(c.Attributes) == 0 {
+		return ""
+	}
+	return c.Attributes[0]
+}
+
+// implAttrFor returns the implementation attribute that realizes the
+// concept for the given credential type ("" when the implementation
+// binds the whole credential or is unknown).
+func (o *Ontology) implAttrFor(concept, credType string) string {
+	for _, im := range o.ImplementationsOf(concept) {
+		if im.CredType == credType {
+			return im.Attribute
+		}
+	}
+	return ""
+}
+
+// replaceAttrRef rewrites "content/<from>" into "content/<to>" at
+// identifier boundaries, leaving longer attribute names intact.
+func replaceAttrRef(cond, from, to string) string {
+	if from == "" || to == "" || from == to {
+		return cond
+	}
+	marker := "content/" + from
+	var b strings.Builder
+	for {
+		i := strings.Index(cond, marker)
+		if i < 0 {
+			b.WriteString(cond)
+			return b.String()
+		}
+		end := i + len(marker)
+		boundary := end >= len(cond) || !isIdentByte(cond[end])
+		b.WriteString(cond[:i])
+		if boundary {
+			b.WriteString("content/" + to)
+		} else {
+			b.WriteString(marker)
+		}
+		cond = cond[end:]
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// ToConceptConditions rewrites conditions phrased against credType's
+// implementation attribute into the concept's canonical attribute.
+func (o *Ontology) ToConceptConditions(concept, credType string, conds []string) []string {
+	canon := o.canonicalAttr(concept)
+	impl := o.implAttrFor(concept, credType)
+	if canon == "" || impl == "" || canon == impl {
+		return append([]string(nil), conds...)
+	}
+	out := make([]string, len(conds))
+	for i, c := range conds {
+		out[i] = replaceAttrRef(c, impl, canon)
+	}
+	return out
+}
+
+// ToImplConditions rewrites concept-level conditions into the attribute
+// naming of the given credential type's implementation.
+func (o *Ontology) ToImplConditions(concept, credType string, conds []string) []string {
+	canon := o.canonicalAttr(concept)
+	impl := o.implAttrFor(concept, credType)
+	if canon == "" || impl == "" || canon == impl {
+		return append([]string(nil), conds...)
+	}
+	out := make([]string, len(conds))
+	for i, c := range conds {
+		out[i] = replaceAttrRef(c, canon, impl)
+	}
+	return out
+}
+
+// conceptPrefix marks a term credential-type as a concept reference
+// rather than a concrete credential type.
+const conceptPrefix = "concept:"
+
+// ConceptRef builds a concept-reference term type.
+func ConceptRef(concept string) string { return conceptPrefix + concept }
+
+// AsConceptRef reports whether a term type is a concept reference, and
+// returns the concept name.
+func AsConceptRef(termType string) (string, bool) {
+	if len(termType) > len(conceptPrefix) && termType[:len(conceptPrefix)] == conceptPrefix {
+		return termType[len(conceptPrefix):], true
+	}
+	return "", false
+}
+
+// ResolveTerm interprets a possibly concept-level term against the local
+// ontology and profile (the receiving side of §4.3.1): for a concept
+// reference it runs Algorithm 1 and returns the concrete credentials the
+// term may be satisfied with; for a concrete term it defers to the
+// profile. The returned credentials also satisfy the term's conditions.
+func (m *Mapper) ResolveTerm(t xtnl.Term) ([]*xtnl.Credential, error) {
+	concept, isConcept := AsConceptRef(t.CredType)
+	if !isConcept {
+		return m.Profile.Satisfying(t), nil
+	}
+	mp, err := m.MapConcept(concept)
+	if err != nil {
+		return nil, err
+	}
+	// The mapped credential must additionally satisfy the term's
+	// conditions — translated into the implementation's own attribute
+	// naming; fall back to any other implementation that does.
+	check := func(c *xtnl.Credential) bool {
+		conds := m.Ontology.ToImplConditions(mp.Matched, c.Type, t.Conditions)
+		return xtnl.Term{Conditions: conds}.SatisfiedBy(c)
+	}
+	if check(mp.Credential) {
+		return []*xtnl.Credential{mp.Credential}, nil
+	}
+	var out []*xtnl.Credential
+	for _, im := range m.Ontology.ImplementationsOf(mp.Matched) {
+		for _, c := range m.Profile.ByType(im.CredType) {
+			if check(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %q with conditions %v", ErrNoCredential, concept, t.Conditions)
+	}
+	return out, nil
+}

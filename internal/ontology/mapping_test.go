@@ -1,0 +1,282 @@
+package ontology
+
+import (
+	"errors"
+	"testing"
+
+	"trustvo/internal/xtnl"
+)
+
+func mapperFixture(t testing.TB) *Mapper {
+	t.Helper()
+	o := paperOntology(t)
+	p := xtnl.NewProfile("AerospaceCo")
+	p.Add(
+		&xtnl.Credential{ID: "pp", Type: "Passport", Sensitivity: xtnl.SensitivityHigh,
+			Attributes: []xtnl.Attribute{{Name: "gender", Value: "F"}}},
+		&xtnl.Credential{ID: "dl", Type: "DrivingLicense", Sensitivity: xtnl.SensitivityMedium,
+			Attributes: []xtnl.Attribute{{Name: "sex", Value: "F"}}},
+		&xtnl.Credential{ID: "iso", Type: "ISO 9000 Certified", Issuer: "INFN", Sensitivity: xtnl.SensitivityLow,
+			Attributes: []xtnl.Attribute{{Name: "QualityRegulation", Value: "UNI EN ISO 9000"}}},
+		&xtnl.Credential{ID: "tx", Type: "TexasDrivingLicense", Sensitivity: xtnl.SensitivityLow},
+	)
+	return &Mapper{Ontology: o, Profile: p}
+}
+
+// TestAlgorithm1SensitivityPreference checks the CredCluster behaviour of
+// Algorithm 1: among the credentials implementing "gender" (a high-
+// sensitivity Passport and a medium-sensitivity DrivingLicense), the
+// less sensitive DrivingLicense is disclosed.
+func TestAlgorithm1SensitivityPreference(t *testing.T) {
+	m := mapperFixture(t)
+	got, err := m.MapConcept("gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Credential.ID != "dl" {
+		t.Fatalf("selected %s, want dl (lowest sensitivity cluster)", got.Credential.ID)
+	}
+	if got.Confidence != 1 || got.Matched != "gender" {
+		t.Fatalf("direct hit should have confidence 1: %+v", got)
+	}
+}
+
+// TestAlgorithm1SimilarityFallback checks lines 20–29: a concept missing
+// from the local ontology resolves through ComputeSimilarity.
+func TestAlgorithm1SimilarityFallback(t *testing.T) {
+	m := mapperFixture(t)
+	got, err := m.MapConcept("QualityCertification")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matched != "quality-certification" {
+		t.Fatalf("matched %q", got.Matched)
+	}
+	if got.Confidence >= 1 || got.Confidence < m.minConfidence() {
+		t.Fatalf("confidence = %.2f", got.Confidence)
+	}
+	if got.Credential.ID != "iso" {
+		t.Fatalf("selected %s, want iso", got.Credential.ID)
+	}
+}
+
+func TestAlgorithm1NoMatch(t *testing.T) {
+	m := mapperFixture(t)
+	if _, err := m.MapConcept("completely-unrelated-thing"); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestAlgorithm1NoCredential(t *testing.T) {
+	m := mapperFixture(t)
+	m.Profile = xtnl.NewProfile("empty")
+	if _, err := m.MapConcept("gender"); !errors.Is(err, ErrNoCredential) {
+		t.Fatalf("err = %v, want ErrNoCredential", err)
+	}
+}
+
+func TestAlgorithm1DescendantImplementation(t *testing.T) {
+	// Civilian_DriverLicense is implemented by DrivingLicense AND, via
+	// is_a, by TexasDrivingLicense; the Texas credential is sensitivity
+	// low so it wins.
+	m := mapperFixture(t)
+	got, err := m.MapConcept("Civilian_DriverLicense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Credential.ID != "tx" {
+		t.Fatalf("selected %s, want tx", got.Credential.ID)
+	}
+}
+
+func TestAlgorithm1ImplementationAttributeRequired(t *testing.T) {
+	o := New()
+	o.MustAdd(&Concept{Name: "gender",
+		Implementations: []Implementation{{CredType: "Passport", Attribute: "gender"}}})
+	p := xtnl.NewProfile("x")
+	p.Add(&xtnl.Credential{ID: "pp", Type: "Passport"}) // lacks the gender attribute
+	m := &Mapper{Ontology: o, Profile: p}
+	if _, err := m.MapConcept("gender"); !errors.Is(err, ErrNoCredential) {
+		t.Fatalf("err = %v, want ErrNoCredential", err)
+	}
+}
+
+func TestMapConjunction(t *testing.T) {
+	m := mapperFixture(t)
+	got, err := m.Map([]string{"gender", "quality-certification"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("mappings = %d", len(got))
+	}
+	if _, err := m.Map([]string{"gender", "nope-nope-nope"}); err == nil {
+		t.Fatal("conjunction with unresolvable concept must fail")
+	}
+}
+
+func TestAbstractPolicy(t *testing.T) {
+	o := paperOntology(t)
+	concrete := &xtnl.Policy{
+		Resource: "VoMembership",
+		Terms: []xtnl.Term{
+			{CredType: "WebDesignerQuality", Conditions: []string{"/credential/content/regulation='UNI EN ISO 9000'"}},
+			{CredType: "UnmappedType"},
+		},
+	}
+	abs := Abstract(concrete, o, 1)
+	if got, ok := AsConceptRef(abs.Terms[0].CredType); !ok || got != "quality-certification" {
+		t.Fatalf("term 0 not abstracted: %+v", abs.Terms[0])
+	}
+	// conditions preserved
+	if len(abs.Terms[0].Conditions) != 1 {
+		t.Fatalf("conditions lost: %+v", abs.Terms[0])
+	}
+	// unmapped types stay concrete
+	if _, ok := AsConceptRef(abs.Terms[1].CredType); ok {
+		t.Fatalf("unmapped term abstracted: %+v", abs.Terms[1])
+	}
+	if len(abs.Concepts) != 1 || abs.Concepts[0] != "quality-certification" {
+		t.Fatalf("Concepts = %v", abs.Concepts)
+	}
+}
+
+func TestAbstractClimbsAncestors(t *testing.T) {
+	o := paperOntology(t)
+	p := &xtnl.Policy{Resource: "R", Terms: []xtnl.Term{{CredType: "TexasDrivingLicense"}}}
+	abs1 := Abstract(p, o, 1)
+	if got, _ := AsConceptRef(abs1.Terms[0].CredType); got != "Texas_DriverLicense" {
+		t.Fatalf("level 1 = %q", got)
+	}
+	abs2 := Abstract(p, o, 2)
+	if got, _ := AsConceptRef(abs2.Terms[0].CredType); got != "Civilian_DriverLicense" {
+		t.Fatalf("level 2 = %q", got)
+	}
+	// climbing past the root saturates
+	abs9 := Abstract(p, o, 9)
+	if got, _ := AsConceptRef(abs9.Terms[0].CredType); got != "Civilian_DriverLicense" {
+		t.Fatalf("level 9 = %q", got)
+	}
+}
+
+func TestResolveTermConcrete(t *testing.T) {
+	m := mapperFixture(t)
+	creds, err := m.ResolveTerm(xtnl.Term{CredType: "Passport"})
+	if err != nil || len(creds) != 1 || creds[0].ID != "pp" {
+		t.Fatalf("concrete resolve = %v, %v", creds, err)
+	}
+}
+
+func TestResolveTermConcept(t *testing.T) {
+	m := mapperFixture(t)
+	creds, err := m.ResolveTerm(xtnl.Term{CredType: ConceptRef("gender")})
+	if err != nil || len(creds) == 0 {
+		t.Fatalf("concept resolve = %v, %v", creds, err)
+	}
+	if creds[0].ID != "dl" {
+		t.Fatalf("concept resolve picked %s, want dl", creds[0].ID)
+	}
+}
+
+func TestResolveTermConceptWithConditions(t *testing.T) {
+	m := mapperFixture(t)
+	// the mapped (least sensitive) credential fails the condition, but a
+	// sibling implementation satisfies it
+	creds, err := m.ResolveTerm(xtnl.Term{
+		CredType:   ConceptRef("quality-certification"),
+		Conditions: []string{"/credential/header/issuer='INFN'"},
+	})
+	if err != nil || len(creds) != 1 || creds[0].ID != "iso" {
+		t.Fatalf("conditioned concept resolve = %v, %v", creds, err)
+	}
+	// unsatisfiable condition
+	_, err = m.ResolveTerm(xtnl.Term{
+		CredType:   ConceptRef("gender"),
+		Conditions: []string{"/credential/header/issuer='nobody'"},
+	})
+	if !errors.Is(err, ErrNoCredential) {
+		t.Fatalf("err = %v, want ErrNoCredential", err)
+	}
+}
+
+func TestConceptRefHelpers(t *testing.T) {
+	ref := ConceptRef("gender")
+	name, ok := AsConceptRef(ref)
+	if !ok || name != "gender" {
+		t.Fatalf("AsConceptRef = %q %v", name, ok)
+	}
+	if _, ok := AsConceptRef("Passport"); ok {
+		t.Fatal("plain type treated as concept ref")
+	}
+	if _, ok := AsConceptRef("concept:"); ok {
+		t.Fatal("empty concept ref accepted")
+	}
+}
+
+func BenchmarkMapConceptDirect(b *testing.B) {
+	m := mapperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MapConcept("gender"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapConceptMiss(b *testing.B) {
+	m := mapperFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MapConcept("QualityCertification"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDictionarySynonyms covers the §4.3 dictionary mechanism: exact
+// synonyms resolve to their canonical concept without similarity
+// matching, with confidence 1.
+func TestDictionarySynonyms(t *testing.T) {
+	m := mapperFixture(t)
+	if err := m.Ontology.AddSynonym("sesso", "gender"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.MapConcept("sesso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matched != "gender" || got.Confidence != 1 {
+		t.Fatalf("synonym mapping = %+v", got)
+	}
+	if got.Credential.ID != "dl" {
+		t.Fatalf("synonym selected %s", got.Credential.ID)
+	}
+	// dictionary errors
+	if err := m.Ontology.AddSynonym("x", "missing-concept"); err == nil {
+		t.Fatal("synonym to unknown concept accepted")
+	}
+	if err := m.Ontology.AddSynonym("gender", "quality-certification"); err == nil {
+		t.Fatal("synonym shadowing a concept accepted")
+	}
+	// Resolve of unknown name is identity
+	if got := m.Ontology.Resolve("whatever"); got != "whatever" {
+		t.Fatalf("Resolve = %q", got)
+	}
+}
+
+func TestSynonymsSurviveOWLRoundTrip(t *testing.T) {
+	o := paperOntology(t)
+	o.AddSynonym("sesso", "gender")
+	o.AddSynonym("qualitaet", "quality-certification")
+	re, err := ParseOntology(o.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Resolve("sesso") != "gender" || re.Resolve("qualitaet") != "quality-certification" {
+		t.Fatalf("synonyms lost: %v", re.Synonyms())
+	}
+	// broken synonym entries rejected on parse
+	if _, err := ParseOntology(`<Ontology><Class ID="a"/><synonym alias="x" concept="nope"/></Ontology>`); err == nil {
+		t.Fatal("dangling synonym accepted")
+	}
+}

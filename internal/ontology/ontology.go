@@ -1,0 +1,414 @@
+// Package ontology implements the semantic layer of Trust-X (paper §4.3):
+// reference ontologies of credential concepts, the is_a hierarchy, the
+// GLUE-style Jaccard similarity matcher, and the Algorithm 1 mapping from
+// policy concepts to disclosable credentials.
+//
+// A concept bundles a name with the credential attributes that implement
+// it — the paper's example is ⟨gender; Passport.gender; DrivingLicense.sex⟩:
+// the "gender" concept can be implemented by the gender attribute of a
+// Passport credential or the sex attribute of a DrivingLicense credential.
+// Concepts are hierarchically organized by is_a: if Ci is_a Ck, the
+// information conveyed by Ci can be used to infer Ck (a Texas_DriverLicense
+// holder has a Civilian_DriverLicense).
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Implementation identifies one concrete way a concept materializes:
+// an attribute of a credential type, or a whole credential type when
+// Attribute is empty.
+type Implementation struct {
+	CredType  string
+	Attribute string
+}
+
+// String renders "CredType.Attribute" or just "CredType".
+func (im Implementation) String() string {
+	if im.Attribute == "" {
+		return im.CredType
+	}
+	return im.CredType + "." + im.Attribute
+}
+
+// Concept is a node of the ontology.
+type Concept struct {
+	Name string
+	// Attributes are the generic property names associated with the
+	// concept (used for similarity matching).
+	Attributes []string
+	// Implementations are the credential types/attributes that realize
+	// the concept.
+	Implementations []Implementation
+}
+
+// Ontology is a set of concepts related by is_a edges. Each negotiation
+// party maintains a local ontology and "adds more concepts to it as
+// needed" (§4.3). An Ontology is safe for concurrent reads; writers must
+// not race with readers (build it up front, or hold external locks).
+//
+// Besides concepts, an ontology carries a dictionary: the paper's
+// lighter-weight companion mechanism ("dictionaries … provide a way to
+// disambiguate similar names and assign a clear semantics to these
+// names", §4.3). A dictionary entry maps a synonym directly onto a
+// concept, short-circuiting similarity matching.
+type Ontology struct {
+	mu       sync.RWMutex
+	concepts map[string]*Concept
+	parents  map[string][]string // child -> is_a parents
+	children map[string][]string // parent -> children
+	byImpl   map[string][]string // credType -> concept names implemented
+	synonyms map[string]string   // dictionary: alias -> concept name
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		concepts: make(map[string]*Concept),
+		parents:  make(map[string][]string),
+		children: make(map[string][]string),
+		byImpl:   make(map[string][]string),
+		synonyms: make(map[string]string),
+	}
+}
+
+// Errors returned by ontology mutation and lookup.
+var (
+	ErrDuplicateConcept = errors.New("ontology: concept already defined")
+	ErrUnknownConcept   = errors.New("ontology: unknown concept")
+	ErrCycle            = errors.New("ontology: is_a edge would create a cycle")
+)
+
+// Add inserts a concept.
+func (o *Ontology) Add(c *Concept) error {
+	if c.Name == "" {
+		return errors.New("ontology: concept without name")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.concepts[c.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateConcept, c.Name)
+	}
+	cp := &Concept{
+		Name:            c.Name,
+		Attributes:      append([]string(nil), c.Attributes...),
+		Implementations: append([]Implementation(nil), c.Implementations...),
+	}
+	o.concepts[c.Name] = cp
+	for _, im := range cp.Implementations {
+		o.byImpl[im.CredType] = append(o.byImpl[im.CredType], c.Name)
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on error, for fixtures.
+func (o *Ontology) MustAdd(c *Concept) *Ontology {
+	if err := o.Add(c); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// AddIsA records that child is_a parent. Both concepts must exist and
+// the edge must not create a cycle.
+func (o *Ontology) AddIsA(child, parent string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.concepts[child]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConcept, child)
+	}
+	if _, ok := o.concepts[parent]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConcept, parent)
+	}
+	if child == parent || o.reachable(child, parent, o.children) {
+		return fmt.Errorf("%w: %s is_a %s", ErrCycle, child, parent)
+	}
+	o.parents[child] = append(o.parents[child], parent)
+	o.children[parent] = append(o.children[parent], child)
+	return nil
+}
+
+// MustAddIsA is AddIsA that panics on error.
+func (o *Ontology) MustAddIsA(child, parent string) *Ontology {
+	if err := o.AddIsA(child, parent); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// reachable reports whether `to` is reachable from `from` over edges.
+// Callers hold o.mu.
+func (o *Ontology) reachable(from, to string, edges map[string][]string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range edges[n] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// Concept returns the named concept.
+func (o *Ontology) Concept(name string) (*Concept, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	c, ok := o.concepts[name]
+	return c, ok
+}
+
+// AddSynonym records a dictionary entry: alias resolves to the named
+// concept (which must exist).
+func (o *Ontology) AddSynonym(alias, concept string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.concepts[concept]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConcept, concept)
+	}
+	if _, clash := o.concepts[alias]; clash {
+		return fmt.Errorf("ontology: synonym %q shadows an existing concept", alias)
+	}
+	o.synonyms[alias] = concept
+	return nil
+}
+
+// Resolve applies the dictionary: it returns the canonical concept name
+// for an alias, or the input unchanged when no entry exists.
+func (o *Ontology) Resolve(name string) string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if canon, ok := o.synonyms[name]; ok {
+		return canon
+	}
+	return name
+}
+
+// Synonyms returns the dictionary as a copy.
+func (o *Ontology) Synonyms() map[string]string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make(map[string]string, len(o.synonyms))
+	for k, v := range o.synonyms {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of concepts.
+func (o *Ontology) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.concepts)
+}
+
+// Names returns all concept names, sorted.
+func (o *Ontology) Names() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.concepts))
+	for n := range o.concepts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ancestors returns every concept transitively reachable via is_a from
+// name (excluding name itself), in BFS order.
+func (o *Ontology) Ancestors(name string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.closure(name, o.parents)
+}
+
+// Descendants returns every concept that transitively is_a name
+// (excluding name itself), in BFS order.
+func (o *Ontology) Descendants(name string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.closure(name, o.children)
+}
+
+func (o *Ontology) closure(name string, edges map[string][]string) []string {
+	var out []string
+	seen := map[string]bool{name: true}
+	queue := []string{name}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[n] {
+			if !seen[next] {
+				seen[next] = true
+				out = append(out, next)
+				queue = append(queue, next)
+			}
+		}
+	}
+	return out
+}
+
+// IsA reports whether child transitively is_a ancestor (true when equal).
+func (o *Ontology) IsA(child, ancestor string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.reachable(child, ancestor, o.parents)
+}
+
+// Parents returns the direct is_a parents of name.
+func (o *Ontology) Parents(name string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return append([]string(nil), o.parents[name]...)
+}
+
+// ImplementationsOf returns all implementations that satisfy the named
+// concept: its own and those of every descendant (a Texas license
+// implements the civilian-license concept).
+func (o *Ontology) ImplementationsOf(name string) []Implementation {
+	c, ok := o.Concept(name)
+	if !ok {
+		return nil
+	}
+	out := append([]Implementation(nil), c.Implementations...)
+	for _, d := range o.Descendants(name) {
+		if dc, ok := o.Concept(d); ok {
+			out = append(out, dc.Implementations...)
+		}
+	}
+	return out
+}
+
+// ConceptsFor returns the concepts directly implemented by the given
+// credential type, sorted.
+func (o *Ontology) ConceptsFor(credType string) []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := append([]string(nil), o.byImpl[credType]...)
+	sort.Strings(out)
+	return out
+}
+
+// ---- GLUE-style similarity matching (§4.3.1, ComputeSimilarity) ----
+
+// Tokens decomposes an identifier into lowercase word tokens: camelCase,
+// snake_case, kebab-case, dots and spaces all split.
+func Tokens(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == '.' || r == ' ' || r == '/':
+			flush()
+		case unicode.IsUpper(r):
+			// split at lower->Upper boundaries (camelCase) but keep
+			// acronym runs together (ABCDef splits before Def)
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// featureSet builds the token set the Jaccard coefficient runs over:
+// name tokens and attribute tokens. Implementations are deliberately
+// excluded — they describe credential formats, not the meaning of the
+// concept, and two ontologies mapping the same concept onto different
+// local formats must still match.
+func featureSet(c *Concept) map[string]bool {
+	fs := make(map[string]bool)
+	for _, t := range Tokens(c.Name) {
+		fs[t] = true
+	}
+	for _, a := range c.Attributes {
+		for _, t := range Tokens(a) {
+			fs[t] = true
+		}
+	}
+	return fs
+}
+
+// ComputeSimilarity returns the Jaccard coefficient of the two concepts'
+// feature sets — the matching measure the paper adopts from the GLUE
+// mapping tool: |A ∩ B| / |A ∪ B|, in [0,1].
+func ComputeSimilarity(a, b *Concept) float64 {
+	fa, fb := featureSet(a), featureSet(b)
+	if len(fa) == 0 && len(fb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range fa {
+		if fb[t] {
+			inter++
+		}
+	}
+	union := len(fa) + len(fb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Match is one row of an ontology mapping M(O1←O2): a local concept with
+// its confidence against a foreign concept.
+type Match struct {
+	Concept    string
+	Confidence float64
+}
+
+// BestMatch finds the local concept most similar to the foreign one,
+// scanning every concept as the paper prescribes ("taking C and matching
+// it with every concept in ontology O2"). It returns a zero Match when
+// the ontology is empty.
+func (o *Ontology) BestMatch(foreign *Concept) Match {
+	o.mu.RLock()
+	names := make([]string, 0, len(o.concepts))
+	for n := range o.concepts {
+		names = append(names, n)
+	}
+	o.mu.RUnlock()
+	sort.Strings(names) // deterministic tie-breaking
+	best := Match{}
+	for _, n := range names {
+		c, _ := o.Concept(n)
+		if sim := ComputeSimilarity(foreign, c); sim > best.Confidence {
+			best = Match{Concept: n, Confidence: sim}
+		}
+	}
+	return best
+}
+
+// BestMatchName is BestMatch for a bare concept name, building a
+// name-only pseudo-concept.
+func (o *Ontology) BestMatchName(name string) Match {
+	return o.BestMatch(&Concept{Name: name})
+}

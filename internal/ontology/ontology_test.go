@@ -1,0 +1,292 @@
+package ontology
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// paperOntology builds the ontology of the paper's running examples:
+// the gender concept ⟨gender; Passport.gender; DrivingLicense.sex⟩ and
+// the Texas_DriverLicense is_a Civilian_DriverLicense hierarchy, plus
+// the aircraft-scenario concepts.
+func paperOntology(t testing.TB) *Ontology {
+	t.Helper()
+	o := New()
+	o.MustAdd(&Concept{
+		Name:       "gender",
+		Attributes: []string{"gender"},
+		Implementations: []Implementation{
+			{CredType: "Passport", Attribute: "gender"},
+			{CredType: "DrivingLicense", Attribute: "sex"},
+		},
+	})
+	o.MustAdd(&Concept{
+		Name:            "Civilian_DriverLicense",
+		Implementations: []Implementation{{CredType: "DrivingLicense"}},
+	})
+	o.MustAdd(&Concept{
+		Name:            "Texas_DriverLicense",
+		Implementations: []Implementation{{CredType: "TexasDrivingLicense"}},
+	})
+	o.MustAddIsA("Texas_DriverLicense", "Civilian_DriverLicense")
+	o.MustAdd(&Concept{
+		Name:       "quality-certification",
+		Attributes: []string{"regulation"},
+		Implementations: []Implementation{
+			{CredType: "ISO 9000 Certified", Attribute: "QualityRegulation"},
+			{CredType: "WebDesignerQuality"},
+		},
+	})
+	return o
+}
+
+func TestIsAHierarchy(t *testing.T) {
+	o := paperOntology(t)
+	if !o.IsA("Texas_DriverLicense", "Civilian_DriverLicense") {
+		t.Fatal("Texas is_a Civilian should hold")
+	}
+	if !o.IsA("gender", "gender") {
+		t.Fatal("is_a is reflexive")
+	}
+	if o.IsA("Civilian_DriverLicense", "Texas_DriverLicense") {
+		t.Fatal("is_a must not be symmetric")
+	}
+	if got := o.Ancestors("Texas_DriverLicense"); len(got) != 1 || got[0] != "Civilian_DriverLicense" {
+		t.Fatalf("Ancestors = %v", got)
+	}
+	if got := o.Descendants("Civilian_DriverLicense"); len(got) != 1 || got[0] != "Texas_DriverLicense" {
+		t.Fatalf("Descendants = %v", got)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	o := paperOntology(t)
+	if err := o.Add(&Concept{Name: "gender"}); !errors.Is(err, ErrDuplicateConcept) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := o.Add(&Concept{}); err == nil {
+		t.Fatal("nameless concept accepted")
+	}
+	if err := o.AddIsA("gender", "missing"); !errors.Is(err, ErrUnknownConcept) {
+		t.Fatalf("unknown parent: %v", err)
+	}
+	if err := o.AddIsA("missing", "gender"); !errors.Is(err, ErrUnknownConcept) {
+		t.Fatalf("unknown child: %v", err)
+	}
+	if err := o.AddIsA("Civilian_DriverLicense", "Texas_DriverLicense"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle: %v", err)
+	}
+	if err := o.AddIsA("gender", "gender"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self-loop: %v", err)
+	}
+}
+
+func TestImplementationsOfIncludesDescendants(t *testing.T) {
+	o := paperOntology(t)
+	impls := o.ImplementationsOf("Civilian_DriverLicense")
+	var types []string
+	for _, im := range impls {
+		types = append(types, im.CredType)
+	}
+	sort.Strings(types)
+	want := []string{"DrivingLicense", "TexasDrivingLicense"}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("implementations = %v, want %v", types, want)
+	}
+	if got := o.ImplementationsOf("missing"); got != nil {
+		t.Fatalf("implementations of missing = %v", got)
+	}
+}
+
+func TestConceptsFor(t *testing.T) {
+	o := paperOntology(t)
+	if got := o.ConceptsFor("Passport"); len(got) != 1 || got[0] != "gender" {
+		t.Fatalf("ConceptsFor(Passport) = %v", got)
+	}
+	if got := o.ConceptsFor("Unknown"); len(got) != 0 {
+		t.Fatalf("ConceptsFor(Unknown) = %v", got)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	cases := map[string][]string{
+		"WebDesignerQuality":    {"web", "designer", "quality"},
+		"quality-certification": {"quality", "certification"},
+		"Texas_DriverLicense":   {"texas", "driver", "license"},
+		"Passport.gender":       {"passport", "gender"},
+		"ISO 9000 Certified":    {"iso", "9000", "certified"},
+		"AAAccreditation":       {"aa", "accreditation"},
+		"":                      nil,
+	}
+	for in, want := range cases {
+		if got := Tokens(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokens(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestComputeSimilarity(t *testing.T) {
+	a := &Concept{Name: "quality-certification", Attributes: []string{"regulation"}}
+	b := &Concept{Name: "QualityCertification"}
+	sim := ComputeSimilarity(a, b)
+	if sim <= 0.5 {
+		t.Fatalf("similar concepts scored %.2f", sim)
+	}
+	c := &Concept{Name: "storage-capacity"}
+	if s := ComputeSimilarity(a, c); s != 0 {
+		t.Fatalf("disjoint concepts scored %.2f", s)
+	}
+	// identical concepts score 1
+	if s := ComputeSimilarity(a, a); s != 1 {
+		t.Fatalf("self similarity = %.2f", s)
+	}
+	// empty concepts score 0, not NaN
+	if s := ComputeSimilarity(&Concept{}, &Concept{}); s != 0 {
+		t.Fatalf("empty similarity = %.2f", s)
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	gen := func(name string, attrs []string) *Concept {
+		return &Concept{Name: name, Attributes: attrs}
+	}
+	f := func(n1, n2 string, a1, a2 []string) bool {
+		c1, c2 := gen(n1, a1), gen(n2, a2)
+		s12 := ComputeSimilarity(c1, c2)
+		s21 := ComputeSimilarity(c2, c1)
+		// symmetric, bounded
+		return s12 == s21 && s12 >= 0 && s12 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestMatch(t *testing.T) {
+	o := paperOntology(t)
+	m := o.BestMatch(&Concept{Name: "QualityCertification", Attributes: []string{"regulation"}})
+	if m.Concept != "quality-certification" {
+		t.Fatalf("BestMatch = %+v", m)
+	}
+	if m.Confidence <= 0.4 {
+		t.Fatalf("confidence too low: %.2f", m.Confidence)
+	}
+	if got := New().BestMatchName("anything"); got.Concept != "" || got.Confidence != 0 {
+		t.Fatalf("BestMatch on empty ontology = %+v", got)
+	}
+}
+
+func TestNamesSortedAndLen(t *testing.T) {
+	o := paperOntology(t)
+	names := o.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	if o.Len() != len(names) || o.Len() != 4 {
+		t.Fatalf("Len = %d, names = %d", o.Len(), len(names))
+	}
+}
+
+func TestOWLRoundTrip(t *testing.T) {
+	o := paperOntology(t)
+	re, err := ParseOntology(o.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re.Names(), o.Names()) {
+		t.Fatalf("names differ: %v vs %v", re.Names(), o.Names())
+	}
+	if !re.IsA("Texas_DriverLicense", "Civilian_DriverLicense") {
+		t.Fatal("is_a edge lost in round trip")
+	}
+	c, ok := re.Concept("gender")
+	if !ok || len(c.Implementations) != 2 {
+		t.Fatalf("gender concept lost: %+v", c)
+	}
+	if c.Implementations[0].CredType != "Passport" || c.Implementations[0].Attribute != "gender" {
+		t.Fatalf("implementation lost: %+v", c.Implementations)
+	}
+}
+
+// TestFig8OntologySketch checks the OWL-sketch shape of Fig. 8: a class
+// per concept with implementations mapping different credential formats.
+func TestFig8OntologySketch(t *testing.T) {
+	o := paperOntology(t)
+	xml := o.XML()
+	for _, frag := range []string{
+		`<Ontology`,
+		`<Class ID="gender">`,
+		`<implementation attribute="gender" credType="Passport"/>`,
+		`<implementation attribute="sex" credType="DrivingLicense"/>`,
+		`<subClassOf resource="Civilian_DriverLicense"/>`,
+	} {
+		if !contains(xml, frag) {
+			t.Errorf("OWL sketch missing %q in:\n%s", frag, xml)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestParseOntologyErrors(t *testing.T) {
+	cases := []string{
+		`not xml`,
+		`<Wrong/>`,
+		`<Ontology><Class ID=""/></Ontology>`,
+		`<Ontology><Class ID="a"/><Class ID="a"/></Ontology>`,
+		`<Ontology><Class ID="a"><subClassOf resource="missing"/></Class></Ontology>`,
+	}
+	for _, c := range cases {
+		if _, err := ParseOntology(c); err == nil {
+			t.Errorf("ParseOntology(%q): expected error", c)
+		}
+	}
+}
+
+func BenchmarkComputeSimilarity(b *testing.B) {
+	a := &Concept{Name: "quality-certification", Attributes: []string{"regulation", "standard", "level"}}
+	c := &Concept{Name: "QualityCertificate", Attributes: []string{"regulation"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeSimilarity(a, c)
+	}
+}
+
+// BenchmarkBestMatch measures the Algorithm 1 miss path as the local
+// ontology grows (EXT-4).
+func benchmarkBestMatch(b *testing.B, n int) {
+	o := New()
+	for i := 0; i < n; i++ {
+		o.MustAdd(&Concept{
+			Name:       concatName("concept", i),
+			Attributes: []string{concatName("attr", i), concatName("prop", i%7)},
+		})
+	}
+	foreign := &Concept{Name: "ConceptQuality", Attributes: []string{"prop3"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.BestMatch(foreign)
+	}
+}
+
+func concatName(p string, i int) string {
+	return p + "-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+func BenchmarkBestMatch32(b *testing.B)   { benchmarkBestMatch(b, 32) }
+func BenchmarkBestMatch256(b *testing.B)  { benchmarkBestMatch(b, 256) }
+func BenchmarkBestMatch2048(b *testing.B) { benchmarkBestMatch(b, 2048) }

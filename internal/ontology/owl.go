@@ -1,0 +1,116 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"trustvo/internal/xmldom"
+)
+
+// OWL-sketch serialization (paper Fig. 8).
+//
+// The prototype stored its common credential-attribute ontology in OWL,
+// authored with Protégé and matched with Falcon-AO. This reproduction
+// serializes ontologies in an OWL-flavoured XML sketch — Class /
+// subClassOf / implementation elements — that round-trips through this
+// package. The structure mirrors Fig. 8's shape: one Class per concept,
+// subClassOf for is_a, and one element per credential implementation.
+//
+//	<Ontology about="trustvo">
+//	  <Class ID="gender">
+//	    <attribute name="gender"/>
+//	    <implementation credType="Passport" attribute="gender"/>
+//	    <implementation credType="DrivingLicense" attribute="sex"/>
+//	  </Class>
+//	  <Class ID="Texas_DriverLicense">
+//	    <subClassOf resource="Civilian_DriverLicense"/>
+//	  </Class>
+//	</Ontology>
+
+// DOM serializes the ontology as an OWL-sketch document with concepts
+// sorted by name.
+func (o *Ontology) DOM() *xmldom.Node {
+	root := xmldom.NewElement("Ontology").SetAttr("about", "trustvo")
+	for _, name := range o.Names() {
+		c, _ := o.Concept(name)
+		cls := xmldom.NewElement("Class").SetAttr("ID", c.Name)
+		for _, p := range o.Parents(c.Name) {
+			cls.AppendChild(xmldom.NewElement("subClassOf").SetAttr("resource", p))
+		}
+		for _, a := range c.Attributes {
+			cls.AppendChild(xmldom.NewElement("attribute").SetAttr("name", a))
+		}
+		for _, im := range c.Implementations {
+			el := xmldom.NewElement("implementation").SetAttr("credType", im.CredType)
+			if im.Attribute != "" {
+				el.SetAttr("attribute", im.Attribute)
+			}
+			cls.AppendChild(el)
+		}
+		root.AppendChild(cls)
+	}
+	syns := o.Synonyms()
+	aliases := make([]string, 0, len(syns))
+	for a := range syns {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	for _, a := range aliases {
+		root.AppendChild(xmldom.NewElement("synonym").
+			SetAttr("alias", a).SetAttr("concept", syns[a]))
+	}
+	return root
+}
+
+// XML serializes the ontology in canonical form.
+func (o *Ontology) XML() string { return o.DOM().XML() }
+
+// ParseOntology decodes an OWL-sketch document.
+func ParseOntology(xmlText string) (*Ontology, error) {
+	root, err := xmldom.ParseString(xmlText)
+	if err != nil {
+		return nil, fmt.Errorf("ontology: parse: %w", err)
+	}
+	if root.Name != "Ontology" {
+		return nil, fmt.Errorf("ontology: root element is <%s>, want <Ontology>", root.Name)
+	}
+	o := New()
+	type edge struct{ child, parent string }
+	var edges []edge
+	for _, cls := range root.Childs("Class") {
+		c := &Concept{Name: cls.AttrOr("ID", "")}
+		for _, a := range cls.Childs("attribute") {
+			c.Attributes = append(c.Attributes, a.AttrOr("name", ""))
+		}
+		for _, im := range cls.Childs("implementation") {
+			c.Implementations = append(c.Implementations, Implementation{
+				CredType:  im.AttrOr("credType", ""),
+				Attribute: im.AttrOr("attribute", ""),
+			})
+		}
+		if err := o.Add(c); err != nil {
+			return nil, err
+		}
+		for _, sc := range cls.Childs("subClassOf") {
+			edges = append(edges, edge{child: c.Name, parent: sc.AttrOr("resource", "")})
+		}
+	}
+	// edges are applied after all classes exist, in stable order
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].child != edges[j].child {
+			return edges[i].child < edges[j].child
+		}
+		return edges[i].parent < edges[j].parent
+	})
+	for _, e := range edges {
+		if err := o.AddIsA(e.child, e.parent); err != nil {
+			return nil, err
+		}
+	}
+	for _, syn := range root.Childs("synonym") {
+		if err := o.AddSynonym(syn.AttrOr("alias", ""), syn.AttrOr("concept", "")); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}

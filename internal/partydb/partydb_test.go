@@ -1,0 +1,167 @@
+package partydb
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/ontology"
+	"trustvo/internal/pki"
+	"trustvo/internal/store"
+	"trustvo/internal/xtnl"
+)
+
+func fixtureParty(t testing.TB) (*negotiation.Party, *pki.Authority) {
+	t.Helper()
+	ca := pki.MustNewAuthority("CertCA")
+	prof := xtnl.NewProfile("AerospaceCo")
+	prof.Add(
+		ca.MustIssue(pki.IssueRequest{
+			Type: "WebDesignerQuality", Holder: "AerospaceCo",
+			Attributes: []xtnl.Attribute{{Name: "regulation", Value: "UNI EN ISO 9000"}},
+		}),
+		ca.MustIssue(pki.IssueRequest{Type: "AAAMember", Holder: "AerospaceCo"}),
+	)
+	o := ontology.New()
+	o.MustAdd(&ontology.Concept{Name: "quality-certification",
+		Implementations: []ontology.Implementation{{CredType: "WebDesignerQuality"}}})
+	return &negotiation.Party{
+		Name:     "AerospaceCo",
+		Profile:  prof,
+		Policies: xtnl.MustPolicySet(xtnl.MustParsePolicies("WebDesignerQuality <- AAAccreditation")...),
+		Trust:    pki.NewTrustStore(ca),
+		Mapper:   &ontology.Mapper{Ontology: o, Profile: prof},
+	}, ca
+}
+
+func TestSaveLoadPartyRoundTrip(t *testing.T) {
+	p, ca := fixtureParty(t)
+	db := store.New()
+	if err := SaveParty(db, p); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadParty(db, &negotiation.Party{Name: "AerospaceCo", Trust: p.Trust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Profile.Len() != 2 {
+		t.Fatalf("profile = %d credentials", re.Profile.Len())
+	}
+	if re.Policies.Len() != 1 {
+		t.Fatalf("policies = %d", re.Policies.Len())
+	}
+	if re.Mapper == nil || re.Mapper.Ontology.Len() != 1 {
+		t.Fatal("ontology lost")
+	}
+	// reloaded credentials still verify (signature survived storage)
+	for _, c := range re.Profile.All() {
+		if err := pki.NewTrustStore(ca).Verify(c, time.Now()); err != nil {
+			t.Fatalf("credential %s: %v", c.ID, err)
+		}
+	}
+	// and the reloaded party can still negotiate
+	ctl := &negotiation.Party{
+		Name:    "AircraftCo",
+		Profile: xtnl.NewProfile("AircraftCo"),
+		Policies: xtnl.MustPolicySet(xtnl.MustParsePolicies(
+			"R <- WebDesignerQuality(regulation='UNI EN ISO 9000')")...),
+		Trust: pki.NewTrustStore(ca),
+	}
+	ctl.Profile.Add(ca.MustIssue(pki.IssueRequest{Type: "AAAccreditation", Holder: "AircraftCo"}))
+	out, _, err := negotiation.Run(re, ctl, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded {
+		t.Fatalf("negotiation with reloaded party failed: %s", out.Reason)
+	}
+}
+
+func TestOwnersIsolated(t *testing.T) {
+	db := store.New()
+	ca := pki.MustNewAuthority("CA")
+	for _, owner := range []string{"a", "b"} {
+		p := xtnl.NewProfile(owner)
+		p.Add(ca.MustIssue(pki.IssueRequest{Type: "T-" + owner, Holder: owner}))
+		if err := SaveProfile(db, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := LoadProfile(db, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1 || a.All()[0].Type != "T-a" {
+		t.Fatalf("owner isolation broken: %+v", a.All())
+	}
+	empty, err := LoadProfile(db, "nobody")
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("unknown owner: %d creds, %v", empty.Len(), err)
+	}
+}
+
+func TestPoliciesProtecting(t *testing.T) {
+	db := store.New()
+	ps := xtnl.MustPolicySet(xtnl.MustParsePolicies(`
+R1 <- A | B
+R2 <- C
+`)...)
+	if err := SavePolicies(db, "owner", ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := PoliciesProtecting(db, "owner", "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("R1 alternatives = %d", len(got))
+	}
+	got, err = PoliciesProtecting(db, "owner", "R3")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("unknown resource: %d, %v", len(got), err)
+	}
+}
+
+func TestSaveProfileRequiresIDs(t *testing.T) {
+	db := store.New()
+	p := xtnl.NewProfile("x")
+	p.Add(&xtnl.Credential{Type: "T"}) // no ID
+	if err := SaveProfile(db, p); err == nil {
+		t.Fatal("ID-less credential accepted")
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "party.wal")
+	db, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := fixtureParty(t)
+	if err := SaveParty(db, p); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	re, err := LoadParty(db2, &negotiation.Party{Name: "AerospaceCo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Profile.Len() != 2 || re.Policies.Len() != 1 {
+		t.Fatalf("state lost across reopen: %d creds, %d policies", re.Profile.Len(), re.Policies.Len())
+	}
+}
+
+func TestLoadOntologyAbsent(t *testing.T) {
+	db := store.New()
+	o, err := LoadOntology(db, "nobody")
+	if err != nil || o != nil {
+		t.Fatalf("absent ontology: %v, %v", o, err)
+	}
+}

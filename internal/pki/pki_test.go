@@ -1,0 +1,293 @@
+package pki
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"trustvo/internal/xtnl"
+)
+
+func TestIssueAndVerify(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	cred, err := ca.Issue(IssueRequest{
+		Type:       "ISO 9000 Certified",
+		Holder:     "AerospaceCo",
+		Attributes: []xtnl.Attribute{{Name: "QualityRegulation", Value: "UNI EN ISO 9000"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.Issuer != "INFN" || cred.ID == "" || len(cred.Signature) == 0 {
+		t.Fatalf("issued credential incomplete: %+v", cred)
+	}
+	ts := NewTrustStore(ca)
+	if err := ts.Verify(cred, time.Now()); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	cred := ca.MustIssue(IssueRequest{Type: "T", Attributes: []xtnl.Attribute{{Name: "level", Value: "3"}}})
+	ts := NewTrustStore(ca)
+
+	tampered := cred.Clone()
+	tampered.SetAttr("level", "99")
+	if err := ts.Verify(tampered, time.Now()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered credential: err = %v, want ErrBadSignature", err)
+	}
+
+	unsigned := cred.Clone()
+	unsigned.Signature = nil
+	if err := ts.Verify(unsigned, time.Now()); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("unsigned credential: err = %v, want ErrUnsigned", err)
+	}
+}
+
+func TestVerifyUnknownIssuer(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	other := MustNewAuthority("Stranger")
+	cred := other.MustIssue(IssueRequest{Type: "T"})
+	ts := NewTrustStore(ca)
+	if err := ts.Verify(cred, time.Now()); !errors.Is(err, ErrUnknownIssuer) {
+		t.Fatalf("err = %v, want ErrUnknownIssuer", err)
+	}
+}
+
+func TestVerifyExpiry(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	cred := ca.MustIssue(IssueRequest{
+		Type:      "T",
+		ValidFrom: time.Now().Add(-48 * time.Hour),
+		Lifetime:  24 * time.Hour,
+	})
+	ts := NewTrustStore(ca)
+	if err := ts.Verify(cred, time.Now()); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired: err = %v, want ErrExpired", err)
+	}
+	future := ca.MustIssue(IssueRequest{Type: "T", ValidFrom: time.Now().Add(24 * time.Hour)})
+	if err := ts.Verify(future, time.Now()); !errors.Is(err, ErrExpired) {
+		t.Fatalf("not-yet-valid: err = %v, want ErrExpired", err)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	cred := ca.MustIssue(IssueRequest{Type: "T"})
+	ts := NewTrustStore(ca)
+	if err := ts.Verify(cred, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	ca.Revoke(cred.ID)
+	if err := ts.AddCRL(ca.CRL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Verify(cred, time.Now()); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked: err = %v, want ErrRevoked", err)
+	}
+}
+
+func TestCRLSignatureChecked(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	mallory := MustNewAuthority("Mallory")
+	ts := NewTrustStore(ca)
+	// CRL claimed to be from INFN but signed by Mallory
+	crl := mallory.CRL()
+	crl.Issuer = "INFN"
+	if err := ts.AddCRL(crl); err == nil {
+		t.Fatal("forged CRL accepted")
+	}
+	// CRL from an untrusted issuer
+	if err := ts.AddCRL(mallory.CRL()); !errors.Is(err, ErrUnknownIssuer) {
+		t.Fatalf("untrusted CRL: err = %v", err)
+	}
+	// tampered list content
+	good := ca.CRL()
+	good.Revoked = append(good.Revoked, "extra")
+	if err := ts.AddCRL(good); err == nil {
+		t.Fatal("tampered CRL accepted")
+	}
+}
+
+func TestDelegationChain(t *testing.T) {
+	root := MustNewAuthority("RootCA")
+	mid := MustNewAuthority("RegionalCA")
+	leaf := MustNewAuthority("LocalCA")
+	delMid, err := root.Delegate(mid, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delLeaf, err := mid.Delegate(leaf, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := leaf.MustIssue(IssueRequest{Type: "T"})
+	ts := NewTrustStore(root)
+
+	chain, err := ts.VerifyChain(cred, []*xtnl.Credential{delLeaf, delMid}, time.Now())
+	if err != nil {
+		t.Fatalf("chain verify: %v", err)
+	}
+	if len(chain) != 2 {
+		t.Fatalf("chain length = %d, want 2", len(chain))
+	}
+	// chain is root-first
+	if got, _ := chain[0].Attr("authorityName"); got != "RegionalCA" {
+		t.Fatalf("chain[0] delegates %q", got)
+	}
+	if got, _ := chain[1].Attr("authorityName"); got != "LocalCA" {
+		t.Fatalf("chain[1] delegates %q", got)
+	}
+}
+
+func TestDelegationChainFailures(t *testing.T) {
+	root := MustNewAuthority("RootCA")
+	leaf := MustNewAuthority("LocalCA")
+	rogue := MustNewAuthority("Rogue")
+	cred := leaf.MustIssue(IssueRequest{Type: "T"})
+	ts := NewTrustStore(root)
+
+	// no supporting delegation at all
+	if _, err := ts.VerifyChain(cred, nil, time.Now()); !errors.Is(err, ErrNoChain) {
+		t.Fatalf("no pool: err = %v", err)
+	}
+	// delegation issued by an untrusted authority
+	badDel, _ := rogue.Delegate(leaf, time.Hour)
+	if _, err := ts.VerifyChain(cred, []*xtnl.Credential{badDel}, time.Now()); err == nil {
+		t.Fatal("rogue delegation accepted")
+	}
+	// expired delegation
+	oldDel, _ := root.Delegate(leaf, time.Hour)
+	oldDel.ValidFrom = time.Now().Add(-3 * time.Hour)
+	oldDel.ValidUntil = time.Now().Add(-2 * time.Hour)
+	oldDel.Signature = root.Keys.Sign(oldDel.SignedBytes())
+	if _, err := ts.VerifyChain(cred, []*xtnl.Credential{oldDel}, time.Now()); err == nil {
+		t.Fatal("expired delegation accepted")
+	}
+	// cycle: A delegates B, B delegates A, target issued by B
+	a := MustNewAuthority("A")
+	b := MustNewAuthority("B")
+	dab, _ := a.Delegate(b, time.Hour)
+	dba, _ := b.Delegate(a, time.Hour)
+	c2 := b.MustIssue(IssueRequest{Type: "T"})
+	if _, err := ts.VerifyChain(c2, []*xtnl.Credential{dab, dba}, time.Now()); !errors.Is(err, ErrNoChain) {
+		t.Fatalf("cycle: err = %v", err)
+	}
+	// depth limit
+	ts2 := NewTrustStore(root)
+	ts2.MaxChainDepth = 1
+	mid := MustNewAuthority("Mid")
+	dm, _ := root.Delegate(mid, time.Hour)
+	dl, _ := mid.Delegate(leaf, time.Hour)
+	if _, err := ts2.VerifyChain(cred, []*xtnl.Credential{dm, dl}, time.Now()); !errors.Is(err, ErrNoChain) {
+		t.Fatalf("depth limit: err = %v", err)
+	}
+}
+
+func TestOwnershipProof(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	holder := MustGenerateKeyPair()
+	cred := ca.MustIssue(IssueRequest{Type: "T", Holder: "me", HolderKey: holder.Public})
+	nonce, err := NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := ProveOwnership(holder, nonce)
+	if err := VerifyOwnership(cred, nonce, proof); err != nil {
+		t.Fatalf("ownership: %v", err)
+	}
+	// wrong key
+	thief := MustGenerateKeyPair()
+	if err := VerifyOwnership(cred, nonce, ProveOwnership(thief, nonce)); !errors.Is(err, ErrOwnershipFailed) {
+		t.Fatalf("thief proof: err = %v", err)
+	}
+	// replay with different nonce
+	nonce2, _ := NewNonce()
+	if err := VerifyOwnership(cred, nonce2, proof); !errors.Is(err, ErrOwnershipFailed) {
+		t.Fatalf("replayed proof: err = %v", err)
+	}
+	// credential without holder key
+	plain := ca.MustIssue(IssueRequest{Type: "T"})
+	if err := VerifyOwnership(plain, nonce, proof); !errors.Is(err, ErrOwnershipFailed) {
+		t.Fatalf("no holder key: err = %v", err)
+	}
+}
+
+func TestIssueRejectsEmptyType(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	if _, err := ca.Issue(IssueRequest{}); err == nil {
+		t.Fatal("empty type accepted")
+	}
+}
+
+func TestIssuedIDsUnique(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		c := ca.MustIssue(IssueRequest{Type: "T"})
+		if seen[c.ID] {
+			t.Fatalf("duplicate credential ID %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestCredentialXMLRoundTripKeepsSignatureValid(t *testing.T) {
+	ca := MustNewAuthority("INFN")
+	cred := ca.MustIssue(IssueRequest{
+		Type:       "ISO 9000 Certified",
+		Holder:     "AerospaceCo",
+		Attributes: []xtnl.Attribute{{Name: "QualityRegulation", Value: "UNI EN ISO 9000"}},
+	})
+	re, err := xtnl.ParseCredential(cred.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca)
+	if err := ts.Verify(re, time.Now()); err != nil {
+		t.Fatalf("signature did not survive XML round trip: %v", err)
+	}
+}
+
+func BenchmarkIssue(b *testing.B) {
+	ca := MustNewAuthority("INFN")
+	req := IssueRequest{Type: "T", Attributes: []xtnl.Attribute{{Name: "a", Value: "v"}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Issue(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	ca := MustNewAuthority("INFN")
+	cred := ca.MustIssue(IssueRequest{Type: "T", Attributes: []xtnl.Attribute{{Name: "a", Value: "v"}}})
+	ts := NewTrustStore(ca)
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ts.Verify(cred, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyChainDepth3(b *testing.B) {
+	root := MustNewAuthority("Root")
+	mid := MustNewAuthority("Mid")
+	leaf := MustNewAuthority("Leaf")
+	d1, _ := root.Delegate(mid, time.Hour)
+	d2, _ := mid.Delegate(leaf, time.Hour)
+	cred := leaf.MustIssue(IssueRequest{Type: "T"})
+	ts := NewTrustStore(root)
+	pool := []*xtnl.Credential{d1, d2}
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts.VerifyChain(cred, pool, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

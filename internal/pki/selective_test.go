@@ -1,0 +1,153 @@
+package pki
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trustvo/internal/xtnl"
+)
+
+func newSelectiveFixture(t *testing.T) (*Authority, *SelectiveCredential) {
+	t.Helper()
+	ca := MustNewAuthority("INFN")
+	sc, err := ca.IssueSelective(IssueRequest{
+		Type:   "BalanceSheet",
+		Holder: "AircraftCo",
+		Attributes: []xtnl.Attribute{
+			{Name: "year", Value: "2009"},
+			{Name: "revenue", Value: "12000000"},
+			{Name: "auditor", Value: "BBB"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, sc
+}
+
+func TestSelectiveDiscloseSubset(t *testing.T) {
+	ca, sc := newSelectiveFixture(t)
+	ts := NewTrustStore(ca)
+
+	// The committed credential itself verifies like any credential.
+	if err := ts.Verify(sc.Committed, time.Now()); err != nil {
+		t.Fatalf("committed credential: %v", err)
+	}
+	if sc.Committed.Type != "BalanceSheet (hashed)" {
+		t.Fatalf("committed type = %q", sc.Committed.Type)
+	}
+
+	d, err := sc.Disclose("auditor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := VerifyDisclosure(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Type != "BalanceSheet" {
+		t.Fatalf("view type = %q", view.Type)
+	}
+	if v, ok := view.Attr("auditor"); !ok || v != "BBB" {
+		t.Fatalf("opened auditor = %q %v", v, ok)
+	}
+	// undisclosed attributes stay hidden
+	if _, ok := view.Attr("revenue"); ok {
+		t.Fatal("revenue leaked into the view")
+	}
+	// commitments don't reveal values (hash, not plaintext)
+	if v, _ := d.Committed.Attr("revenue"); v == "12000000" {
+		t.Fatal("committed credential contains plaintext revenue")
+	}
+}
+
+func TestSelectiveTamperedOpeningRejected(t *testing.T) {
+	_, sc := newSelectiveFixture(t)
+	d, _ := sc.Disclose("year")
+	d.Opened[0].Value = "2024" // lie about the year
+	if _, err := VerifyDisclosure(d); !errors.Is(err, ErrCommitmentMismatch) {
+		t.Fatalf("tampered opening: err = %v", err)
+	}
+	// tampered salt also fails
+	d2, _ := sc.Disclose("year")
+	d2.Opened[0].Salt[0] ^= 1
+	if _, err := VerifyDisclosure(d2); !errors.Is(err, ErrCommitmentMismatch) {
+		t.Fatalf("tampered salt: err = %v", err)
+	}
+	// opening an attribute the credential never committed
+	d3, _ := sc.Disclose("year")
+	d3.Opened[0].Name = "phantom"
+	if _, err := VerifyDisclosure(d3); !errors.Is(err, ErrCommitmentMismatch) {
+		t.Fatalf("phantom attribute: err = %v", err)
+	}
+}
+
+func TestSelectiveDiscloseUnknownAttr(t *testing.T) {
+	_, sc := newSelectiveFixture(t)
+	if _, err := sc.Disclose("nope"); err == nil {
+		t.Fatal("disclosing unknown attribute should fail")
+	}
+}
+
+func TestSelectiveAttributeNames(t *testing.T) {
+	_, sc := newSelectiveFixture(t)
+	names := sc.AttributeNames()
+	sort.Strings(names)
+	want := []string{"auditor", "revenue", "year"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("AttributeNames = %v", names)
+	}
+}
+
+func TestSupportsSelectiveDisclosure(t *testing.T) {
+	_, sc := newSelectiveFixture(t)
+	if !SupportsSelectiveDisclosure(sc.Committed) {
+		t.Fatal("hashed credential should support selective disclosure")
+	}
+	if SupportsSelectiveDisclosure(&xtnl.Credential{Type: "Plain"}) {
+		t.Fatal("plain credential should not support selective disclosure")
+	}
+}
+
+func TestBaseType(t *testing.T) {
+	if got := BaseType("X (hashed)"); got != "X" {
+		t.Fatalf("BaseType = %q", got)
+	}
+	if got := BaseType("X"); got != "X" {
+		t.Fatalf("BaseType of plain = %q", got)
+	}
+	if got := BaseType(" (hashed)"); got != " (hashed)" {
+		t.Fatalf("BaseType of bare marker = %q", got)
+	}
+}
+
+// Property: for arbitrary attribute values, an honest open always
+// verifies and a flipped value never does.
+func TestQuickSelectiveSoundness(t *testing.T) {
+	ca := MustNewAuthority("QA")
+	f := func(val string, flip byte) bool {
+		sc, err := ca.IssueSelective(IssueRequest{
+			Type:       "T",
+			Attributes: []xtnl.Attribute{{Name: "a", Value: val}},
+		})
+		if err != nil {
+			return false
+		}
+		d, err := sc.Disclose("a")
+		if err != nil {
+			return false
+		}
+		if _, err := VerifyDisclosure(d); err != nil {
+			return false
+		}
+		d.Opened[0].Value = val + string(rune('A'+flip%26))
+		_, err = VerifyDisclosure(d)
+		return errors.Is(err, ErrCommitmentMismatch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

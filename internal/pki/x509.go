@@ -1,0 +1,238 @@
+package pki
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+)
+
+// This file is the X.509 bridge of §6.3: the VO Management toolkit
+// identifies members with X.509 certificates, so the integration mints a
+// VO membership credential as a real X.509 certificate at role-assignment
+// time ("we modified the TN service code to allow the VO Initiator to
+// create at runtime the VO membership credential: this is an X509
+// credential that is released to the VO member when it is assigned a VO
+// role").
+//
+// The §6.3 caveat is modelled too: X.509 cannot partially hide its
+// content, so profiles restricted to X.509 credentials support only the
+// standard and trusting negotiation strategies — internal/negotiation
+// enforces that by consulting SupportsSelectiveDisclosure.
+
+// Membership attribute OIDs (private-arc test OIDs).
+var (
+	oidVOName = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 55555, 1, 1}
+	oidVORole = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 55555, 1, 2}
+)
+
+// ParticipationTicketType is the credential type a membership token
+// presents when used as a ticket in later trust negotiations.
+const ParticipationTicketType = "VOParticipation"
+
+// MembershipToken is a decoded VO membership certificate: the X.509
+// credential a member presents during the VO operational phase. It also
+// carries the VO public key ("The membership token contains the public
+// key of the VO to be used for authentication in the VO", §5.1).
+type MembershipToken struct {
+	VO     string
+	Role   string
+	Member string
+	// VOKey is the VO authority's Ed25519 public key, from the issuer
+	// certificate.
+	VOKey []byte
+	// NotBefore/NotAfter delimit validity.
+	NotBefore, NotAfter time.Time
+	// DER is the raw certificate.
+	DER []byte
+}
+
+// PEM encodes the token's certificate in PEM form.
+func (m *MembershipToken) PEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: m.DER})
+}
+
+// VOAuthority mints and verifies X.509 membership tokens for one VO.
+// It is created by the VO Initiator during the identification phase.
+type VOAuthority struct {
+	VO   string
+	Keys *KeyPair
+
+	mu     sync.Mutex
+	serial int64
+	caCert *x509.Certificate
+	caDER  []byte
+}
+
+// NewVOAuthority creates the VO's certificate authority with a
+// self-signed CA certificate.
+func NewVOAuthority(voName string) (*VOAuthority, error) {
+	kp, err := GenerateKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	a := &VOAuthority{VO: voName, Keys: kp, serial: 1}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "VO CA " + voName, Organization: []string{voName}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, kp.Public, kp.Private)
+	if err != nil {
+		return nil, fmt.Errorf("pki: create VO CA: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parse VO CA: %w", err)
+	}
+	a.caCert = cert
+	a.caDER = der
+	return a, nil
+}
+
+// CACertPEM returns the CA certificate for distribution to members.
+func (a *VOAuthority) CACertPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: a.caDER})
+}
+
+// TrustAnchor returns the issuer name and key under which this VO's
+// membership tokens verify as participation tickets: other VOs add it
+// to their trust stores to accept "tickets attesting … participation"
+// in this VO (§5.1).
+func (a *VOAuthority) TrustAnchor() (name string, key []byte) {
+	return a.caCert.Subject.CommonName, append([]byte(nil), a.Keys.Public...)
+}
+
+// IssueMembership mints an X.509 membership token binding member to role
+// within the VO, valid for lifetime (default one year when zero).
+func (a *VOAuthority) IssueMembership(member, role string, lifetime time.Duration) (*MembershipToken, error) {
+	if member == "" || role == "" {
+		return nil, errors.New("pki: membership needs member and role")
+	}
+	if lifetime == 0 {
+		lifetime = 365 * 24 * time.Hour
+	}
+	a.mu.Lock()
+	a.serial++
+	serial := a.serial
+	a.mu.Unlock()
+
+	// The member's certificate key: a fresh key pair would normally be
+	// provided by the member via CSR; for membership tokens the subject
+	// key is the VO key itself since the token is a capability, not a
+	// TLS identity. We mint a distinct subject key to keep X.509
+	// semantics honest.
+	subjKeys, err := GenerateKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now().Add(-time.Minute)
+	// The token carries both the membership extensions AND the generic
+	// attribute-credential extensions, so it doubles as a participation
+	// ticket in later trust negotiations (§5.1: policies "can require …
+	// tickets attesting their participation to other VOs").
+	ticketAttrs, err := asn1.Marshal([]asn1Attr{
+		{Name: "vo", Value: a.VO},
+		{Name: "role", Value: role},
+		{Name: "member", Value: member},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pki: encode ticket attributes: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(serial),
+		Subject: pkix.Name{
+			CommonName:   member,
+			Organization: []string{a.VO},
+		},
+		NotBefore: now,
+		NotAfter:  now.Add(lifetime),
+		KeyUsage:  x509.KeyUsageDigitalSignature,
+		ExtraExtensions: []pkix.Extension{
+			{Id: oidVOName, Value: mustASN1(a.VO)},
+			{Id: oidVORole, Value: mustASN1(role)},
+			{Id: oidAttrCredType, Value: mustASN1(ParticipationTicketType)},
+			{Id: oidAttrCredID, Value: mustASN1(fmt.Sprintf("%s-ticket-%d", a.VO, serial))},
+			{Id: oidAttrContent, Value: ticketAttrs},
+		},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.caCert, subjKeys.Public, a.Keys.Private)
+	if err != nil {
+		return nil, fmt.Errorf("pki: issue membership: %w", err)
+	}
+	return &MembershipToken{
+		VO: a.VO, Role: role, Member: member,
+		VOKey:     append([]byte(nil), a.Keys.Public...),
+		NotBefore: tmpl.NotBefore, NotAfter: tmpl.NotAfter,
+		DER: der,
+	}, nil
+}
+
+// VerifyMembership parses and verifies a membership certificate against
+// this VO authority, returning the decoded token.
+func (a *VOAuthority) VerifyMembership(der []byte) (*MembershipToken, error) {
+	return VerifyMembershipDER(der, a.caDER)
+}
+
+// VerifyMembershipDER parses tokenDER and verifies it chains to caDER.
+func VerifyMembershipDER(tokenDER, caDER []byte) (*MembershipToken, error) {
+	ca, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parse CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(tokenDER)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parse membership cert: %w", err)
+	}
+	roots := x509.NewCertPool()
+	roots.AddCert(ca)
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:     roots,
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}); err != nil {
+		return nil, fmt.Errorf("pki: membership chain: %w", err)
+	}
+	tok := &MembershipToken{
+		Member:    cert.Subject.CommonName,
+		NotBefore: cert.NotBefore,
+		NotAfter:  cert.NotAfter,
+		DER:       tokenDER,
+	}
+	if len(cert.Subject.Organization) > 0 {
+		tok.VO = cert.Subject.Organization[0]
+	}
+	for _, ext := range cert.Extensions {
+		switch {
+		case ext.Id.Equal(oidVOName):
+			asn1.Unmarshal(ext.Value, &tok.VO)
+		case ext.Id.Equal(oidVORole):
+			asn1.Unmarshal(ext.Value, &tok.Role)
+		}
+	}
+	if edKey, ok := ca.PublicKey.(ed25519.PublicKey); ok {
+		tok.VOKey = append([]byte(nil), edKey...)
+	}
+	if tok.Role == "" {
+		return nil, errors.New("pki: membership certificate lacks VO role extension")
+	}
+	return tok, nil
+}
+
+func mustASN1(s string) []byte {
+	b, err := asn1.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package pki
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestMembershipIssueAndVerify(t *testing.T) {
+	voa, err := NewVOAuthority("AircraftOptimizationVO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := voa.IssueMembership("AerospaceCo", "DesignWebPortal", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VO != "AircraftOptimizationVO" || tok.Role != "DesignWebPortal" || tok.Member != "AerospaceCo" {
+		t.Fatalf("token fields: %+v", tok)
+	}
+	got, err := voa.VerifyMembership(tok.DER)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if got.VO != tok.VO || got.Role != tok.Role || got.Member != tok.Member {
+		t.Fatalf("decoded token = %+v, want %+v", got, tok)
+	}
+	// §5.1: the token carries the VO's public key for in-VO authentication.
+	if !bytes.Equal(got.VOKey, voa.Keys.Public) {
+		t.Fatal("token does not carry the VO public key")
+	}
+}
+
+func TestMembershipRejectsForeignCA(t *testing.T) {
+	voa1, _ := NewVOAuthority("VO1")
+	voa2, _ := NewVOAuthority("VO2")
+	tok, err := voa1.IssueMembership("m", "r", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := voa2.VerifyMembership(tok.DER); err == nil {
+		t.Fatal("membership from foreign VO accepted")
+	}
+}
+
+func TestMembershipRejectsGarbage(t *testing.T) {
+	voa, _ := NewVOAuthority("VO")
+	if _, err := voa.VerifyMembership([]byte("not a cert")); err == nil {
+		t.Fatal("garbage DER accepted")
+	}
+}
+
+func TestMembershipValidation(t *testing.T) {
+	voa, _ := NewVOAuthority("VO")
+	if _, err := voa.IssueMembership("", "r", 0); err == nil {
+		t.Fatal("empty member accepted")
+	}
+	if _, err := voa.IssueMembership("m", "", 0); err == nil {
+		t.Fatal("empty role accepted")
+	}
+}
+
+func TestMembershipPEMEncodes(t *testing.T) {
+	voa, _ := NewVOAuthority("VO")
+	tok, _ := voa.IssueMembership("m", "r", time.Hour)
+	p := tok.PEM()
+	if !bytes.Contains(p, []byte("BEGIN CERTIFICATE")) {
+		t.Fatalf("PEM output malformed: %s", p)
+	}
+	if !bytes.Contains(voa.CACertPEM(), []byte("BEGIN CERTIFICATE")) {
+		t.Fatal("CA PEM malformed")
+	}
+}
+
+func BenchmarkIssueMembership(b *testing.B) {
+	voa, _ := NewVOAuthority("VO")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := voa.IssueMembership("m", "r", time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

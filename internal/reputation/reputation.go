@@ -1,0 +1,132 @@
+// Package reputation tracks VO member reputations.
+//
+// The paper's lifecycle updates reputation throughout the operation
+// phase: "Each member will have an associated reputation, established on
+// the basis of past transactions and updated as it interacts with members
+// of the VO" (§2); violations lower it and can trigger replacement
+// ("during the operational phase one of the members detects that the
+// reputation of the HPC service has decreased due to contract's
+// violation", §5.1).
+//
+// The model is a beta reputation: a member's score is
+// (decayed positives + 1) / (decayed positives + decayed negatives + 2),
+// in (0,1), starting at the neutral prior 0.5. Evidence decays
+// exponentially with a configurable half-life, so old behaviour matters
+// less than recent behaviour.
+package reputation
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one reputation observation about a member.
+type Event struct {
+	Member   string
+	Positive bool
+	// Weight scales the observation (default 1 when zero); contract
+	// violations typically carry higher weight than routine operations.
+	Weight float64
+	At     time.Time
+	Note   string
+}
+
+// System accumulates events and computes scores. It is safe for
+// concurrent use.
+type System struct {
+	// HalfLife is the evidence half-life; zero disables decay.
+	HalfLife time.Duration
+
+	mu     sync.RWMutex
+	events map[string][]Event
+}
+
+// New returns a reputation system with the given evidence half-life
+// (zero = no decay).
+func New(halfLife time.Duration) *System {
+	return &System{HalfLife: halfLife, events: make(map[string][]Event)}
+}
+
+// Record stores an observation. Zero Weight defaults to 1; zero At
+// defaults to now.
+func (s *System) Record(e Event) {
+	if e.Weight == 0 {
+		e.Weight = 1
+	}
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events[e.Member] = append(s.events[e.Member], e)
+}
+
+// Events returns a copy of the member's history in recording order.
+func (s *System) Events(member string) []Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Event(nil), s.events[member]...)
+}
+
+// Score returns the member's reputation in (0,1) as of now. Members
+// without history score the neutral prior 0.5.
+func (s *System) Score(member string, now time.Time) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var pos, neg float64
+	for _, e := range s.events[member] {
+		w := e.Weight * s.decay(e.At, now)
+		if e.Positive {
+			pos += w
+		} else {
+			neg += w
+		}
+	}
+	return (pos + 1) / (pos + neg + 2)
+}
+
+func (s *System) decay(at, now time.Time) float64 {
+	if s.HalfLife <= 0 {
+		return 1
+	}
+	age := now.Sub(at)
+	if age <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(age) / float64(s.HalfLife))
+}
+
+// Below reports whether the member's score is under the threshold.
+func (s *System) Below(member string, threshold float64, now time.Time) bool {
+	return s.Score(member, now) < threshold
+}
+
+// MemberScore pairs a member with its score, for rankings.
+type MemberScore struct {
+	Member string
+	Score  float64
+}
+
+// Ranking returns all known members ordered by descending score
+// (ties broken by name for determinism).
+func (s *System) Ranking(now time.Time) []MemberScore {
+	s.mu.RLock()
+	members := make([]string, 0, len(s.events))
+	for m := range s.events {
+		members = append(members, m)
+	}
+	s.mu.RUnlock()
+	out := make([]MemberScore, 0, len(members))
+	for _, m := range members {
+		out = append(out, MemberScore{Member: m, Score: s.Score(m, now)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Member < out[j].Member
+	})
+	return out
+}

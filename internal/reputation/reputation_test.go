@@ -1,0 +1,193 @@
+package reputation
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNeutralPrior(t *testing.T) {
+	s := New(0)
+	if got := s.Score("unknown", t0); got != 0.5 {
+		t.Fatalf("prior = %v, want 0.5", got)
+	}
+}
+
+func TestPositiveAndNegativeEvidence(t *testing.T) {
+	s := New(0)
+	s.Record(Event{Member: "hpc", Positive: true, At: t0})
+	up := s.Score("hpc", t0)
+	if up <= 0.5 {
+		t.Fatalf("score after positive = %v", up)
+	}
+	s.Record(Event{Member: "hpc", Positive: false, At: t0})
+	mid := s.Score("hpc", t0)
+	if mid >= up {
+		t.Fatalf("negative evidence did not lower score: %v -> %v", up, mid)
+	}
+	// beta with 1 pos, 1 neg = (1+1)/(2+2) = 0.5
+	if math.Abs(mid-0.5) > 1e-9 {
+		t.Fatalf("balanced evidence = %v, want 0.5", mid)
+	}
+}
+
+func TestViolationWeight(t *testing.T) {
+	s := New(0)
+	s.Record(Event{Member: "a", Positive: false, At: t0})
+	s.Record(Event{Member: "b", Positive: false, Weight: 5, At: t0})
+	if s.Score("b", t0) >= s.Score("a", t0) {
+		t.Fatalf("weighted violation should hurt more: a=%v b=%v", s.Score("a", t0), s.Score("b", t0))
+	}
+}
+
+func TestDecayForgivesOldViolations(t *testing.T) {
+	s := New(24 * time.Hour)
+	s.Record(Event{Member: "hpc", Positive: false, Weight: 10, At: t0})
+	early := s.Score("hpc", t0)
+	late := s.Score("hpc", t0.Add(10*24*time.Hour))
+	if late <= early {
+		t.Fatalf("decay should raise the score over time: %v -> %v", early, late)
+	}
+	// after 10 half-lives the evidence is nearly gone
+	if math.Abs(late-0.5) > 0.01 {
+		t.Fatalf("decayed score = %v, want ≈0.5", late)
+	}
+	// exact half-life: weight 10 decays to 5 after 24h
+	half := s.Score("hpc", t0.Add(24*time.Hour))
+	want := 1.0 / (5 + 2)
+	if math.Abs(half-want) > 1e-9 {
+		t.Fatalf("half-life score = %v, want %v", half, want)
+	}
+}
+
+func TestNoDecayWhenDisabled(t *testing.T) {
+	s := New(0)
+	s.Record(Event{Member: "m", Positive: true, At: t0})
+	if s.Score("m", t0) != s.Score("m", t0.Add(1000*time.Hour)) {
+		t.Fatal("score changed without decay enabled")
+	}
+}
+
+func TestBelowThreshold(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 5; i++ {
+		s.Record(Event{Member: "hpc", Positive: false, At: t0})
+	}
+	if !s.Below("hpc", 0.4, t0) {
+		t.Fatalf("score = %v, expected below 0.4", s.Score("hpc", t0))
+	}
+	if s.Below("hpc", 0.1, t0) {
+		t.Fatal("score should not be below 0.1")
+	}
+}
+
+func TestRankingOrderAndTies(t *testing.T) {
+	s := New(0)
+	s.Record(Event{Member: "good", Positive: true, At: t0})
+	s.Record(Event{Member: "bad", Positive: false, At: t0})
+	s.Record(Event{Member: "tie1", Positive: true, At: t0})
+	s.Record(Event{Member: "tie2", Positive: true, At: t0})
+	r := s.Ranking(t0)
+	if len(r) != 4 {
+		t.Fatalf("ranking size = %d", len(r))
+	}
+	if r[len(r)-1].Member != "bad" {
+		t.Fatalf("worst member = %s", r[len(r)-1].Member)
+	}
+	// ties broken by name
+	var tiePos []string
+	for _, ms := range r {
+		if ms.Member == "tie1" || ms.Member == "tie2" {
+			tiePos = append(tiePos, ms.Member)
+		}
+	}
+	if tiePos[0] != "tie1" || tiePos[1] != "tie2" {
+		t.Fatalf("tie order = %v", tiePos)
+	}
+}
+
+func TestEventsCopied(t *testing.T) {
+	s := New(0)
+	s.Record(Event{Member: "m", Positive: true, At: t0, Note: "ok"})
+	ev := s.Events("m")
+	ev[0].Note = "mutated"
+	if s.Events("m")[0].Note != "ok" {
+		t.Fatal("Events returned a mutable reference")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := New(0)
+	s.Record(Event{Member: "m", Positive: true})
+	e := s.Events("m")[0]
+	if e.Weight != 1 || e.At.IsZero() {
+		t.Fatalf("defaults not applied: %+v", e)
+	}
+}
+
+func TestConcurrentRecordAndScore(t *testing.T) {
+	s := New(time.Hour)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Record(Event{Member: "m", Positive: i%2 == 0, At: t0})
+				s.Score("m", t0)
+				s.Ranking(t0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(s.Events("m")); got != 800 {
+		t.Fatalf("events = %d", got)
+	}
+}
+
+// Properties: scores stay in (0,1); positive evidence never lowers a
+// score; negative never raises it.
+func TestQuickScoreProperties(t *testing.T) {
+	f := func(outcomes []bool, weights []uint8) bool {
+		s := New(0)
+		prev := s.Score("m", t0)
+		for i, pos := range outcomes {
+			w := 1.0
+			if i < len(weights) {
+				w = float64(weights[i]%8) + 0.5
+			}
+			s.Record(Event{Member: "m", Positive: pos, Weight: w, At: t0})
+			cur := s.Score("m", t0)
+			if cur <= 0 || cur >= 1 {
+				return false
+			}
+			if pos && cur < prev {
+				return false
+			}
+			if !pos && cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScore1000Events(b *testing.B) {
+	s := New(time.Hour)
+	for i := 0; i < 1000; i++ {
+		s.Record(Event{Member: "m", Positive: i%3 != 0, At: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	now := t0.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score("m", now)
+	}
+}

@@ -1,0 +1,373 @@
+// Package store is an embedded XML document store: the reproduction's
+// substitute for the Oracle/MySQL databases the paper's prototype used to
+// hold disclosure policies, credentials and ontologies (§6.2–6.3).
+//
+// The paper's StartNegotiation operation "opens the connection with [the]
+// Oracle database containing the disclosure policies and credentials of
+// the invoker"; PolicyExchange "checks if the database contains disclosure
+// policies protecting the credentials requested"; and policy conditions
+// are "XPath queries" over stored XML. This store preserves exactly those
+// code paths:
+//
+//   - documents are stored by (kind, key) and indexed by kind and by the
+//     root element's "type" attribute (credential/policy lookup by type);
+//   - Query evaluates a compiled XPath predicate over every document of a
+//     kind;
+//   - durability comes from a write-ahead log of length-prefixed,
+//     CRC-checked frames that is replayed on open; a torn tail (partial
+//     last write after a crash) is detected and truncated.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xpath"
+)
+
+// Record is one stored document.
+type Record struct {
+	Kind string
+	Key  string
+	// XML is the canonical serialized form (authoritative).
+	XML string
+
+	doc *xmldom.Node // lazily parsed cache
+}
+
+// Doc returns the parsed document tree (cached). The returned node must
+// be treated as read-only; Clone it before mutating.
+func (r *Record) Doc() (*xmldom.Node, error) {
+	if r.doc == nil {
+		n, err := xmldom.ParseString(r.XML)
+		if err != nil {
+			return nil, fmt.Errorf("store: record %s/%s: %w", r.Kind, r.Key, err)
+		}
+		r.doc = n
+	}
+	return r.doc, nil
+}
+
+// TypeAttr returns the root element's "type" attribute, the secondary
+// index key ("" when absent).
+func (r *Record) TypeAttr() string {
+	doc, err := r.Doc()
+	if err != nil {
+		return ""
+	}
+	return doc.AttrOr("type", "")
+}
+
+// Store is the document store. All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	byKey  map[string]*Record            // composite kind\x00key -> record
+	byKind map[string]map[string]*Record // kind -> key -> record
+	byType map[string]map[string][]*Record
+
+	wal  *wal
+	path string
+	// syncEveryPut forces an fsync after every logged write (OpenDurable).
+	syncEveryPut bool
+}
+
+// ErrNotFound is returned by Get and Delete for missing records.
+var ErrNotFound = errors.New("store: record not found")
+
+// New creates an in-memory store with no durability.
+func New() *Store {
+	return &Store{
+		byKey:  make(map[string]*Record),
+		byKind: make(map[string]map[string]*Record),
+		byType: make(map[string]map[string][]*Record),
+	}
+}
+
+// OpenDurable is Open with synchronous durability: every Put/Delete is
+// fsynced before returning. Slower, but a crash can lose at most the
+// in-flight write (Open's default risks the OS write-back window).
+func OpenDurable(path string) (*Store, error) {
+	s, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s.syncEveryPut = true
+	return s, nil
+}
+
+// Open creates (or reopens) a WAL-backed store at path. Existing log
+// contents are replayed; a torn final frame is truncated away.
+func Open(path string) (*Store, error) {
+	s := New()
+	s.path = path
+	w, entries, err := openWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	for _, e := range entries {
+		switch e.op {
+		case opPut:
+			if err := s.applyPut(e.kind, e.key, e.doc); err != nil {
+				// Documents in the log were validated before being
+				// appended; a parse failure here means on-disk
+				// corruption that crc32 did not catch. Surface it.
+				w.Close()
+				return nil, fmt.Errorf("store: replay %s/%s: %w", e.kind, e.key, err)
+			}
+		case opDelete:
+			s.applyDelete(e.kind, e.key)
+		}
+	}
+	return s, nil
+}
+
+// Close releases the WAL file handle. The in-memory view stays usable
+// but further writes fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		err := s.wal.Close()
+		s.wal = nil
+		return err
+	}
+	return nil
+}
+
+func composite(kind, key string) string { return kind + "\x00" + key }
+
+// Put validates, stores and (when WAL-backed) logs a document.
+func (s *Store) Put(kind, key string, doc *xmldom.Node) error {
+	if kind == "" || key == "" {
+		return errors.New("store: kind and key required")
+	}
+	if strings.ContainsRune(kind, 0) || strings.ContainsRune(key, 0) {
+		return errors.New("store: kind and key must not contain NUL")
+	}
+	xml := doc.XML()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.append(walEntry{op: opPut, kind: kind, key: key, doc: xml}); err != nil {
+			return err
+		}
+		if s.syncEveryPut {
+			if err := s.wal.sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return s.applyPut(kind, key, xml)
+}
+
+// PutXML stores a pre-serialized document after validating it parses.
+func (s *Store) PutXML(kind, key, xml string) error {
+	doc, err := xmldom.ParseString(xml)
+	if err != nil {
+		return fmt.Errorf("store: put %s/%s: %w", kind, key, err)
+	}
+	return s.Put(kind, key, doc)
+}
+
+// applyPut inserts into the in-memory maps. Caller holds s.mu (write).
+func (s *Store) applyPut(kind, key, xml string) error {
+	rec := &Record{Kind: kind, Key: key, XML: xml}
+	if _, err := rec.Doc(); err != nil {
+		return err
+	}
+	ck := composite(kind, key)
+	if old, exists := s.byKey[ck]; exists {
+		s.removeFromTypeIndex(old)
+	}
+	s.byKey[ck] = rec
+	km := s.byKind[kind]
+	if km == nil {
+		km = make(map[string]*Record)
+		s.byKind[kind] = km
+	}
+	km[key] = rec
+	if ta := rec.TypeAttr(); ta != "" {
+		tm := s.byType[kind]
+		if tm == nil {
+			tm = make(map[string][]*Record)
+			s.byType[kind] = tm
+		}
+		tm[ta] = append(tm[ta], rec)
+	}
+	return nil
+}
+
+func (s *Store) removeFromTypeIndex(rec *Record) {
+	ta := rec.TypeAttr()
+	if ta == "" {
+		return
+	}
+	lst := s.byType[rec.Kind][ta]
+	for i, r := range lst {
+		if r == rec {
+			s.byType[rec.Kind][ta] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns the record stored under (kind, key).
+func (s *Store) Get(kind, key string) (*Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.byKey[composite(kind, key)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
+	}
+	return rec, nil
+}
+
+// Delete removes a record, logging the removal when WAL-backed.
+func (s *Store) Delete(kind, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byKey[composite(kind, key)]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
+	}
+	if s.wal != nil {
+		if err := s.wal.append(walEntry{op: opDelete, kind: kind, key: key}); err != nil {
+			return err
+		}
+		if s.syncEveryPut {
+			if err := s.wal.sync(); err != nil {
+				return err
+			}
+		}
+	}
+	s.applyDelete(kind, key)
+	return nil
+}
+
+func (s *Store) applyDelete(kind, key string) {
+	ck := composite(kind, key)
+	rec, ok := s.byKey[ck]
+	if !ok {
+		return
+	}
+	s.removeFromTypeIndex(rec)
+	delete(s.byKey, ck)
+	delete(s.byKind[kind], key)
+}
+
+// List returns the records of a kind, sorted by key.
+func (s *Store) List(kind string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	km := s.byKind[kind]
+	out := make([]*Record, 0, len(km))
+	for _, r := range km {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Count returns the number of records of a kind.
+func (s *Store) Count(kind string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byKind[kind])
+}
+
+// ByTypeAttr returns the records of a kind whose root "type" attribute
+// equals typ, using the secondary index.
+func (s *Store) ByTypeAttr(kind, typ string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lst := s.byType[kind][typ]
+	out := make([]*Record, len(lst))
+	copy(out, lst)
+	return out
+}
+
+// Query returns the records of a kind whose document satisfies the
+// XPath predicate, sorted by key.
+func (s *Store) Query(kind string, pred *xpath.Expr) ([]*Record, error) {
+	recs := s.List(kind)
+	out := make([]*Record, 0, len(recs))
+	for _, r := range recs {
+		doc, err := r.Doc()
+		if err != nil {
+			return nil, err
+		}
+		if pred.Bool(doc) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// QueryString compiles expr and runs Query.
+func (s *Store) QueryString(kind, expr string) ([]*Record, error) {
+	e, err := xpath.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(kind, e)
+}
+
+// Compact rewrites the WAL to contain exactly the live records,
+// reclaiming space from overwrites and deletions. No-op for in-memory
+// stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	var entries []walEntry
+	kinds := make([]string, 0, len(s.byKind))
+	for k := range s.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		keys := make([]string, 0, len(s.byKind[kind]))
+		for k := range s.byKind[kind] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			r := s.byKind[kind][key]
+			entries = append(entries, walEntry{op: opPut, kind: kind, key: key, doc: r.XML})
+		}
+	}
+	return s.wal.rewrite(entries)
+}
+
+// Path returns the WAL path ("" for in-memory stores).
+func (s *Store) Path() string { return s.path }
+
+// Sync forces the WAL to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// Destroy closes the store and removes its WAL file. For tests.
+func (s *Store) Destroy() error {
+	if err := s.Close(); err != nil {
+		return err
+	}
+	if s.path != "" {
+		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,446 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xpath"
+)
+
+func el(t testing.TB, s string) *xmldom.Node {
+	t.Helper()
+	n, err := xmldom.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if err := s.Put("credential", "c1", el(t, `<credential type="ISO"><header/></credential>`)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Get("credential", "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TypeAttr() != "ISO" {
+		t.Fatalf("TypeAttr = %q", rec.TypeAttr())
+	}
+	if err := s.Delete("credential", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("credential", "c1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+	if err := s.Delete("credential", "c1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := New()
+	doc := el(t, `<d/>`)
+	if err := s.Put("", "k", doc); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+	if err := s.Put("k", "", doc); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put("a\x00b", "k", doc); err == nil {
+		t.Fatal("NUL kind accepted")
+	}
+	if err := s.PutXML("k", "k", "<broken"); err == nil {
+		t.Fatal("broken XML accepted")
+	}
+}
+
+func TestOverwriteUpdatesTypeIndex(t *testing.T) {
+	s := New()
+	s.Put("c", "k", el(t, `<credential type="A"/>`))
+	s.Put("c", "k", el(t, `<credential type="B"/>`))
+	if got := len(s.ByTypeAttr("c", "A")); got != 0 {
+		t.Fatalf("stale type index A: %d", got)
+	}
+	if got := len(s.ByTypeAttr("c", "B")); got != 1 {
+		t.Fatalf("type index B: %d", got)
+	}
+	if s.Count("c") != 1 {
+		t.Fatalf("Count = %d", s.Count("c"))
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"z", "a", "m"} {
+		s.Put("p", k, el(t, `<p/>`))
+	}
+	recs := s.List("p")
+	if len(recs) != 3 || recs[0].Key != "a" || recs[2].Key != "z" {
+		t.Fatalf("List order: %v", []string{recs[0].Key, recs[1].Key, recs[2].Key})
+	}
+	if got := s.List("missing"); len(got) != 0 {
+		t.Fatalf("List of unknown kind = %d", len(got))
+	}
+}
+
+func TestQueryXPath(t *testing.T) {
+	s := New()
+	s.PutXML("credential", "c1", `<credential type="ISO"><content><level>3</level></content></credential>`)
+	s.PutXML("credential", "c2", `<credential type="ISO"><content><level>1</level></content></credential>`)
+	s.PutXML("credential", "c3", `<credential type="Other"><content><level>9</level></content></credential>`)
+
+	recs, err := s.QueryString("credential", `/credential[@type='ISO']/content/level >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != "c1" {
+		t.Fatalf("query result: %+v", recs)
+	}
+	if _, err := s.QueryString("credential", "/["); err == nil {
+		t.Fatal("bad xpath accepted")
+	}
+	pred := xpath.MustCompile(`//level`)
+	recs, err = s.Query("credential", pred)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("broad query = %d, %v", len(recs), err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutXML("policy", "p1", `<policy type="disclosure"><resource target="R"/><properties><certificate targetCertType="T"/></properties></policy>`)
+	s.PutXML("policy", "p2", `<policy type="delivery"><resource target="S"/></policy>`)
+	s.Delete("policy", "p2")
+	s.PutXML("policy", "p1", `<policy type="delivery"><resource target="R2"/></policy>`) // overwrite
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Count("policy") != 1 {
+		t.Fatalf("replayed count = %d", re.Count("policy"))
+	}
+	rec, err := re.Get("policy", "p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := rec.Doc()
+	if doc.Child("resource").AttrOr("target", "") != "R2" {
+		t.Fatalf("overwrite lost on replay: %s", rec.XML)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutXML("k", "good1", `<d n="1"/>`)
+	s.PutXML("k", "good2", `<d n="2"/>`)
+	s.Close()
+
+	// simulate a crash mid-write: append a partial frame
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{'T', 'V', 'P', 0, 3}) // header cut short
+	f.Close()
+	before, _ := os.Stat(path)
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if re.Count("k") != 2 {
+		t.Fatalf("count after torn tail = %d", re.Count("k"))
+	}
+	// torn tail was truncated
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d", before.Size(), after.Size())
+	}
+	// and the store keeps working
+	if err := re.PutXML("k", "good3", `<d n="3"/>`); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Count("k") != 3 {
+		t.Fatalf("post-recovery write lost: %d", re2.Count("k"))
+	}
+}
+
+func TestCorruptedFrameStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	s, _ := Open(path)
+	s.PutXML("k", "a", `<d/>`)
+	s.PutXML("k", "b", `<d/>`)
+	s.Close()
+
+	// flip a byte in the middle of the second frame
+	data, _ := os.ReadFile(path)
+	data[len(data)-6] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Count("k") != 1 {
+		t.Fatalf("replay past corruption: count = %d", re.Count("k"))
+	}
+}
+
+func TestCompactShrinksLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.wal")
+	s, _ := Open(path)
+	for i := 0; i < 50; i++ {
+		s.PutXML("k", "same", fmt.Sprintf(`<d n="%d"/>`, i))
+	}
+	s.Sync()
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	// post-compact writes and replay still work
+	s.PutXML("k", "extra", `<d/>`)
+	s.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Count("k") != 2 {
+		t.Fatalf("count after compact+reopen = %d", re.Count("k"))
+	}
+	rec, _ := re.Get("k", "same")
+	doc, _ := rec.Doc()
+	if doc.AttrOr("n", "") != "49" {
+		t.Fatalf("latest version lost: %s", rec.XML)
+	}
+}
+
+func TestInMemoryNoWALOps(t *testing.T) {
+	s := New()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Path() != "" {
+		t.Fatal("in-memory path should be empty")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k-%d-%d", g, i)
+				if err := s.PutXML("c", key, fmt.Sprintf(`<credential type="T%d"/>`, g)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get("c", key); err != nil {
+					t.Error(err)
+					return
+				}
+				s.List("c")
+				s.ByTypeAttr("c", fmt.Sprintf("T%d", g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Count("c") != 400 {
+		t.Fatalf("Count = %d", s.Count("c"))
+	}
+}
+
+// Property: WAL frames round-trip arbitrary kind/key/doc strings.
+func TestQuickWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(keyRaw, val string) bool {
+		i++
+		path := filepath.Join(dir, fmt.Sprintf("q%d.wal", i))
+		s, err := Open(path)
+		if err != nil {
+			return false
+		}
+		key := "k" + fmt.Sprintf("%x", keyRaw) // printable, non-empty
+		doc := xmldom.NewElement("d")
+		doc.AppendChild(xmldom.NewText(sanitizeXML(val)))
+		if err := s.Put("kind", key, doc); err != nil {
+			return false
+		}
+		want := doc.XML()
+		s.Close()
+		re, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer re.Close()
+		rec, err := re.Get("kind", key)
+		if err != nil {
+			return false
+		}
+		return rec.XML == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeXML(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 0x20 && r != 0x7F && r <= 0xD7FF {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New()
+	doc := el(b, `<credential type="ISO"><content><level>3</level></content></credential>`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put("c", fmt.Sprintf("k%d", i), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutWAL(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	s, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	doc := el(b, `<credential type="ISO"><content><level>3</level></content></credential>`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put("c", fmt.Sprintf("k%d", i), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.PutXML("c", fmt.Sprintf("k%d", i), `<credential type="ISO"/>`)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("c", fmt.Sprintf("k%d", i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryXPath1000(b *testing.B) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.PutXML("c", fmt.Sprintf("k%d", i), fmt.Sprintf(`<credential type="T%d"><content><level>%d</level></content></credential>`, i%10, i%5))
+	}
+	pred := xpath.MustCompile(`/credential[@type='T3']/content/level >= 3`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("c", pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkByTypeAttr1000(b *testing.B) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.PutXML("c", fmt.Sprintf("k%d", i), fmt.Sprintf(`<credential type="T%d"/>`, i%10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.ByTypeAttr("c", "T3"); len(got) != 100 {
+			b.Fatalf("index result = %d", len(got))
+		}
+	}
+}
+
+func TestOpenDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "durable.wal")
+	s, err := OpenDurable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutXML("k", "a", `<d/>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutXML("k", "b", `<d/>`); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Count("k") != 1 {
+		t.Fatalf("count = %d", re.Count("k"))
+	}
+}
+
+func BenchmarkPutWALDurable(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench-durable.wal")
+	s, err := OpenDurable(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	doc := el(b, `<credential type="ISO"><content><level>3</level></content></credential>`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put("c", fmt.Sprintf("k%d", i), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

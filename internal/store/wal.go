@@ -1,0 +1,237 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log framing.
+//
+// Each frame:
+//
+//	magic   [2]byte  "TV"
+//	op      byte     'P' (put) | 'D' (delete)
+//	kindLen uint16
+//	keyLen  uint16
+//	docLen  uint32
+//	kind, key, doc bytes
+//	crc     uint32   CRC-32 (IEEE) over everything above
+//
+// A frame whose bytes run past EOF or whose CRC fails marks the torn
+// tail of the log: replay stops there and the file is truncated to the
+// last good frame, which is the standard crash-recovery contract of a
+// WAL (committed writes survive, the torn write disappears).
+
+type walOp byte
+
+const (
+	opPut    walOp = 'P'
+	opDelete walOp = 'D'
+)
+
+var walMagic = [2]byte{'T', 'V'}
+
+type walEntry struct {
+	op   walOp
+	kind string
+	key  string
+	doc  string
+}
+
+type wal struct {
+	f *os.File
+}
+
+// ErrWALClosed is returned for writes after Close.
+var ErrWALClosed = errors.New("store: WAL closed")
+
+func openWAL(path string) (*wal, []walEntry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open WAL: %w", err)
+	}
+	entries, good, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate a torn tail so future appends start at a frame boundary.
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f}, entries, nil
+}
+
+// replay reads frames until EOF or corruption, returning the decoded
+// entries and the offset of the end of the last good frame.
+func replay(f *os.File) ([]walEntry, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var entries []walEntry
+	var good int64
+	hdr := make([]byte, 2+1+2+2+4)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			// io.EOF: clean end. ErrUnexpectedEOF: torn header.
+			return entries, good, nil
+		}
+		if hdr[0] != walMagic[0] || hdr[1] != walMagic[1] {
+			return entries, good, nil // garbage: stop at last good frame
+		}
+		op := walOp(hdr[2])
+		kindLen := binary.BigEndian.Uint16(hdr[3:5])
+		keyLen := binary.BigEndian.Uint16(hdr[5:7])
+		docLen := binary.BigEndian.Uint32(hdr[7:11])
+		if docLen > 1<<30 {
+			return entries, good, nil
+		}
+		body := make([]byte, int(kindLen)+int(keyLen)+int(docLen)+4)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return entries, good, nil // torn body
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr)
+		payload := body[:len(body)-4]
+		crc.Write(payload)
+		want := binary.BigEndian.Uint32(body[len(body)-4:])
+		if crc.Sum32() != want {
+			return entries, good, nil // corrupted frame
+		}
+		if op != opPut && op != opDelete {
+			return entries, good, nil
+		}
+		e := walEntry{
+			op:   op,
+			kind: string(payload[:kindLen]),
+			key:  string(payload[kindLen : int(kindLen)+int(keyLen)]),
+			doc:  string(payload[int(kindLen)+int(keyLen):]),
+		}
+		entries = append(entries, e)
+		good += int64(len(hdr) + len(body))
+	}
+}
+
+func encodeFrame(e walEntry) ([]byte, error) {
+	if len(e.kind) > 0xFFFF || len(e.key) > 0xFFFF {
+		return nil, errors.New("store: kind or key too long for WAL frame")
+	}
+	hdr := make([]byte, 2+1+2+2+4)
+	hdr[0], hdr[1] = walMagic[0], walMagic[1]
+	hdr[2] = byte(e.op)
+	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(e.kind)))
+	binary.BigEndian.PutUint16(hdr[5:7], uint16(len(e.key)))
+	binary.BigEndian.PutUint32(hdr[7:11], uint32(len(e.doc)))
+	frame := make([]byte, 0, len(hdr)+len(e.kind)+len(e.key)+len(e.doc)+4)
+	frame = append(frame, hdr...)
+	frame = append(frame, e.kind...)
+	frame = append(frame, e.key...)
+	frame = append(frame, e.doc...)
+	crc := crc32.ChecksumIEEE(frame)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc)
+	frame = append(frame, tail[:]...)
+	return frame, nil
+}
+
+func (w *wal) append(e walEntry) error {
+	if w.f == nil {
+		return ErrWALClosed
+	}
+	frame, err := encodeFrame(e)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	return nil
+}
+
+// rewrite atomically replaces the log contents with the given entries
+// (used by Compact). It writes to a sibling temp file and renames over.
+func (w *wal) rewrite(entries []walEntry) error {
+	if w.f == nil {
+		return ErrWALClosed
+	}
+	path := w.f.Name()
+	tmp, err := os.CreateTemp(filepathDir(path), ".wal-compact-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	for _, e := range entries {
+		frame, err := encodeFrame(e)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return err
+		}
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	old := w.f
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return old.Close()
+}
+
+func (w *wal) sync() error {
+	if w.f == nil {
+		return ErrWALClosed
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// filepathDir is filepath.Dir without importing path/filepath for one
+// call site... actually import it; kept as a helper for clarity.
+func filepathDir(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return p[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,141 @@
+// Package vo models Virtual Organizations and their lifecycle (paper §2):
+// identification (a VO Initiator defines a business goal and a contract
+// with roles, requirements and collaboration rules), formation (potential
+// members are selected and invited), operation (members cooperate under
+// the collaboration rules, monitored for violations, with reputation
+// updates and replacement) and dissolution.
+//
+// Trust negotiation hooks into this lifecycle in internal/core; this
+// package is the TN-free substrate — the "VO Management toolkit" state
+// the paper integrates against.
+package vo
+
+import (
+	"errors"
+	"fmt"
+
+	"trustvo/internal/xtnl"
+)
+
+// RoleSpec describes one role of the VO contract: what the member must
+// provide and what it must prove to be admitted.
+type RoleSpec struct {
+	Name        string
+	Description string
+	// Capabilities the candidate's published service description must
+	// offer (matched against the registry during formation).
+	Capabilities []string
+	// AdmissionPolicies are the disclosure policies, in X-TNL DSL form,
+	// that protect this role's membership; the resource name of each
+	// policy is the membership resource (see MembershipResource).
+	// Defined by the Initiator during identification (§5.1:
+	// "Policies are created for the specific VO and in particular for
+	// the roles the VO potential members will play").
+	AdmissionPolicies []*xtnl.Policy
+	// MinMembers/MaxMembers bound how many members may fill the role
+	// (0 MaxMembers = 1).
+	MinMembers, MaxMembers int
+}
+
+// MembershipResource is the TN resource name protecting admission to a
+// role of a VO.
+func MembershipResource(voName, role string) string {
+	return "VoMembership/" + voName + "/" + role
+}
+
+// Rule is one collaboration rule of the contract: which roles may invoke
+// which operation during the operation phase.
+type Rule struct {
+	Operation string
+	// Callers are the roles allowed to invoke the operation; empty
+	// means any member.
+	Callers []string
+	// Target is the role providing the operation.
+	Target string
+}
+
+// Contract is the formal collaboration contract established by the VO
+// Initiator during identification (§2: "The contract states the roles
+// and the requirements that each member has to fulfill in order to be
+// part of the VO. In addition, the contract specifies the collaboration
+// rules").
+type Contract struct {
+	VOName    string
+	Goal      string
+	Initiator string
+	Roles     []RoleSpec
+	Rules     []Rule
+}
+
+// Validate checks contract well-formedness.
+func (c *Contract) Validate() error {
+	if c.VOName == "" {
+		return errors.New("vo: contract without VO name")
+	}
+	if c.Initiator == "" {
+		return errors.New("vo: contract without initiator")
+	}
+	if len(c.Roles) == 0 {
+		return fmt.Errorf("vo: contract %s has no roles", c.VOName)
+	}
+	seen := make(map[string]bool)
+	for _, r := range c.Roles {
+		if r.Name == "" {
+			return fmt.Errorf("vo: contract %s has an unnamed role", c.VOName)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("vo: contract %s defines role %s twice", c.VOName, r.Name)
+		}
+		seen[r.Name] = true
+		if r.MaxMembers < 0 || r.MinMembers < 0 || (r.MaxMembers > 0 && r.MinMembers > r.MaxMembers) {
+			return fmt.Errorf("vo: role %s has invalid member bounds [%d,%d]", r.Name, r.MinMembers, r.MaxMembers)
+		}
+		for _, p := range r.AdmissionPolicies {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("vo: role %s: %w", r.Name, err)
+			}
+		}
+	}
+	for _, rule := range c.Rules {
+		if rule.Operation == "" {
+			return fmt.Errorf("vo: contract %s has a rule without operation", c.VOName)
+		}
+		if rule.Target != "" && !seen[rule.Target] {
+			return fmt.Errorf("vo: rule %s targets unknown role %s", rule.Operation, rule.Target)
+		}
+		for _, caller := range rule.Callers {
+			if !seen[caller] {
+				return fmt.Errorf("vo: rule %s allows unknown role %s", rule.Operation, caller)
+			}
+		}
+	}
+	return nil
+}
+
+// Role returns the named role spec, or nil.
+func (c *Contract) Role(name string) *RoleSpec {
+	for i := range c.Roles {
+		if c.Roles[i].Name == name {
+			return &c.Roles[i]
+		}
+	}
+	return nil
+}
+
+// RuleFor returns the collaboration rule for an operation, or nil.
+func (c *Contract) RuleFor(operation string) *Rule {
+	for i := range c.Rules {
+		if c.Rules[i].Operation == operation {
+			return &c.Rules[i]
+		}
+	}
+	return nil
+}
+
+// maxMembers returns the effective member capacity of a role.
+func (r *RoleSpec) maxMembers() int {
+	if r.MaxMembers <= 0 {
+		return 1
+	}
+	return r.MaxMembers
+}

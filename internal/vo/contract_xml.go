@@ -1,0 +1,129 @@
+package vo
+
+import (
+	"fmt"
+	"strconv"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xtnl"
+)
+
+// Contract XML codec, used by the toolkit tools (cmd/voctl) to load the
+// collaboration contract the Initiator defines during identification.
+//
+//	<contract vo="AircraftOptimizationVO" initiator="AircraftCo" goal="…">
+//	  <role name="DesignWebPortal" min="1" max="1">
+//	    <capability name="design-db"/>
+//	    <admission>M &lt;- WebDesignerQuality(regulation='UNI EN ISO 9000')</admission>
+//	  </role>
+//	  <rule operation="optimize" target="HPC">
+//	    <caller role="DesignWebPortal"/>
+//	  </rule>
+//	</contract>
+
+// DOM serializes the contract.
+func (c *Contract) DOM() *xmldom.Node {
+	root := xmldom.NewElement("contract").
+		SetAttr("vo", c.VOName).
+		SetAttr("initiator", c.Initiator)
+	if c.Goal != "" {
+		root.SetAttr("goal", c.Goal)
+	}
+	for _, r := range c.Roles {
+		re := xmldom.NewElement("role").SetAttr("name", r.Name)
+		if r.Description != "" {
+			re.SetAttr("description", r.Description)
+		}
+		if r.MinMembers > 0 {
+			re.SetAttr("min", strconv.Itoa(r.MinMembers))
+		}
+		if r.MaxMembers > 0 {
+			re.SetAttr("max", strconv.Itoa(r.MaxMembers))
+		}
+		for _, cap := range r.Capabilities {
+			re.AppendChild(xmldom.NewElement("capability").SetAttr("name", cap))
+		}
+		for _, p := range r.AdmissionPolicies {
+			adm := xmldom.NewElement("admission")
+			adm.AppendChild(xmldom.NewText(p.String()))
+			re.AppendChild(adm)
+		}
+		root.AppendChild(re)
+	}
+	for _, rule := range c.Rules {
+		re := xmldom.NewElement("rule").SetAttr("operation", rule.Operation)
+		if rule.Target != "" {
+			re.SetAttr("target", rule.Target)
+		}
+		for _, caller := range rule.Callers {
+			re.AppendChild(xmldom.NewElement("caller").SetAttr("role", caller))
+		}
+		root.AppendChild(re)
+	}
+	return root
+}
+
+// XML serializes the contract in canonical form.
+func (c *Contract) XML() string { return c.DOM().XML() }
+
+// ParseContract decodes and validates a contract document.
+func ParseContract(xmlText string) (*Contract, error) {
+	root, err := xmldom.ParseString(xmlText)
+	if err != nil {
+		return nil, fmt.Errorf("vo: parse contract: %w", err)
+	}
+	return ContractFromDOM(root)
+}
+
+// ContractFromDOM decodes a contract from a parsed tree and validates it.
+func ContractFromDOM(root *xmldom.Node) (*Contract, error) {
+	if root.Name != "contract" {
+		return nil, fmt.Errorf("vo: root element <%s>, want <contract>", root.Name)
+	}
+	c := &Contract{
+		VOName:    root.AttrOr("vo", ""),
+		Initiator: root.AttrOr("initiator", ""),
+		Goal:      root.AttrOr("goal", ""),
+	}
+	atoi := func(s string) (int, error) {
+		if s == "" {
+			return 0, nil
+		}
+		return strconv.Atoi(s)
+	}
+	for _, re := range root.Childs("role") {
+		r := RoleSpec{
+			Name:        re.AttrOr("name", ""),
+			Description: re.AttrOr("description", ""),
+		}
+		var err error
+		if r.MinMembers, err = atoi(re.AttrOr("min", "")); err != nil {
+			return nil, fmt.Errorf("vo: role %s: bad min: %w", r.Name, err)
+		}
+		if r.MaxMembers, err = atoi(re.AttrOr("max", "")); err != nil {
+			return nil, fmt.Errorf("vo: role %s: bad max: %w", r.Name, err)
+		}
+		for _, cap := range re.Childs("capability") {
+			r.Capabilities = append(r.Capabilities, cap.AttrOr("name", ""))
+		}
+		for _, adm := range re.Childs("admission") {
+			ps, err := xtnl.ParsePolicyRule(adm.Text())
+			if err != nil {
+				return nil, fmt.Errorf("vo: role %s admission: %w", r.Name, err)
+			}
+			r.AdmissionPolicies = append(r.AdmissionPolicies, ps...)
+		}
+		c.Roles = append(c.Roles, r)
+	}
+	for _, re := range root.Childs("rule") {
+		rule := Rule{Operation: re.AttrOr("operation", ""), Target: re.AttrOr("target", "")}
+		for _, caller := range re.Childs("caller") {
+			rule.Callers = append(rule.Callers, caller.AttrOr("role", ""))
+		}
+		c.Rules = append(c.Rules, rule)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,59 @@
+package vo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContractXMLRoundTrip(t *testing.T) {
+	c := aircraftContract()
+	re, err := ParseContract(c.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.VOName != c.VOName || re.Initiator != c.Initiator || re.Goal != c.Goal {
+		t.Fatalf("header lost: %+v", re)
+	}
+	if len(re.Roles) != len(c.Roles) || len(re.Rules) != len(c.Rules) {
+		t.Fatalf("structure lost: %d roles, %d rules", len(re.Roles), len(re.Rules))
+	}
+	dwp := re.Role("DesignWebPortal")
+	if dwp == nil || dwp.MinMembers != 1 || len(dwp.Capabilities) != 1 {
+		t.Fatalf("role lost: %+v", dwp)
+	}
+	if len(dwp.AdmissionPolicies) != 1 {
+		t.Fatalf("admission policies lost: %+v", dwp.AdmissionPolicies)
+	}
+	cond := dwp.AdmissionPolicies[0].Terms[0].Conditions[0]
+	if !strings.Contains(cond, "UNI EN ISO 9000") {
+		t.Fatalf("admission condition lost: %q", cond)
+	}
+	hpc := re.Role("HPC")
+	if hpc == nil || hpc.MaxMembers != 2 {
+		t.Fatalf("HPC bounds lost: %+v", hpc)
+	}
+	rule := re.RuleFor("optimize")
+	if rule == nil || rule.Target != "HPC" || len(rule.Callers) != 1 {
+		t.Fatalf("rule lost: %+v", rule)
+	}
+}
+
+func TestParseContractErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"not xml", "<contract"},
+		{"wrong root", "<x/>"},
+		{"invalid contract", `<contract vo="V"/>`},
+		{"bad min", `<contract vo="V" initiator="I"><role name="R" min="x"/></contract>`},
+		{"bad max", `<contract vo="V" initiator="I"><role name="R" max="x"/></contract>`},
+		{"bad admission", `<contract vo="V" initiator="I"><role name="R"><admission>broken</admission></role></contract>`},
+		{"bad rule", `<contract vo="V" initiator="I"><role name="R"/><rule operation="op" target="Nope"/></contract>`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseContract(tc.xml); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

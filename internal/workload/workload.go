@@ -1,0 +1,321 @@
+// Package workload generates randomized two-party trust negotiation
+// worlds — credential inventories and interlocking disclosure policies —
+// together with an analytic satisfiability oracle.
+//
+// The generator drives two things:
+//
+//   - the EXT-* benchmark sweeps (policy-chain depth, branching), and
+//   - the engine's property tests: for any generated world, running the
+//     actual negotiation must agree with the oracle's AND-OR evaluation
+//     of the policy graph (internal/negotiation's distributed tree
+//     search must compute exactly this predicate).
+//
+// Generation is fully deterministic in Config.Seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/pki"
+	"trustvo/internal/xtnl"
+)
+
+// Config parameterizes world generation.
+type Config struct {
+	// Seed makes the world reproducible.
+	Seed int64
+	// CredTypes is the number of credential types in play (≥1).
+	CredTypes int
+	// MaxAlternatives bounds how many alternative policies may protect
+	// one credential type (≥1).
+	MaxAlternatives int
+	// MaxTermsPerPolicy bounds the terms of one policy (multiedge width,
+	// ≥1).
+	MaxTermsPerPolicy int
+	// ProtectProb is the probability that an owned credential type is
+	// protected by policies (otherwise it is freely disclosable).
+	ProtectProb float64
+	// MissingProb is the probability that a party does NOT hold a
+	// credential type at all (forcing denials).
+	MissingProb float64
+	// WildcardProb is the probability that a policy term leaves its
+	// credential type open ($any), exercising multi-candidate
+	// alternatives in the engine.
+	WildcardProb float64
+}
+
+// DefaultConfig returns a medium-sized configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		CredTypes:         8,
+		MaxAlternatives:   2,
+		MaxTermsPerPolicy: 2,
+		ProtectProb:       0.6,
+		MissingProb:       0.25,
+	}
+}
+
+// World is one generated negotiation scenario.
+type World struct {
+	Requester  *negotiation.Party
+	Controller *negotiation.Party
+	// Resource is the negotiation target, protected by the controller.
+	Resource string
+
+	// spec mirrors, for the oracle: who holds what, and the policy
+	// alternatives per (owner, credential type). An empty requirement
+	// string denotes a wildcard ($any) term.
+	held     map[string]map[string]bool       // owner -> type -> held
+	owners   map[string]string                // type -> owner
+	policies map[string]map[string][][]string // owner -> type/resource -> alternatives (lists of required types)
+}
+
+const (
+	reqName = "REQ"
+	ctlName = "CTL"
+)
+
+func other(owner string) string {
+	if owner == reqName {
+		return ctlName
+	}
+	return reqName
+}
+
+func typeName(i int) string { return fmt.Sprintf("Cred%02d", i) }
+
+// Generate builds a world from the configuration.
+func Generate(cfg Config) (*World, error) {
+	if cfg.CredTypes < 1 || cfg.MaxAlternatives < 1 || cfg.MaxTermsPerPolicy < 1 {
+		return nil, fmt.Errorf("workload: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ca, err := pki.NewAuthority("WorkloadCA")
+	if err != nil {
+		return nil, err
+	}
+
+	w := &World{
+		Resource: "Resource",
+		owners:   make(map[string]string),
+		held: map[string]map[string]bool{
+			reqName: make(map[string]bool),
+			ctlName: make(map[string]bool),
+		},
+		policies: map[string]map[string][][]string{
+			reqName: make(map[string][][]string),
+			ctlName: make(map[string][][]string),
+		},
+	}
+
+	profiles := map[string]*xtnl.Profile{
+		reqName: xtnl.NewProfile(reqName),
+		ctlName: xtnl.NewProfile(ctlName),
+	}
+	// Assign each credential type an owner (alternating start, random)
+	// and decide whether it is held.
+	owners := w.owners
+	for i := 0; i < cfg.CredTypes; i++ {
+		t := typeName(i)
+		owner := reqName
+		if rng.Intn(2) == 1 {
+			owner = ctlName
+		}
+		owners[t] = owner
+		if rng.Float64() >= cfg.MissingProb {
+			w.held[owner][t] = true
+			cred, err := ca.Issue(pki.IssueRequest{Type: t, Holder: owner})
+			if err != nil {
+				return nil, err
+			}
+			profiles[owner].Add(cred)
+		}
+	}
+
+	// Policies: each held-or-not type may be protected; requirements are
+	// random types owned by the counterpart.
+	policySets := map[string]*xtnl.PolicySet{
+		reqName: xtnl.MustPolicySet(),
+		ctlName: xtnl.MustPolicySet(),
+	}
+	counterTypes := func(owner string) []string {
+		var out []string
+		for i := 0; i < cfg.CredTypes; i++ { // index order: deterministic
+			t := typeName(i)
+			if owners[t] == other(owner) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	addPolicies := func(owner, resource string) error {
+		cands := counterTypes(owner)
+		if len(cands) == 0 {
+			// nothing to require: freely disclosable
+			return nil
+		}
+		nAlts := 1 + rng.Intn(cfg.MaxAlternatives)
+		var alts [][]string
+		for a := 0; a < nAlts; a++ {
+			nTerms := 1 + rng.Intn(cfg.MaxTermsPerPolicy)
+			terms := make([]string, 0, nTerms)
+			var xterms []xtnl.Term
+			for t := 0; t < nTerms; t++ {
+				req := cands[rng.Intn(len(cands))]
+				wire := req
+				if rng.Float64() < cfg.WildcardProb {
+					req, wire = "", "$any" // wildcard term
+				}
+				terms = append(terms, req)
+				xterms = append(xterms, xtnl.Term{CredType: wire})
+			}
+			alts = append(alts, terms)
+			if err := policySets[owner].Add(&xtnl.Policy{Resource: resource, Terms: xterms}); err != nil {
+				return err
+			}
+		}
+		w.policies[owner][resource] = alts
+		return nil
+	}
+
+	for i := 0; i < cfg.CredTypes; i++ {
+		t := typeName(i)
+		owner := owners[t]
+		if rng.Float64() < cfg.ProtectProb {
+			if err := addPolicies(owner, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The root resource: always protected by the controller (a root
+	// without policy is simply "not offered").
+	if err := addPolicies(ctlName, w.Resource); err != nil {
+		return nil, err
+	}
+	if len(w.policies[ctlName][w.Resource]) == 0 {
+		// no requester-owned types exist; offer freely
+		if err := policySets[ctlName].Add(&xtnl.Policy{Resource: w.Resource, Deliver: true}); err != nil {
+			return nil, err
+		}
+		w.policies[ctlName][w.Resource] = [][]string{{}}
+	}
+
+	mkParty := func(name string) *negotiation.Party {
+		return &negotiation.Party{
+			Name:     name,
+			Profile:  profiles[name],
+			Policies: policySets[name],
+			Trust:    pki.NewTrustStore(ca),
+			// The oracle has no resource bounds; disable the engine's
+			// policy-bomb guard so dense worlds compare apples to apples.
+			MaxTreeNodes: 1 << 22,
+			MaxRounds:    1 << 16,
+		}
+	}
+	w.Requester = mkParty(reqName)
+	w.Controller = mkParty(ctlName)
+	return w, nil
+}
+
+// Satisfiable evaluates the policy graph analytically: can the
+// negotiation for the root resource succeed? It mirrors the engine's
+// semantics exactly:
+//
+//   - a requirement is satisfiable when its owner holds the credential
+//     AND (the type is unprotected OR some alternative policy has all
+//     its terms satisfiable);
+//   - a held requirement whose (owner, type) already occurs on the
+//     current path is a mutual-requirement interlock and is satisfied
+//     by commitment (the engine complies and the trust sequence dedupes
+//     the shared disclosure).
+func (w *World) Satisfiable() bool {
+	var sat func(owner, typ string, path map[string]bool) bool
+	altsSat := func(owner string, alts [][]string, path map[string]bool) bool {
+		for _, alt := range alts {
+			ok := true
+			for _, req := range alt {
+				if !sat(other(owner), req, path) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	sat = func(owner, typ string, path map[string]bool) bool {
+		if typ == "" {
+			// Wildcard ($any): the engine's candidates are every held
+			// credential of the owner; a free candidate complies, else
+			// the union of all candidates' policy alternatives applies.
+			anyHeld := false
+			for t, o := range w.owners {
+				if o == owner && w.held[owner][t] {
+					anyHeld = true
+					break
+				}
+			}
+			if !anyHeld {
+				return false
+			}
+			key := owner + "/$any"
+			if path[key] {
+				return true // committed higher on the path (see below)
+			}
+			path[key] = true
+			defer delete(path, key)
+			for t, o := range w.owners {
+				if o != owner || !w.held[owner][t] {
+					continue
+				}
+				if _, protected := w.policies[owner][t]; !protected {
+					return true // free candidate: engine answers COMPLY
+				}
+			}
+			for t, o := range w.owners {
+				if o != owner || !w.held[owner][t] {
+					continue
+				}
+				if altsSat(owner, w.policies[owner][t], path) {
+					return true
+				}
+			}
+			return false
+		}
+		if typ != w.Resource && !w.held[owner][typ] {
+			return false
+		}
+		key := owner + "/" + typ
+		if path[key] {
+			// Mutual-requirement cycle: the same held requirement is
+			// already committed higher on the path, so the engine
+			// complies (shared disclosure) rather than denying.
+			return true
+		}
+		alts, protected := w.policies[owner][typ]
+		if !protected {
+			return true // unprotected: freely disclosable
+		}
+		path[key] = true
+		defer delete(path, key)
+		if altsSat(owner, alts, path) {
+			return true
+		}
+		return false
+	}
+	return sat(ctlName, w.Resource, map[string]bool{})
+}
+
+// Run executes the actual negotiation and reports whether it succeeded.
+func (w *World) Run() (bool, error) {
+	out, _, err := negotiation.Run(w.Requester, w.Controller, w.Resource)
+	if err != nil {
+		return false, err
+	}
+	return out.Succeeded, nil
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+
+	"trustvo/internal/negotiation"
+)
+
+// TestOracleAgreesWithEngine is the central engine property test: over
+// hundreds of randomized policy worlds, the distributed negotiation must
+// succeed exactly when the analytic AND-OR oracle says the policy graph
+// is satisfiable.
+func TestOracleAgreesWithEngine(t *testing.T) {
+	sat, unsat := 0, 0
+	for seed := int64(0); seed < 300; seed++ {
+		w, err := Generate(DefaultConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := w.Satisfiable()
+		got, err := w.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: engine=%v oracle=%v\nheld=%v\npolicies=%v",
+				seed, got, want, w.held, w.policies)
+		}
+		if want {
+			sat++
+		} else {
+			unsat++
+		}
+	}
+	// the configuration must exercise both outcomes to be meaningful
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("degenerate workload mix: %d satisfiable, %d unsatisfiable", sat, unsat)
+	}
+	t.Logf("outcomes: %d satisfiable, %d unsatisfiable", sat, unsat)
+}
+
+// TestOracleAgreesUnderStress uses denser policies (more protection,
+// more branching) to exercise deep chains, multiedges and cycles.
+func TestOracleAgreesUnderStress(t *testing.T) {
+	cfg := Config{
+		CredTypes:         10,
+		MaxAlternatives:   3,
+		MaxTermsPerPolicy: 3,
+		ProtectProb:       0.9,
+		MissingProb:       0.15,
+	}
+	for seed := int64(0); seed < 150; seed++ {
+		cfg.Seed = seed
+		w, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := w.Satisfiable()
+		got, err := w.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: engine=%v oracle=%v\nheld=%v\npolicies=%v",
+				seed, got, want, w.held, w.policies)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Satisfiable() != b.Satisfiable() {
+		t.Fatal("same seed produced different worlds")
+	}
+	if a.Requester.Profile.Len() != b.Requester.Profile.Len() ||
+		a.Controller.Policies.Len() != b.Controller.Policies.Len() {
+		t.Fatal("same seed produced different inventories")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Generate(Config{CredTypes: 1, MaxAlternatives: 0, MaxTermsPerPolicy: 1}); err == nil {
+		t.Fatal("zero alternatives accepted")
+	}
+}
+
+// TestRerunIsStable ensures a world can be negotiated repeatedly (the
+// parties are not consumed by a run), which the benchmarks rely on.
+func TestRerunIsStable(t *testing.T) {
+	w, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatalf("run %d changed outcome: %v -> %v", i, first, got)
+		}
+	}
+}
+
+func BenchmarkRandomWorldNegotiation(b *testing.B) {
+	w, err := Generate(DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestOracleAgreesWithWildcards adds $any terms, exercising the engine's
+// multi-candidate alternatives (one policy set per candidate type).
+func TestOracleAgreesWithWildcards(t *testing.T) {
+	cfg := Config{
+		CredTypes:         8,
+		MaxAlternatives:   2,
+		MaxTermsPerPolicy: 2,
+		ProtectProb:       0.7,
+		MissingProb:       0.3,
+		WildcardProb:      0.35,
+	}
+	sat := 0
+	for seed := int64(0); seed < 250; seed++ {
+		cfg.Seed = seed
+		w, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := w.Satisfiable()
+		got, err := w.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: engine=%v oracle=%v\nheld=%v\npolicies=%v",
+				seed, got, want, w.held, w.policies)
+		}
+		if want {
+			sat++
+		}
+	}
+	if sat == 0 || sat == 250 {
+		t.Fatalf("degenerate wildcard mix: %d/250 satisfiable", sat)
+	}
+}
+
+// TestStrategyInvariance: the negotiation strategy changes message
+// traffic and confidentiality, never the outcome. Every generated world
+// must succeed or fail identically under trusting and standard.
+func TestStrategyInvariance(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		w, err := Generate(DefaultConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := w.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []negotiation.Strategy{negotiation.Trusting, negotiation.StrongSuspicious} {
+			if s == negotiation.StrongSuspicious {
+				// strong-suspicious requires selective disclosure; the
+				// generated plain credentials cannot satisfy it, so only
+				// check the trusting variant for satisfiable worlds.
+				continue
+			}
+			w2, err := Generate(DefaultConfig(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2.Requester.Strategy = s
+			w2.Controller.Strategy = s
+			got, err := w2.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Fatalf("seed %d: strategy %s changed outcome %v -> %v", seed, s, base, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package wsrpc
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"trustvo/internal/core"
+	"trustvo/internal/negotiation"
+	"trustvo/internal/vo/registry"
+)
+
+// timeNow is the package clock (overridable in tests).
+var timeNow = time.Now
+
+func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+
+// MemberClient is the member-edition client of the toolkit service: it
+// publishes the member's description, polls its mailbox, and joins VOs —
+// directly (baseline) or through the integrated trust negotiation.
+type MemberClient struct {
+	BaseURL string
+	Party   *negotiation.Party
+	HTTP    *http.Client
+}
+
+func (c *MemberClient) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTP
+}
+
+func (c *MemberClient) url(path string, q url.Values) string {
+	u := strings.TrimRight(c.BaseURL, "/") + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+func (c *MemberClient) post(path string, q url.Values, body string) (*http.Response, error) {
+	resp, err := c.client().Post(c.url(path, q), ContentType, strings.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: POST %s: %w", path, err)
+	}
+	return resp, nil
+}
+
+// Publish registers the member's service description with the host
+// edition (the preparation phase over the wire).
+func (c *MemberClient) Publish(d *registry.Description) error {
+	resp, err := c.post("/registry/publish", nil, d.DOM().XML())
+	if err != nil {
+		return err
+	}
+	_, err = decodeResponse(resp, "published")
+	return err
+}
+
+// Apply requests an invitation for a role. It returns the invitation
+// and the membership resource to negotiate for.
+func (c *MemberClient) Apply(role string) (*core.Invitation, string, error) {
+	q := url.Values{"provider": {c.Party.Name}, "role": {role}}
+	resp, err := c.post("/vo/apply", q, "")
+	if err != nil {
+		return nil, "", err
+	}
+	root, err := decodeResponse(resp, "invitation")
+	if err != nil {
+		return nil, "", err
+	}
+	inv := &core.Invitation{
+		VO:   root.AttrOr("vo", ""),
+		Role: root.AttrOr("role", ""),
+		From: root.AttrOr("from", ""),
+		Goal: root.AttrOr("goal", ""),
+		Text: root.Text(),
+	}
+	return inv, root.AttrOr("resource", ""), nil
+}
+
+// Mailbox fetches the member's pending invitations.
+func (c *MemberClient) Mailbox() ([]*core.Invitation, error) {
+	q := url.Values{"provider": {c.Party.Name}}
+	resp, err := c.client().Get(c.url("/vo/mailbox", q))
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodeResponse(resp, "mailbox")
+	if err != nil {
+		return nil, err
+	}
+	var out []*core.Invitation
+	for _, n := range root.Childs("invitation") {
+		out = append(out, &core.Invitation{
+			VO:   n.AttrOr("vo", ""),
+			Role: n.AttrOr("role", ""),
+			From: n.AttrOr("from", ""),
+			Goal: n.AttrOr("goal", ""),
+			Text: n.Text(),
+		})
+	}
+	return out, nil
+}
+
+// JoinDirect performs the baseline join (no TN) and returns the X.509
+// membership token DER.
+func (c *MemberClient) JoinDirect(role string) ([]byte, error) {
+	q := url.Values{"provider": {c.Party.Name}, "role": {role}}
+	resp, err := c.post("/vo/join-direct", q, "")
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodeResponse(resp, "joined")
+	if err != nil {
+		return nil, err
+	}
+	tok := root.Child("token")
+	if tok == nil {
+		return nil, fmt.Errorf("wsrpc: join response without token")
+	}
+	der, err := base64.StdEncoding.DecodeString(strings.TrimSpace(tok.Text()))
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: bad token encoding: %w", err)
+	}
+	return der, nil
+}
+
+// Join performs the integrated join: apply for the role, then negotiate
+// trust for the returned membership resource. On success the grant is
+// the X.509 membership token DER (the Fig. 9 "Join with trust
+// negotiation" path).
+func (c *MemberClient) Join(role string) ([]byte, *negotiation.Outcome, error) {
+	_, resource, err := c.Apply(role)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resource == "" {
+		return nil, nil, fmt.Errorf("wsrpc: apply response without membership resource")
+	}
+	tn := &TNClient{BaseURL: c.BaseURL, Party: c.Party, HTTP: c.HTTP}
+	out, err := tn.Negotiate(resource)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !out.Succeeded {
+		return nil, out, fmt.Errorf("wsrpc: admission negotiation failed: %s", out.Reason)
+	}
+	return out.Grant, out, nil
+}
+
+// VOStatus fetches the VO's phase and member count.
+func (c *MemberClient) VOStatus() (phase string, members int, err error) {
+	resp, err := c.client().Get(c.url("/vo/status", nil))
+	if err != nil {
+		return "", 0, err
+	}
+	root, err := decodeResponse(resp, "voStatus")
+	if err != nil {
+		return "", 0, err
+	}
+	n := 0
+	fmt.Sscanf(root.AttrOr("members", "0"), "%d", &n)
+	return root.AttrOr("phase", ""), n, nil
+}
+
+// Members lists the admitted members.
+func (c *MemberClient) Members() (map[string]string, error) {
+	resp, err := c.client().Get(c.url("/vo/members", nil))
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodeResponse(resp, "members")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, m := range root.Childs("member") {
+		out[m.AttrOr("name", "")] = m.AttrOr("role", "")
+	}
+	return out, nil
+}
+
+// Operate asks the toolkit to authorize an operation invocation.
+func (c *MemberClient) Operate(operation string) error {
+	q := url.Values{"member": {c.Party.Name}, "operation": {operation}}
+	resp, err := c.post("/vo/operate", q, "")
+	if err != nil {
+		return err
+	}
+	_, err = decodeResponse(resp, "authorized")
+	return err
+}
+
+// ReportViolation reports another member's violation.
+func (c *MemberClient) ReportViolation(member, operation, detail string, weight float64) error {
+	q := url.Values{
+		"member": {member}, "operation": {operation},
+		"detail": {detail}, "weight": {fmt.Sprintf("%g", weight)},
+	}
+	resp, err := c.post("/vo/violation", q, "")
+	if err != nil {
+		return err
+	}
+	_, err = decodeResponse(resp, "recorded")
+	return err
+}
+
+// AuditEntry mirrors vo.AuditEntry for the client side.
+type AuditEntry struct {
+	Member    string
+	Operation string
+	Allowed   bool
+	Detail    string
+	At        time.Time
+}
+
+// Audit fetches the VO's interaction log (monitoring, §2).
+func (c *MemberClient) Audit() ([]AuditEntry, error) {
+	resp, err := c.client().Get(c.url("/vo/audit", nil))
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodeResponse(resp, "audit")
+	if err != nil {
+		return nil, err
+	}
+	var out []AuditEntry
+	for _, e := range root.Childs("entry") {
+		at, _ := time.Parse(time.RFC3339, e.AttrOr("at", ""))
+		out = append(out, AuditEntry{
+			Member:    e.AttrOr("member", ""),
+			Operation: e.AttrOr("operation", ""),
+			Allowed:   e.AttrOr("allowed", "") == "true",
+			Detail:    e.AttrOr("detail", ""),
+			At:        at,
+		})
+	}
+	return out, nil
+}
+
+// Reputation fetches a member's reputation score.
+func (c *MemberClient) Reputation(member string) (float64, error) {
+	q := url.Values{"member": {member}}
+	resp, err := c.client().Get(c.url("/vo/reputation", q))
+	if err != nil {
+		return 0, err
+	}
+	root, err := decodeResponse(resp, "reputation")
+	if err != nil {
+		return 0, err
+	}
+	var f float64
+	fmt.Sscanf(root.AttrOr("score", ""), "%g", &f)
+	return f, nil
+}

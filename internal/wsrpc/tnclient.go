@@ -1,0 +1,136 @@
+package wsrpc
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/xmldom"
+)
+
+// TNClient drives a requester-side negotiation against a remote
+// TNService, mirroring the paper's ClientWS.java ("A client application
+// has also been developed … implementing the negotiation protocol by
+// invoking the Web service's operations").
+type TNClient struct {
+	// BaseURL of the counterpart's TN service, e.g. "http://host:8080".
+	BaseURL string
+	// Party is the local (requester) negotiation identity.
+	Party *negotiation.Party
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *TNClient) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTP
+}
+
+func (c *TNClient) post(path, body string) (*http.Response, error) {
+	url := strings.TrimRight(c.BaseURL, "/") + path
+	resp, err := c.client().Post(url, ContentType, strings.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: POST %s: %w", path, err)
+	}
+	return resp, nil
+}
+
+// Start invokes StartNegotiation and returns the negotiation id.
+func (c *TNClient) Start(resource string) (string, error) {
+	req := xmldom.NewElement("startNegotiationRequest").
+		SetAttr("strategy", c.Party.Strategy.String()).
+		SetAttr("resource", resource)
+	resp, err := c.post("/tn/start", req.XML())
+	if err != nil {
+		return "", err
+	}
+	root, err := decodeResponse(resp, "startNegotiationResponse")
+	if err != nil {
+		return "", err
+	}
+	id := root.AttrOr("negotiation", "")
+	if id == "" {
+		return "", fmt.Errorf("wsrpc: start response without negotiation id")
+	}
+	return id, nil
+}
+
+// Exchange posts one TN message and returns the counterpart's reply
+// (nil when the response was a terminal status acknowledgment).
+func (c *TNClient) Exchange(negID string, msg *negotiation.Message) (*negotiation.Message, error) {
+	path := "/tn/credentialExchange"
+	if phaseOf(msg.Type) == policyPhase {
+		path = "/tn/policyExchange"
+	}
+	resp, err := c.post(path, envelope(negID, msg).XML())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	root, err := xmldom.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wsrpc: bad exchange response: %w", err)
+	}
+	switch root.Name {
+	case "fault":
+		return nil, faultFromDOM(root)
+	case "status":
+		return nil, nil // server consumed a terminal message
+	case "envelope":
+		_, reply, err := openEnvelope(root)
+		return reply, err
+	default:
+		return nil, fmt.Errorf("wsrpc: unexpected response <%s>", root.Name)
+	}
+}
+
+// Negotiate runs a complete negotiation for resource against the remote
+// controller and returns the local outcome. This is the standalone-TN
+// path measured by Fig. 9's "trust negotiation" bar.
+func (c *TNClient) Negotiate(resource string) (*negotiation.Outcome, error) {
+	negID, err := c.Start(resource)
+	if err != nil {
+		return nil, err
+	}
+	ep := negotiation.NewRequester(c.Party, resource)
+	msg, err := ep.Start()
+	if err != nil {
+		return nil, err
+	}
+	for msg != nil {
+		reply, err := c.Exchange(negID, msg)
+		if err != nil {
+			return nil, err
+		}
+		if reply == nil {
+			break // server acknowledged our terminal message
+		}
+		msg, err = ep.Handle(reply)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !ep.Done() {
+		return nil, fmt.Errorf("wsrpc: negotiation %s ended without outcome", negID)
+	}
+	return ep.Outcome(), nil
+}
+
+// Status queries the remote side's view of a negotiation.
+func (c *TNClient) Status(negID string) (done, succeeded bool, reason string, err error) {
+	url := strings.TrimRight(c.BaseURL, "/") + "/tn/status?negotiation=" + negID
+	resp, err := c.client().Get(url)
+	if err != nil {
+		return false, false, "", err
+	}
+	root, err := decodeResponse(resp, "status")
+	if err != nil {
+		return false, false, "", err
+	}
+	return root.AttrOr("done", "") == "true",
+		root.AttrOr("succeeded", "") == "true",
+		root.AttrOr("reason", ""), nil
+}

@@ -1,0 +1,292 @@
+package wsrpc
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/partydb"
+	"trustvo/internal/store"
+	"trustvo/internal/xmldom"
+)
+
+// TNService exposes a controller party as the paper's TN web service
+// (§6.2): "The TN Web service provides three different operations,
+// StartNegotiation, PolicyExchange and CredentialExchange, each
+// corresponding to one of the main phases of the negotiation process."
+//
+//   - POST /tn/start            <startNegotiationRequest strategy=… resource=…/>
+//     → <startNegotiationResponse negotiation=…/>
+//     ("StartNegotiation assigns a unique id to the negotiation process")
+//   - POST /tn/policyExchange   <envelope negotiation=…><tnMessage…/></envelope>
+//     for request/policy/continue messages
+//   - POST /tn/credentialExchange  same envelope, for sequence/credential/
+//     ack messages ("verifies the validity of the counterpart's
+//     credential … then selects the next credential to be sent")
+//   - GET  /tn/status?negotiation=… → <status done=… succeeded=… reason=…/>
+//
+// Each negotiation id maps to one controller Endpoint; idle sessions
+// expire after MaxSessionAge.
+type TNService struct {
+	// Party is the controller identity the service negotiates as.
+	Party *negotiation.Party
+	// DB, when set, is the document store holding the party's
+	// disclosure policies and credentials; StartNegotiation then
+	// rebuilds the negotiating party from it for every session, exactly
+	// as the paper's operation "opens the connection with [the] Oracle
+	// database containing the disclosure policies and credentials of
+	// the invoker" (§6.2). Party then only supplies identity, trust
+	// anchors, keys and hooks.
+	DB *store.Store
+	// MaxSessionAge bounds idle session lifetime (default 5 minutes).
+	MaxSessionAge time.Duration
+	// MaxSessions bounds concurrently ACTIVE negotiations (default
+	// 1024); finished sessions do not count and are retired after
+	// DoneRetention.
+	MaxSessions int
+	// DoneRetention is how long a finished negotiation stays queryable
+	// via /tn/status (default 30 seconds).
+	DoneRetention time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*tnSession
+}
+
+type tnSession struct {
+	endpoint *negotiation.Endpoint
+	mu       sync.Mutex // one in-flight message per session
+	lastUsed time.Time
+	outcome  *negotiation.Outcome
+	done     atomic.Bool
+}
+
+// NewTNService creates a service negotiating as party.
+func NewTNService(party *negotiation.Party) *TNService {
+	return &TNService{Party: party, sessions: make(map[string]*tnSession)}
+}
+
+// Register mounts the TN operations on mux under /tn/.
+func (s *TNService) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/tn/start", s.handleStart)
+	mux.HandleFunc("/tn/policyExchange", s.exchangeHandler(policyPhase))
+	mux.HandleFunc("/tn/credentialExchange", s.exchangeHandler(credentialPhase))
+	mux.HandleFunc("/tn/status", s.handleStatus)
+}
+
+func (s *TNService) maxAge() time.Duration {
+	if s.MaxSessionAge > 0 {
+		return s.MaxSessionAge
+	}
+	return 5 * time.Minute
+}
+
+func (s *TNService) maxSessions() int {
+	if s.MaxSessions > 0 {
+		return s.MaxSessions
+	}
+	return 1024
+}
+
+func (s *TNService) doneRetention() time.Duration {
+	if s.DoneRetention > 0 {
+		return s.DoneRetention
+	}
+	return 30 * time.Second
+}
+
+func (s *TNService) handleStart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeFault(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return
+	}
+	body, err := readBodyDOM(r)
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, "parse", err.Error())
+		return
+	}
+	if body.Name != "startNegotiationRequest" {
+		writeFault(w, http.StatusBadRequest, "schema", "expected <startNegotiationRequest>")
+		return
+	}
+	if _, err := negotiation.ParseStrategy(body.AttrOr("strategy", "standard")); err != nil {
+		writeFault(w, http.StatusBadRequest, "strategy", err.Error())
+		return
+	}
+	id, err := s.newSession()
+	if err != nil {
+		writeFault(w, http.StatusServiceUnavailable, "capacity", err.Error())
+		return
+	}
+	writeDOM(w, xmldom.NewElement("startNegotiationResponse").SetAttr("negotiation", id))
+}
+
+func (s *TNService) newSession() (string, error) {
+	var raw [12]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", err
+	}
+	id := hex.EncodeToString(raw[:])
+	party := s.Party
+	if s.DB != nil {
+		loaded, err := partydb.LoadParty(s.DB, s.Party)
+		if err != nil {
+			return "", fmt.Errorf("wsrpc: load party from store: %w", err)
+		}
+		party = loaded
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	active := 0
+	for _, sess := range s.sessions {
+		if !sess.done.Load() {
+			active++
+		}
+	}
+	if active >= s.maxSessions() {
+		return "", fmt.Errorf("wsrpc: %d concurrent negotiations", active)
+	}
+	s.sessions[id] = &tnSession{
+		endpoint: negotiation.NewController(party),
+		lastUsed: time.Now(),
+	}
+	return id, nil
+}
+
+// sweepLocked drops idle sessions: unfinished ones after MaxSessionAge,
+// finished ones after the (shorter) DoneRetention. Caller holds s.mu.
+func (s *TNService) sweepLocked() {
+	now := time.Now()
+	cutoff := now.Add(-s.maxAge())
+	doneCutoff := now.Add(-s.doneRetention())
+	for id, sess := range s.sessions {
+		if sess.lastUsed.Before(cutoff) ||
+			(sess.done.Load() && sess.lastUsed.Before(doneCutoff)) {
+			delete(s.sessions, id)
+		}
+	}
+}
+
+func (s *TNService) session(id string) *tnSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess != nil {
+		sess.lastUsed = time.Now()
+	}
+	return sess
+}
+
+// phaseKind partitions message types over the two exchange operations.
+type phaseKind int
+
+const (
+	policyPhase phaseKind = iota
+	credentialPhase
+)
+
+func phaseOf(t negotiation.MsgType) phaseKind {
+	switch t {
+	case negotiation.MsgRequest, negotiation.MsgPolicy, negotiation.MsgContinue:
+		return policyPhase
+	default:
+		return credentialPhase
+	}
+}
+
+func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeFault(w, http.StatusMethodNotAllowed, "method", "POST required")
+			return
+		}
+		body, err := readBodyDOM(r)
+		if err != nil {
+			writeFault(w, http.StatusBadRequest, "parse", err.Error())
+			return
+		}
+		id, msg, err := openEnvelope(body)
+		if err != nil {
+			writeFault(w, http.StatusBadRequest, "schema", err.Error())
+			return
+		}
+		// Terminal messages (success/fail) may land on either operation;
+		// other types must match their phase's operation.
+		if msg.Type != negotiation.MsgSuccess && msg.Type != negotiation.MsgFail && phaseOf(msg.Type) != phase {
+			writeFault(w, http.StatusBadRequest, "phase",
+				fmt.Sprintf("message %s does not belong to this operation", msg.Type))
+			return
+		}
+		sess := s.session(id)
+		if sess == nil {
+			writeFault(w, http.StatusNotFound, "negotiation", "unknown or expired negotiation "+id)
+			return
+		}
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		if sess.endpoint.Done() {
+			writeFault(w, http.StatusConflict, "done", "negotiation already finished")
+			return
+		}
+		reply, err := sess.endpoint.Handle(msg)
+		if sess.endpoint.Done() {
+			sess.outcome = sess.endpoint.Outcome()
+			sess.done.Store(true)
+		}
+		if err != nil {
+			writeFault(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		if reply == nil {
+			// Terminal message consumed; acknowledge with the outcome.
+			writeDOM(w, statusDOM(id, sess.endpoint))
+			return
+		}
+		writeDOM(w, envelope(id, reply))
+	}
+}
+
+func (s *TNService) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("negotiation")
+	sess := s.session(id)
+	if sess == nil {
+		writeFault(w, http.StatusNotFound, "negotiation", "unknown or expired negotiation "+id)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	writeDOM(w, statusDOM(id, sess.endpoint))
+}
+
+func statusDOM(id string, e *negotiation.Endpoint) *xmldom.Node {
+	n := xmldom.NewElement("status").
+		SetAttr("negotiation", id).
+		SetAttr("done", boolStr(e.Done()))
+	if out := e.Outcome(); out != nil {
+		n.SetAttr("succeeded", boolStr(out.Succeeded))
+		if out.Reason != "" {
+			n.SetAttr("reason", out.Reason)
+		}
+	}
+	return n
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Sessions returns the number of live sessions (monitoring).
+func (s *TNService) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	return len(s.sessions)
+}

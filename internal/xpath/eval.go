@@ -1,0 +1,721 @@
+package xpath
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"trustvo/internal/xmldom"
+)
+
+// item is one member of a node-set: an element/text node, an attribute
+// (owner element plus name/value), or the virtual document root.
+type item struct {
+	node *xmldom.Node // nil only for doc items
+	doc  bool
+	attr bool
+	name string // attribute name when attr
+	val  string // attribute value when attr
+}
+
+func (it item) stringValue() string {
+	switch {
+	case it.attr:
+		return it.val
+	case it.doc:
+		return it.node.Text()
+	default:
+		return it.node.Text()
+	}
+}
+
+// value is the dynamic result of evaluating an expression: one of
+// nodeset, float64, string, or bool.
+type value any
+
+type nodeset []item
+
+type evalCtx struct {
+	item item
+	pos  int // 1-based position within the context node-set
+	size int
+	doc  *docIndex
+}
+
+// docIndex assigns document-order indices lazily so that unions and
+// descendant steps can be returned in document order.
+type docIndex struct {
+	order map[*xmldom.Node]int
+	root  *xmldom.Node
+}
+
+func newDocIndex(root *xmldom.Node) *docIndex {
+	return &docIndex{root: root}
+}
+
+func (d *docIndex) indexOf(n *xmldom.Node) int {
+	if d.order == nil {
+		d.order = make(map[*xmldom.Node]int)
+		i := 0
+		d.root.Walk(func(x *xmldom.Node) bool {
+			d.order[x] = i
+			i++
+			return true
+		})
+	}
+	return d.order[n]
+}
+
+// Evaluate runs the expression with ctx as the context node and returns
+// the raw result (nodeset, float64, string or bool). Most callers want
+// one of the typed helpers below.
+func (e *Expr) Evaluate(ctx *xmldom.Node) any {
+	v := e.evalRoot(ctx)
+	if ns, ok := v.(nodeset); ok {
+		out := make([]*xmldom.Node, 0, len(ns))
+		for _, it := range ns {
+			if !it.attr {
+				out = append(out, it.node)
+			}
+		}
+		return out
+	}
+	return v
+}
+
+func (e *Expr) evalRoot(ctx *xmldom.Node) value {
+	root := ctx.Root()
+	c := &evalCtx{item: item{node: ctx}, pos: 1, size: 1, doc: newDocIndex(root)}
+	return e.ast.eval(c)
+}
+
+// Select evaluates the expression and returns the resulting element/text
+// nodes in document order. Non-nodeset results yield nil.
+func (e *Expr) Select(ctx *xmldom.Node) []*xmldom.Node {
+	v := e.evalRoot(ctx)
+	ns, ok := v.(nodeset)
+	if !ok {
+		return nil
+	}
+	out := make([]*xmldom.Node, 0, len(ns))
+	for _, it := range ns {
+		if !it.attr && it.node != nil {
+			out = append(out, it.node)
+		}
+	}
+	return out
+}
+
+// SelectValues evaluates the expression and returns the string-value of
+// every item in the result node-set (attribute values included). A scalar
+// result is returned as a single-element slice.
+func (e *Expr) SelectValues(ctx *xmldom.Node) []string {
+	v := e.evalRoot(ctx)
+	if ns, ok := v.(nodeset); ok {
+		out := make([]string, len(ns))
+		for i, it := range ns {
+			out[i] = it.stringValue()
+		}
+		return out
+	}
+	return []string{toString(v)}
+}
+
+// StringValue evaluates the expression and converts the result to a
+// string using XPath string() semantics (first node's string-value).
+func (e *Expr) StringValue(ctx *xmldom.Node) string {
+	return toString(e.evalRoot(ctx))
+}
+
+// Bool evaluates the expression under XPath boolean() semantics:
+// non-empty node-set, non-zero number, non-empty string.
+func (e *Expr) Bool(ctx *xmldom.Node) bool {
+	return toBool(e.evalRoot(ctx))
+}
+
+// Number evaluates the expression under XPath number() semantics.
+func (e *Expr) Number(ctx *xmldom.Node) float64 {
+	return toNumber(e.evalRoot(ctx))
+}
+
+// ---- expression evaluation ----
+
+func (n numLit) eval(*evalCtx) value { return float64(n) }
+func (s strLit) eval(*evalCtx) value { return string(s) }
+
+func (u *negExpr) eval(c *evalCtx) value { return -toNumber(u.x.eval(c)) }
+
+func (b *binExpr) eval(c *evalCtx) value {
+	switch b.op {
+	case opOr:
+		if toBool(b.l.eval(c)) {
+			return true
+		}
+		return toBool(b.r.eval(c))
+	case opAnd:
+		if !toBool(b.l.eval(c)) {
+			return false
+		}
+		return toBool(b.r.eval(c))
+	case opUnion:
+		l, lok := b.l.eval(c).(nodeset)
+		r, rok := b.r.eval(c).(nodeset)
+		if !lok || !rok {
+			return nodeset(nil)
+		}
+		return unionSets(l, r, c.doc)
+	case opEq, opNeq, opLt, opLe, opGt, opGe:
+		return compare(b.op, b.l.eval(c), b.r.eval(c))
+	case opAdd:
+		return toNumber(b.l.eval(c)) + toNumber(b.r.eval(c))
+	case opSub:
+		return toNumber(b.l.eval(c)) - toNumber(b.r.eval(c))
+	case opMul:
+		return toNumber(b.l.eval(c)) * toNumber(b.r.eval(c))
+	case opDiv:
+		return toNumber(b.l.eval(c)) / toNumber(b.r.eval(c))
+	case opMod:
+		return math.Mod(toNumber(b.l.eval(c)), toNumber(b.r.eval(c)))
+	}
+	return nil
+}
+
+func unionSets(a, b nodeset, doc *docIndex) nodeset {
+	seen := make(map[itemKey]bool, len(a)+len(b))
+	out := make(nodeset, 0, len(a)+len(b))
+	for _, it := range append(append(nodeset{}, a...), b...) {
+		k := keyOf(it)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, it)
+		}
+	}
+	// Restore document order (attributes sort just after their owner).
+	sortDocOrder(out, doc)
+	return out
+}
+
+type itemKey struct {
+	n    *xmldom.Node
+	attr string
+	doc  bool
+}
+
+func keyOf(it item) itemKey {
+	k := itemKey{n: it.node, doc: it.doc}
+	if it.attr {
+		k.attr = it.name
+	}
+	return k
+}
+
+func sortDocOrder(ns nodeset, doc *docIndex) {
+	if len(ns) < 2 {
+		return
+	}
+	lessKey := func(it item) (int, int, string) {
+		base := doc.indexOf(it.node)
+		if it.attr {
+			return base, 1, it.name
+		}
+		return base, 0, ""
+	}
+	// insertion sort: node-sets are small and mostly ordered already
+	for i := 1; i < len(ns); i++ {
+		j := i
+		for j > 0 {
+			a0, a1, a2 := lessKey(ns[j-1])
+			b0, b1, b2 := lessKey(ns[j])
+			if a0 < b0 || (a0 == b0 && (a1 < b1 || (a1 == b1 && a2 <= b2))) {
+				break
+			}
+			ns[j-1], ns[j] = ns[j], ns[j-1]
+			j--
+		}
+	}
+}
+
+func (p *pathExpr) eval(c *evalCtx) value {
+	var cur nodeset
+	if p.absolute {
+		cur = nodeset{{node: c.item.node.Root(), doc: true}}
+	} else {
+		cur = nodeset{c.item}
+	}
+	for _, st := range p.steps {
+		cur = applyStep(cur, st, c)
+	}
+	if p.absolute && len(p.steps) == 0 {
+		return cur // bare "/"
+	}
+	return cur
+}
+
+func applyStep(in nodeset, st step, c *evalCtx) nodeset {
+	var out nodeset
+	seen := make(map[itemKey]bool)
+	for _, it := range in {
+		cands := axisItems(it, st)
+		cands = filterPreds(cands, st.preds, c)
+		for _, cd := range cands {
+			k := keyOf(cd)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, cd)
+			}
+		}
+	}
+	return out
+}
+
+func axisItems(it item, st step) nodeset {
+	var out nodeset
+	switch st.axis {
+	case axisSelf:
+		if matchTest(it, st) {
+			out = append(out, it)
+		}
+	case axisParent:
+		if it.attr || it.doc {
+			return nil
+		}
+		if it.node.Parent != nil {
+			out = append(out, item{node: it.node.Parent})
+		} else {
+			out = append(out, item{node: it.node, doc: true})
+		}
+	case axisAttribute:
+		if it.attr {
+			return nil
+		}
+		n := it.node
+		if it.doc {
+			return nil
+		}
+		for _, a := range n.Attrs {
+			if st.name == "*" || a.Name == st.name {
+				out = append(out, item{node: n, attr: true, name: a.Name, val: a.Value})
+			}
+		}
+	case axisChild:
+		if it.attr {
+			return nil
+		}
+		if it.doc {
+			// document node's only child is the root element
+			child := item{node: it.node}
+			if matchTest(child, st) {
+				out = append(out, child)
+			}
+			return out
+		}
+		for _, ch := range it.node.Children {
+			ci := item{node: ch}
+			if matchTest(ci, st) {
+				out = append(out, ci)
+			}
+		}
+	case axisDescendantOrSelf:
+		if it.attr {
+			return nil
+		}
+		if it.doc {
+			// The document node itself, then every node of the tree
+			// (the root element included, as an ordinary element).
+			if matchTest(it, st) {
+				out = append(out, it)
+			}
+		}
+		it.node.Walk(func(n *xmldom.Node) bool {
+			ni := item{node: n}
+			if matchTest(ni, st) {
+				out = append(out, ni)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func matchTest(it item, st step) bool {
+	switch st.test {
+	case testNode:
+		return true
+	case testText:
+		return !it.attr && it.node.Type == xmldom.TextNode
+	case testName:
+		if it.attr {
+			return st.name == "*" || it.name == st.name
+		}
+		if it.node.Type != xmldom.ElementNode || it.doc {
+			return false
+		}
+		return st.name == "*" || it.node.Name == st.name
+	}
+	return false
+}
+
+func filterPreds(ns nodeset, preds []expr, c *evalCtx) nodeset {
+	for _, pred := range preds {
+		var kept nodeset
+		for i, it := range ns {
+			pc := &evalCtx{item: it, pos: i + 1, size: len(ns), doc: c.doc}
+			v := pred.eval(pc)
+			ok := false
+			if n, isNum := v.(float64); isNum {
+				ok = int(n) == pc.pos // positional predicate, e.g. [2]
+			} else {
+				ok = toBool(v)
+			}
+			if ok {
+				kept = append(kept, it)
+			}
+		}
+		ns = kept
+	}
+	return ns
+}
+
+func (f *funcCall) eval(c *evalCtx) value {
+	argStr := func(i int) string {
+		if i < len(f.args) {
+			return toString(f.args[i].eval(c))
+		}
+		return c.item.stringValue()
+	}
+	switch f.name {
+	case "string":
+		return argStr(0)
+	case "number":
+		if len(f.args) == 0 {
+			return toNumber(c.item.stringValue())
+		}
+		return toNumber(f.args[0].eval(c))
+	case "boolean":
+		return toBool(f.args[0].eval(c))
+	case "not":
+		return !toBool(f.args[0].eval(c))
+	case "true":
+		return true
+	case "false":
+		return false
+	case "count":
+		if ns, ok := f.args[0].eval(c).(nodeset); ok {
+			return float64(len(ns))
+		}
+		return 0.0
+	case "last":
+		return float64(c.size)
+	case "position":
+		return float64(c.pos)
+	case "name":
+		it := c.item
+		if len(f.args) == 1 {
+			ns, ok := f.args[0].eval(c).(nodeset)
+			if !ok || len(ns) == 0 {
+				return ""
+			}
+			it = ns[0]
+		}
+		if it.attr {
+			return it.name
+		}
+		if it.doc || it.node.Type != xmldom.ElementNode {
+			return ""
+		}
+		return it.node.Name
+	case "contains":
+		return strings.Contains(argStr(0), toString(f.args[1].eval(c)))
+	case "starts-with":
+		return strings.HasPrefix(argStr(0), toString(f.args[1].eval(c)))
+	case "normalize-space":
+		return strings.Join(strings.Fields(argStr(0)), " ")
+	case "string-length":
+		return float64(len([]rune(argStr(0))))
+	case "concat":
+		var b strings.Builder
+		for _, a := range f.args {
+			b.WriteString(toString(a.eval(c)))
+		}
+		return b.String()
+	case "substring-before":
+		s, sep := argStr(0), toString(f.args[1].eval(c))
+		if i := strings.Index(s, sep); i >= 0 && sep != "" {
+			return s[:i]
+		}
+		return ""
+	case "substring-after":
+		s, sep := argStr(0), toString(f.args[1].eval(c))
+		if sep == "" {
+			return s
+		}
+		if i := strings.Index(s, sep); i >= 0 {
+			return s[i+len(sep):]
+		}
+		return ""
+	case "translate":
+		s := argStr(0)
+		from := []rune(toString(f.args[1].eval(c)))
+		to := []rune(toString(f.args[2].eval(c)))
+		var b strings.Builder
+		for _, r := range s {
+			idx := -1
+			for i, fr := range from {
+				if fr == r {
+					idx = i
+					break
+				}
+			}
+			switch {
+			case idx < 0:
+				b.WriteRune(r)
+			case idx < len(to):
+				b.WriteRune(to[idx])
+				// idx >= len(to): character removed
+			}
+		}
+		return b.String()
+	case "sum":
+		ns, ok := f.args[0].eval(c).(nodeset)
+		if !ok {
+			return math.NaN()
+		}
+		total := 0.0
+		for _, it := range ns {
+			total += toNumber(it.stringValue())
+		}
+		return total
+	case "floor":
+		return math.Floor(toNumber(f.args[0].eval(c)))
+	case "ceiling":
+		return math.Ceil(toNumber(f.args[0].eval(c)))
+	case "round":
+		// XPath round: round half towards positive infinity
+		return math.Floor(toNumber(f.args[0].eval(c)) + 0.5)
+	case "substring":
+		s := []rune(argStr(0))
+		start := int(math.Round(toNumber(f.args[1].eval(c)))) - 1
+		length := len(s) - start
+		if len(f.args) == 3 {
+			length = int(math.Round(toNumber(f.args[2].eval(c))))
+		}
+		if start < 0 {
+			length += start
+			start = 0
+		}
+		if start >= len(s) || length <= 0 {
+			return ""
+		}
+		if start+length > len(s) {
+			length = len(s) - start
+		}
+		return string(s[start : start+length])
+	}
+	return nil
+}
+
+// ---- type conversions (XPath 1.0 semantics) ----
+
+func toString(v value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return formatNumber(x)
+	case nodeset:
+		if len(x) == 0 {
+			return ""
+		}
+		return x[0].stringValue()
+	}
+	return ""
+}
+
+func formatNumber(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func toNumber(v value) float64 {
+	switch x := v.(type) {
+	case nil:
+		return math.NaN()
+	case float64:
+		return x
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case string:
+		f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	case nodeset:
+		return toNumber(toString(x))
+	}
+	return math.NaN()
+}
+
+func toBool(v value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	case nodeset:
+		return len(x) > 0
+	}
+	return false
+}
+
+// compare implements XPath 1.0 comparison semantics, including the
+// existential rules for node-sets ("true if ANY node satisfies").
+func compare(op binOp, l, r value) bool {
+	ln, lIsSet := l.(nodeset)
+	rn, rIsSet := r.(nodeset)
+	switch {
+	case lIsSet && rIsSet:
+		for _, a := range ln {
+			for _, b := range rn {
+				if cmpAtom(op, a.stringValue(), b.stringValue()) {
+					return true
+				}
+			}
+		}
+		return false
+	case lIsSet:
+		for _, a := range ln {
+			if cmpMixed(op, a.stringValue(), r) {
+				return true
+			}
+		}
+		return false
+	case rIsSet:
+		for _, b := range rn {
+			if cmpMixed(flip(op), b.stringValue(), l) {
+				return true
+			}
+		}
+		return false
+	default:
+		return cmpScalar(op, l, r)
+	}
+}
+
+func flip(op binOp) binOp {
+	switch op {
+	case opLt:
+		return opGt
+	case opLe:
+		return opGe
+	case opGt:
+		return opLt
+	case opGe:
+		return opLe
+	}
+	return op
+}
+
+// cmpMixed compares a node string-value against a scalar.
+func cmpMixed(op binOp, nodeVal string, scalar value) bool {
+	switch s := scalar.(type) {
+	case bool:
+		b := nodeVal != "" // boolean() of a single node's value as string
+		return cmpScalar(op, b, s)
+	case float64:
+		return cmpScalar(op, toNumber(nodeVal), s)
+	case string:
+		return cmpAtom(op, nodeVal, s)
+	}
+	return false
+}
+
+// cmpAtom compares two strings: equality as strings, ordering as numbers.
+func cmpAtom(op binOp, a, b string) bool {
+	switch op {
+	case opEq:
+		return a == b
+	case opNeq:
+		return a != b
+	default:
+		return cmpNum(op, toNumber(a), toNumber(b))
+	}
+}
+
+func cmpScalar(op binOp, l, r value) bool {
+	if lb, ok := l.(bool); ok {
+		rb := toBool(r)
+		switch op {
+		case opEq:
+			return lb == rb
+		case opNeq:
+			return lb != rb
+		default:
+			return cmpNum(op, toNumber(lb), toNumber(rb))
+		}
+	}
+	if rb, ok := r.(bool); ok {
+		lb := toBool(l)
+		switch op {
+		case opEq:
+			return lb == rb
+		case opNeq:
+			return lb != rb
+		default:
+			return cmpNum(op, toNumber(lb), toNumber(rb))
+		}
+	}
+	if _, ok := l.(float64); ok {
+		return cmpNum(op, l.(float64), toNumber(r))
+	}
+	if _, ok := r.(float64); ok {
+		return cmpNum(op, toNumber(l), r.(float64))
+	}
+	// both strings
+	ls, rs := toString(l), toString(r)
+	switch op {
+	case opEq:
+		return ls == rs
+	case opNeq:
+		return ls != rs
+	default:
+		return cmpNum(op, toNumber(ls), toNumber(rs))
+	}
+}
+
+func cmpNum(op binOp, a, b float64) bool {
+	switch op {
+	case opEq:
+		return a == b
+	case opNeq:
+		return a != b
+	case opLt:
+		return a < b
+	case opLe:
+		return a <= b
+	case opGt:
+		return a > b
+	case opGe:
+		return a >= b
+	}
+	return false
+}

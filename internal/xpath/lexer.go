@@ -1,0 +1,273 @@
+// Package xpath compiles and evaluates a practical subset of XPath 1.0
+// against xmldom trees.
+//
+// Disclosure policies in the paper carry their attribute conditions as
+// XPath expressions over the counterpart's credential (§6.2: "Such element
+// stores an Xpath expression on the credential denoted by targetCertType").
+// This package is the evaluator behind those conditions, and also the query
+// language of the embedded document store (internal/store).
+//
+// Supported grammar (a strict subset of XPath 1.0):
+//
+//	/a/b/c          absolute location paths
+//	a/b             relative paths
+//	//a             descendant-or-self steps
+//	*               any-element wildcard
+//	@name, @*       attribute steps
+//	. and ..        self and parent
+//	text()          text-node step
+//	a[pred]         predicates: positions, comparisons, and/or, functions
+//	=, !=, <, <=, >, >=   comparisons with node-set/string/number semantics
+//	and, or, -x     boolean connectives and unary minus
+//	p1 | p2         node-set union
+//
+// Functions: string, number, boolean, not, true, false, count, last,
+// position, name, contains, starts-with, normalize-space, string-length,
+// concat, substring.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokSlash
+	tokDblSlash
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokAt
+	tokDot
+	tokDotDot
+	tokStar
+	tokPipe
+	tokComma
+	tokName   // element/function names
+	tokString // quoted literal
+	tokNumber
+	tokEq
+	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokPlus
+	tokMinus
+	tokAnd
+	tokOr
+	tokDiv
+	tokMod
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokName, tokString:
+		return t.text
+	case tokNumber:
+		return fmt.Sprintf("%g", t.num)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// SyntaxError describes a compilation failure with its byte offset.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '/':
+			if l.peekAt(1) == '/' {
+				l.pos += 2
+				l.emit(token{kind: tokDblSlash, text: "//", pos: start})
+			} else {
+				l.pos++
+				l.emit(token{kind: tokSlash, text: "/", pos: start})
+			}
+		case c == '[':
+			l.pos++
+			l.emit(token{kind: tokLBracket, text: "[", pos: start})
+		case c == ']':
+			l.pos++
+			l.emit(token{kind: tokRBracket, text: "]", pos: start})
+		case c == '(':
+			l.pos++
+			l.emit(token{kind: tokLParen, text: "(", pos: start})
+		case c == ')':
+			l.pos++
+			l.emit(token{kind: tokRParen, text: ")", pos: start})
+		case c == '@':
+			l.pos++
+			l.emit(token{kind: tokAt, text: "@", pos: start})
+		case c == '|':
+			l.pos++
+			l.emit(token{kind: tokPipe, text: "|", pos: start})
+		case c == ',':
+			l.pos++
+			l.emit(token{kind: tokComma, text: ",", pos: start})
+		case c == '*':
+			l.pos++
+			l.emit(token{kind: tokStar, text: "*", pos: start})
+		case c == '+':
+			l.pos++
+			l.emit(token{kind: tokPlus, text: "+", pos: start})
+		case c == '-':
+			l.pos++
+			l.emit(token{kind: tokMinus, text: "-", pos: start})
+		case c == '=':
+			l.pos++
+			l.emit(token{kind: tokEq, text: "=", pos: start})
+		case c == '!':
+			if l.peekAt(1) != '=' {
+				return nil, &SyntaxError{Expr: src, Pos: start, Msg: "expected != after !"}
+			}
+			l.pos += 2
+			l.emit(token{kind: tokNeq, text: "!=", pos: start})
+		case c == '<':
+			if l.peekAt(1) == '=' {
+				l.pos += 2
+				l.emit(token{kind: tokLe, text: "<=", pos: start})
+			} else {
+				l.pos++
+				l.emit(token{kind: tokLt, text: "<", pos: start})
+			}
+		case c == '>':
+			if l.peekAt(1) == '=' {
+				l.pos += 2
+				l.emit(token{kind: tokGe, text: ">=", pos: start})
+			} else {
+				l.pos++
+				l.emit(token{kind: tokGt, text: ">", pos: start})
+			}
+		case c == '.':
+			if l.peekAt(1) == '.' {
+				l.pos += 2
+				l.emit(token{kind: tokDotDot, text: "..", pos: start})
+			} else if isDigit(l.peekAt(1)) {
+				l.lexNumber()
+			} else {
+				l.pos++
+				l.emit(token{kind: tokDot, text: ".", pos: start})
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			l.pos++
+			j := strings.IndexByte(l.src[l.pos:], quote)
+			if j < 0 {
+				return nil, &SyntaxError{Expr: src, Pos: start, Msg: "unterminated string literal"}
+			}
+			l.emit(token{kind: tokString, text: l.src[l.pos : l.pos+j], pos: start})
+			l.pos += j + 1
+		case isDigit(c):
+			l.lexNumber()
+		case isNameStart(rune(c)):
+			l.lexName()
+		default:
+			return nil, &SyntaxError{Expr: src, Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	var n float64
+	fmt.Sscanf(l.src[start:l.pos], "%g", &n)
+	l.emit(token{kind: tokNumber, num: n, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexName() {
+	start := l.pos
+	for l.pos < len(l.src) && isNamePart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	name := l.src[start:l.pos]
+	// 'and', 'or', 'div', 'mod' are operators only where an operator may
+	// appear; the parser disambiguates via the previous token. The lexer
+	// keeps that rule: after a name, literal, number, ')' or ']', these
+	// words are operators.
+	switch name {
+	case "and", "or", "div", "mod":
+		if l.prevAllowsOperator() {
+			kind := map[string]tokKind{"and": tokAnd, "or": tokOr, "div": tokDiv, "mod": tokMod}[name]
+			l.emit(token{kind: kind, text: name, pos: start})
+			return
+		}
+	}
+	l.emit(token{kind: tokName, text: name, pos: start})
+}
+
+func (l *lexer) prevAllowsOperator() bool {
+	if len(l.toks) == 0 {
+		return false
+	}
+	switch l.toks[len(l.toks)-1].kind {
+	case tokName, tokString, tokNumber, tokRParen, tokRBracket, tokStar, tokDot, tokDotDot:
+		return true
+	}
+	return false
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNamePart(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,312 @@
+// Package xtnl implements X-TNL, the XML-based Trust Negotiation Language
+// of the Trust-X system (paper §4.1 and §6.2).
+//
+// X-TNL has two kinds of artifacts:
+//
+//   - Credentials: sets of attributes about a party, issued and signed by a
+//     Credential Authority. All credentials of a party form its X-Profile.
+//     The XML layout follows the paper's Fig. 6: a <credential> element
+//     with <header> (type, issuer, validity), <content> (the attributes)
+//     and <signature> (base64 signature by the issuer over the rest).
+//
+//   - Disclosure policies: logic rules R ← T1,…,Tn stating which
+//     counterpart credentials (terms, possibly with XPath conditions) must
+//     be disclosed before resource R is released, or R ← DELIV for freely
+//     deliverable resources. The XML layout follows Fig. 7: <policy> with
+//     <resource target=…> and <properties>/<certificate targetCertType=…>/
+//     <certCond> elements holding XPath conditions.
+//
+// Policies can also be written in a compact textual DSL (see dsl.go),
+// hand-rolled for this reproduction:
+//
+//	VoMembership <- WebDesignerQuality(regulation='UNI EN ISO 9000')
+//	Certification <- AAAccreditation | BalanceSheet(issuer='BBB')
+//	PublicInfo <- DELIV
+package xtnl
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xpath"
+)
+
+// TimeLayout is the timestamp layout used in credential validity fields.
+// It matches the paper's examples ("2009-10-26T21:32:52", no zone; all
+// times are interpreted as UTC).
+const TimeLayout = "2006-01-02T15:04:05"
+
+// Sensitivity labels a credential's privacy level. Algorithm 1 of the
+// paper clusters a party's credentials by this label and discloses the
+// least sensitive credential that satisfies a request.
+type Sensitivity int
+
+const (
+	// SensitivityLow marks freely disclosable credentials.
+	SensitivityLow Sensitivity = iota
+	// SensitivityMedium marks credentials disclosed only under policy.
+	SensitivityMedium
+	// SensitivityHigh marks credentials disclosed reluctantly, as a
+	// last resort among the alternatives implementing a concept.
+	SensitivityHigh
+)
+
+// String returns the label used in XML ("low", "medium", "high").
+func (s Sensitivity) String() string {
+	switch s {
+	case SensitivityLow:
+		return "low"
+	case SensitivityMedium:
+		return "medium"
+	case SensitivityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Sensitivity(%d)", int(s))
+	}
+}
+
+// ParseSensitivity converts a label to a Sensitivity, defaulting to
+// medium for unknown labels (the conservative choice).
+func ParseSensitivity(s string) Sensitivity {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "low":
+		return SensitivityLow
+	case "high":
+		return SensitivityHigh
+	default:
+		return SensitivityMedium
+	}
+}
+
+// Attribute is a single named property carried by a credential.
+type Attribute struct {
+	Name  string
+	Value string
+}
+
+// Credential is an X-TNL attribute credential: a statement by Issuer that
+// Holder possesses Attributes, valid within [ValidFrom, ValidUntil].
+//
+// Signature is the issuer's signature over the canonical XML of the
+// credential with the <signature> element removed; internal/pki produces
+// and verifies it. HolderKey (base64, in the header) lets the counterpart
+// challenge the presenter to prove ownership.
+type Credential struct {
+	ID          string
+	Type        string
+	Issuer      string
+	Holder      string
+	HolderKey   []byte // holder's public key, for ownership proof
+	ValidFrom   time.Time
+	ValidUntil  time.Time
+	Sensitivity Sensitivity
+	Attributes  []Attribute
+	Signature   []byte // issuer signature; empty until signed
+}
+
+// Attr returns the value of the named content attribute and whether it
+// is present.
+func (c *Credential) Attr(name string) (string, bool) {
+	for _, a := range c.Attributes {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets or replaces a content attribute and returns c.
+func (c *Credential) SetAttr(name, value string) *Credential {
+	for i := range c.Attributes {
+		if c.Attributes[i].Name == name {
+			c.Attributes[i].Value = value
+			return c
+		}
+	}
+	c.Attributes = append(c.Attributes, Attribute{Name: name, Value: value})
+	return c
+}
+
+// ValidAt reports whether t falls within the credential's validity window.
+func (c *Credential) ValidAt(t time.Time) bool {
+	if !c.ValidFrom.IsZero() && t.Before(c.ValidFrom) {
+		return false
+	}
+	if !c.ValidUntil.IsZero() && t.After(c.ValidUntil) {
+		return false
+	}
+	return true
+}
+
+// DOM builds the credential's XML tree in the Fig. 6 layout.
+func (c *Credential) DOM() *xmldom.Node {
+	root := xmldom.NewElement("credential")
+	if c.ID != "" {
+		root.SetAttr("credID", c.ID)
+	}
+	root.SetAttr("type", c.Type)
+	if c.Sensitivity != SensitivityMedium {
+		root.SetAttr("sensitivity", c.Sensitivity.String())
+	} else {
+		root.SetAttr("sensitivity", "medium")
+	}
+
+	header := xmldom.NewElement("header")
+	addText := func(parent *xmldom.Node, name, val string) {
+		el := xmldom.NewElement(name)
+		el.AppendChild(xmldom.NewText(val))
+		parent.AppendChild(el)
+	}
+	addText(header, "credType", c.Type)
+	addText(header, "issuer", c.Issuer)
+	if c.Holder != "" {
+		addText(header, "holder", c.Holder)
+	}
+	if len(c.HolderKey) > 0 {
+		addText(header, "holderKey", base64.StdEncoding.EncodeToString(c.HolderKey))
+	}
+	if !c.ValidFrom.IsZero() {
+		addText(header, "issue_Date", c.ValidFrom.UTC().Format(TimeLayout))
+	}
+	if !c.ValidUntil.IsZero() {
+		addText(header, "expiration_Date", c.ValidUntil.UTC().Format(TimeLayout))
+	}
+	root.AppendChild(header)
+
+	content := xmldom.NewElement("content")
+	for _, a := range c.Attributes {
+		addText(content, a.Name, a.Value)
+	}
+	root.AppendChild(content)
+
+	if len(c.Signature) > 0 {
+		sig := xmldom.NewElement("signature")
+		sig.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(c.Signature)))
+		root.AppendChild(sig)
+	}
+	return root
+}
+
+// XML serializes the credential in canonical form.
+func (c *Credential) XML() string { return c.DOM().XML() }
+
+// SignedBytes returns the canonical bytes covered by the issuer's
+// signature: the credential XML with the <signature> element omitted.
+func (c *Credential) SignedBytes() []byte {
+	cp := *c
+	cp.Signature = nil
+	return []byte(cp.DOM().XML())
+}
+
+// ErrBadCredential reports a malformed credential document.
+var ErrBadCredential = errors.New("xtnl: malformed credential")
+
+// ParseCredential decodes a Fig. 6-layout credential document.
+func ParseCredential(xmlText string) (*Credential, error) {
+	root, err := xmldom.ParseString(xmlText)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCredential, err)
+	}
+	return CredentialFromDOM(root)
+}
+
+// CredentialFromDOM decodes a credential from an already-parsed tree.
+func CredentialFromDOM(root *xmldom.Node) (*Credential, error) {
+	if root.Name != "credential" {
+		return nil, fmt.Errorf("%w: root element is <%s>, want <credential>", ErrBadCredential, root.Name)
+	}
+	c := &Credential{
+		ID:          root.AttrOr("credID", ""),
+		Type:        root.AttrOr("type", ""),
+		Sensitivity: ParseSensitivity(root.AttrOr("sensitivity", "medium")),
+	}
+	header := root.Child("header")
+	if header == nil {
+		return nil, fmt.Errorf("%w: missing <header>", ErrBadCredential)
+	}
+	if ht := header.ChildText("credType"); ht != "" {
+		if c.Type != "" && ht != c.Type {
+			return nil, fmt.Errorf("%w: type attribute %q disagrees with credType %q", ErrBadCredential, c.Type, ht)
+		}
+		c.Type = ht
+	}
+	if c.Type == "" {
+		return nil, fmt.Errorf("%w: no credential type", ErrBadCredential)
+	}
+	c.Issuer = header.ChildText("issuer")
+	c.Holder = header.ChildText("holder")
+	if hk := header.ChildText("holderKey"); hk != "" {
+		b, err := base64.StdEncoding.DecodeString(hk)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad holderKey: %v", ErrBadCredential, err)
+		}
+		c.HolderKey = b
+	}
+	var perr error
+	parseTime := func(s string) time.Time {
+		if s == "" {
+			return time.Time{}
+		}
+		t, err := time.ParseInLocation(TimeLayout, s, time.UTC)
+		if err != nil && perr == nil {
+			perr = fmt.Errorf("%w: bad timestamp %q", ErrBadCredential, s)
+		}
+		return t
+	}
+	c.ValidFrom = parseTime(header.ChildText("issue_Date"))
+	c.ValidUntil = parseTime(header.ChildText("expiration_Date"))
+	if perr != nil {
+		return nil, perr
+	}
+	if content := root.Child("content"); content != nil {
+		for _, el := range content.Elements() {
+			c.Attributes = append(c.Attributes, Attribute{Name: el.Name, Value: el.Text()})
+		}
+	}
+	if sig := root.Child("signature"); sig != nil {
+		b, err := base64.StdEncoding.DecodeString(strings.TrimSpace(sig.Text()))
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad signature encoding: %v", ErrBadCredential, err)
+		}
+		c.Signature = b
+	}
+	return c, nil
+}
+
+// Satisfies reports whether the credential meets every XPath condition.
+// Conditions are evaluated with the credential document as context, so
+// they may be absolute ("/credential/content/x='1'") or relative
+// ("content/x='1'" / "//x='1'").
+func (c *Credential) Satisfies(conds []*xpath.Expr) bool {
+	if len(conds) == 0 {
+		return true
+	}
+	dom := c.DOM()
+	for _, e := range conds {
+		if !e.Bool(dom) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the credential.
+func (c *Credential) Clone() *Credential {
+	cp := *c
+	cp.Attributes = append([]Attribute(nil), c.Attributes...)
+	cp.Signature = append([]byte(nil), c.Signature...)
+	cp.HolderKey = append([]byte(nil), c.HolderKey...)
+	return &cp
+}
+
+// SortAttributes orders content attributes by name, normalizing
+// credentials produced from maps. Signed credentials must not be
+// re-sorted (the signature covers attribute order).
+func (c *Credential) SortAttributes() {
+	sort.Slice(c.Attributes, func(i, j int) bool { return c.Attributes[i].Name < c.Attributes[j].Name })
+}

@@ -1,0 +1,400 @@
+package xtnl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// This file implements the textual disclosure-policy DSL, a hand-rolled
+// compact notation for the paper's logic-rule form (§4.1):
+//
+//	R <- T1, T2, ..., Tn        conjunction of terms
+//	R <- DELIV                  delivery rule
+//	R <- A | B                  two alternative policies for R (Fig. 2's
+//	                            multiedge branches are written this way)
+//
+// Terms may constrain credential attributes:
+//
+//	VoMembership <- WebDesignerQuality(regulation='UNI EN ISO 9000')
+//	Certification <- AAAccreditation | BalanceSheet(issuer='BBB')
+//	Service <- $any(country='IT')                 wildcard credential type
+//	Audit <- TaxRecord[/credential/content/year >= 2009]   raw XPath
+//
+// Attribute shorthand maps to XPath over the credential document:
+// issuer/holder/type address the header, everything else the content.
+
+// ParsePolicies parses a DSL document: one policy per line, '#' comments,
+// blank lines ignored. Alternatives ("|") expand into separate Policy
+// values sharing the resource name.
+func ParsePolicies(src string) ([]*Policy, error) {
+	var out []*Policy
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ps, err := ParsePolicyRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// ParsePolicyRule parses a single DSL rule, returning one Policy per
+// "|" alternative.
+func ParsePolicyRule(src string) ([]*Policy, error) {
+	p := &dslParser{src: src}
+	return p.parseRule()
+}
+
+// MustParsePolicies is ParsePolicies that panics on error, for fixtures.
+func MustParsePolicies(src string) []*Policy {
+	ps, err := ParsePolicies(src)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}
+
+type dslParser struct {
+	src string
+	pos int
+}
+
+func (p *dslParser) errf(format string, args ...any) error {
+	return fmt.Errorf("xtnl: policy DSL: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *dslParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *dslParser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+func (p *dslParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *dslParser) accept(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *dslParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '$' {
+		p.pos++
+	}
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		// '/' permits hierarchical resource names such as
+		// "VoMembership/<vo>/<role>"; ':' permits concept references
+		// ("concept:gender").
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' || r == '/' || r == ':' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start || (p.pos == start+1 && p.src[start] == '$') {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *dslParser) parseRule() ([]*Policy, error) {
+	resource, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// optional empty R-term parens: "Certification() <- ..."
+	if p.accept("(") {
+		if !p.accept(")") {
+			return nil, p.errf("R-term parameters are not supported; expected ()")
+		}
+	}
+	if !p.accept("<-") && !p.accept("←") {
+		return nil, p.errf("expected <- after resource %q", resource)
+	}
+	p.skipSpace()
+	if p.accept("DELIV") {
+		if !p.eof() {
+			return nil, p.errf("unexpected input after DELIV")
+		}
+		return []*Policy{{Resource: resource, Deliver: true}}, nil
+	}
+	// Group (threshold) condition — the §8 extension "policies with
+	// group conditions": "R <- k of (T1 | T2 | ... | Tn)" expands into
+	// one alternative policy per k-subset of the terms.
+	if k, ok := p.tryThreshold(); ok {
+		terms, err := p.parseGroupTerms()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eof() {
+			return nil, p.errf("unexpected trailing input after group condition")
+		}
+		if k < 1 || k > len(terms) {
+			return nil, p.errf("threshold %d out of range for %d terms", k, len(terms))
+		}
+		var out []*Policy
+		for _, combo := range combinations(len(terms), k) {
+			pol := &Policy{Resource: resource}
+			for _, idx := range combo {
+				pol.Terms = append(pol.Terms, terms[idx])
+			}
+			if err := pol.Validate(); err != nil {
+				return nil, err
+			}
+			out = append(out, pol)
+		}
+		return out, nil
+	}
+	var out []*Policy
+	for {
+		terms, err := p.parseTermList()
+		if err != nil {
+			return nil, err
+		}
+		pol := &Policy{Resource: resource, Terms: terms}
+		if err := pol.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, pol)
+		if p.accept("|") {
+			continue
+		}
+		break
+	}
+	if !p.eof() {
+		return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return out, nil
+}
+
+// tryThreshold consumes "<k> of" when present, returning k.
+func (p *dslParser) tryThreshold() (int, bool) {
+	p.skipSpace()
+	start := p.pos
+	k := 0
+	digits := 0
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		k = k*10 + int(p.src[p.pos]-'0')
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		p.pos = start
+		return 0, false
+	}
+	p.skipSpace()
+	// "of" must be a whole word (not a prefix of a term name)
+	if !strings.HasPrefix(p.src[p.pos:], "of") ||
+		(p.pos+2 < len(p.src) && isIdentChar(rune(p.src[p.pos+2]))) {
+		p.pos = start
+		return 0, false
+	}
+	p.pos += 2
+	return k, true
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.' || r == '/' || r == ':'
+}
+
+// parseGroupTerms parses "( term | term | ... )".
+func (p *dslParser) parseGroupTerms() ([]Term, error) {
+	if !p.accept("(") {
+		return nil, p.errf("expected ( after threshold")
+	}
+	var terms []Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		if p.accept("|") {
+			continue
+		}
+		if !p.accept(")") {
+			return nil, p.errf("expected | or ) in group condition")
+		}
+		return terms, nil
+	}
+}
+
+// combinations returns every k-subset of {0..n-1} in lexicographic order.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	combo := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			out = append(out, append([]int(nil), combo...))
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			combo[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func (p *dslParser) parseTermList() ([]Term, error) {
+	var terms []Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		if p.accept(",") {
+			continue
+		}
+		return terms, nil
+	}
+}
+
+func (p *dslParser) parseTerm() (Term, error) {
+	var t Term
+	name, err := p.ident()
+	if err != nil {
+		return t, err
+	}
+	if name == "DELIV" {
+		return t, p.errf("DELIV cannot appear inside a term list")
+	}
+	if strings.HasPrefix(name, "$") {
+		t.CredType = name // wildcard variable
+	} else {
+		t.CredType = name
+	}
+	if p.accept("(") {
+		if !p.accept(")") {
+			for {
+				cond, err := p.parseCondition()
+				if err != nil {
+					return t, err
+				}
+				t.Conditions = append(t.Conditions, cond)
+				if p.accept(",") {
+					continue
+				}
+				if !p.accept(")") {
+					return t, p.errf("expected , or ) in condition list")
+				}
+				break
+			}
+		}
+	}
+	for p.accept("[") {
+		// raw XPath condition, verbatim up to the matching ']'
+		depth := 1
+		start := p.pos
+		for p.pos < len(p.src) && depth > 0 {
+			switch p.src[p.pos] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+			p.pos++
+		}
+		if depth != 0 {
+			return t, p.errf("unterminated [xpath] condition")
+		}
+		t.Conditions = append(t.Conditions, strings.TrimSpace(p.src[start:p.pos-1]))
+	}
+	return t, nil
+}
+
+// headerFields are the shorthand names that address the credential
+// header rather than its content.
+var headerFields = map[string]string{
+	"issuer": "/credential/header/issuer",
+	"holder": "/credential/header/holder",
+	"type":   "/credential/header/credType",
+}
+
+func (p *dslParser) parseCondition() (string, error) {
+	attr, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	p.skipSpace()
+	var op string
+	for _, cand := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(p.src[p.pos:], cand) {
+			op = cand
+			p.pos += len(cand)
+			break
+		}
+	}
+	if op == "" {
+		return "", p.errf("expected comparison operator after %q", attr)
+	}
+	p.skipSpace()
+	val, err := p.literal()
+	if err != nil {
+		return "", err
+	}
+	path, ok := headerFields[attr]
+	if !ok {
+		path = "/credential/content/" + attr
+	}
+	return path + op + val, nil
+}
+
+// literal parses a quoted string or a bare number and returns its XPath
+// source form.
+func (p *dslParser) literal() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", p.errf("expected literal")
+	}
+	c := p.src[p.pos]
+	if c == '\'' || c == '"' {
+		quote := c
+		p.pos++
+		j := strings.IndexByte(p.src[p.pos:], quote)
+		if j < 0 {
+			return "", p.errf("unterminated string literal")
+		}
+		s := p.src[p.pos : p.pos+j]
+		p.pos += j + 1
+		return "'" + s + "'", nil
+	}
+	start := p.pos
+	if c == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && c == '-') {
+		return "", p.errf("expected quoted string or number")
+	}
+	return p.src[start:p.pos], nil
+}

@@ -1,0 +1,263 @@
+package xtnl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDSLPaperExamples(t *testing.T) {
+	// Example 1 of the paper:
+	//   VoMembership <- WebDesignerQuality
+	//   QualityCertification <- AAACreditation
+	ps, err := ParsePolicies(`
+# Example 1, §4.1
+VoMembership <- WebDesignerQuality
+QualityCertification <- AAACreditation
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("parsed %d policies, want 2", len(ps))
+	}
+	if ps[0].Resource != "VoMembership" || ps[0].Terms[0].CredType != "WebDesignerQuality" {
+		t.Fatalf("policy 0 = %+v", ps[0])
+	}
+	if ps[1].Resource != "QualityCertification" || ps[1].Terms[0].CredType != "AAACreditation" {
+		t.Fatalf("policy 1 = %+v", ps[1])
+	}
+}
+
+func TestDSLSection5Policies(t *testing.T) {
+	// §5.1 formation-phase policies, including the quality-regulation
+	// condition "VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}"
+	// and the R-term empty-parens form "Certification() <- AAAccreditation()".
+	ps, err := ParsePolicies(`
+VoMembership <- WebDesignerQuality(regulation='UNI EN ISO 9000')
+Certification() <- AAAccreditation()
+Certification() <- BalanceSheet(issuer='BBB')
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("parsed %d policies", len(ps))
+	}
+	cond := ps[0].Terms[0].Conditions[0]
+	if cond != "/credential/content/regulation='UNI EN ISO 9000'" {
+		t.Fatalf("condition = %q", cond)
+	}
+	// issuer shorthand goes to the header
+	if got := ps[2].Terms[0].Conditions[0]; got != "/credential/header/issuer='BBB'" {
+		t.Fatalf("issuer condition = %q", got)
+	}
+}
+
+func TestDSLAlternatives(t *testing.T) {
+	// Fig. 2: Certification <- AAACreditation OR BalanceSheet
+	ps, err := ParsePolicyRule("Certification <- AAACreditation | BalanceSheet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("alternatives = %d, want 2", len(ps))
+	}
+	if ps[0].Resource != "Certification" || ps[1].Resource != "Certification" {
+		t.Fatal("alternatives must share resource")
+	}
+	if ps[0].Terms[0].CredType != "AAACreditation" || ps[1].Terms[0].CredType != "BalanceSheet" {
+		t.Fatalf("alternative terms wrong: %v / %v", ps[0].Terms, ps[1].Terms)
+	}
+}
+
+func TestDSLConjunction(t *testing.T) {
+	ps, err := ParsePolicyRule("R <- A(x='1'), B(y>=2, z!='q'), C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || len(ps[0].Terms) != 3 {
+		t.Fatalf("conjunction structure: %+v", ps)
+	}
+	b := ps[0].Terms[1]
+	if len(b.Conditions) != 2 {
+		t.Fatalf("B conditions = %v", b.Conditions)
+	}
+	if b.Conditions[0] != "/credential/content/y>=2" {
+		t.Fatalf("y condition = %q", b.Conditions[0])
+	}
+	if b.Conditions[1] != "/credential/content/z!='q'" {
+		t.Fatalf("z condition = %q", b.Conditions[1])
+	}
+}
+
+func TestDSLDeliver(t *testing.T) {
+	ps, err := ParsePolicyRule("PublicInfo <- DELIV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || !ps[0].Deliver {
+		t.Fatalf("DELIV not parsed: %+v", ps)
+	}
+}
+
+func TestDSLWildcardAndRawXPath(t *testing.T) {
+	ps, err := ParsePolicyRule("Service <- $any(country='IT')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps[0].Terms[0].Wildcard() {
+		t.Fatalf("wildcard lost: %+v", ps[0].Terms[0])
+	}
+	ps, err = ParsePolicyRule("Audit <- TaxRecord[/credential/content/year >= 2009]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps[0].Terms[0].Conditions[0]; got != "/credential/content/year >= 2009" {
+		t.Fatalf("raw xpath = %q", got)
+	}
+	// nested brackets survive
+	ps, err = ParsePolicyRule("R <- T[count(/credential/content/*[. = 'x']) > 0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps[0].Terms[0].Conditions[0]; !strings.Contains(got, "[. = 'x']") {
+		t.Fatalf("nested bracket xpath = %q", got)
+	}
+}
+
+func TestDSLNumericLiterals(t *testing.T) {
+	ps, err := ParsePolicyRule("R <- T(level>=3, score<-1.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := ps[0].Terms[0].Conditions
+	if conds[0] != "/credential/content/level>=3" {
+		t.Fatalf("level cond = %q", conds[0])
+	}
+	if conds[1] != "/credential/content/score<-1.5" {
+		t.Fatalf("score cond = %q", conds[1])
+	}
+}
+
+func TestDSLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"R",
+		"R <-",
+		"R <- ",
+		"<- T",
+		"R <- DELIV, T",
+		"R <- T(",
+		"R <- T(x)",
+		"R <- T(x=)",
+		"R <- T(x='unterminated)",
+		"R <- T[unclosed",
+		"R <- T | ",
+		"R <- T trailing",
+		"R <- DELIV trailing",
+		"R(param) <- T",
+		"R <- T(x='1'",
+	}
+	for _, s := range bad {
+		if _, err := ParsePolicyRule(s); err == nil {
+			t.Errorf("ParsePolicyRule(%q): expected error", s)
+		}
+	}
+}
+
+func TestDSLRoundTripThroughString(t *testing.T) {
+	// The DSL String() form of a parsed policy re-parses to the same
+	// structure (for policies without raw-xpath conditions, whose String
+	// form uses brackets).
+	in := "VoMembership <- WebDesignerQuality(regulation='UNI EN ISO 9000'), AAAccreditation"
+	ps, err := ParsePolicyRule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ps[0].String()
+	re, err := ParsePolicyRule(s)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s, err)
+	}
+	if re[0].Resource != ps[0].Resource || len(re[0].Terms) != len(ps[0].Terms) {
+		t.Fatalf("round trip mismatch: %q vs %q", ps[0], re[0])
+	}
+}
+
+func TestParsePoliciesLineErrors(t *testing.T) {
+	_, err := ParsePolicies("A <- B\nbroken <-\nC <- D")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("expected line-numbered error, got %v", err)
+	}
+}
+
+// TestDSLGroupConditions covers the §8 extension: threshold policies
+// "R <- k of (T1 | ... | Tn)" expand into one alternative per k-subset.
+func TestDSLGroupConditions(t *testing.T) {
+	ps, err := ParsePolicyRule("VoMembership <- 2 of (AAACreditation | BalanceSheet | ISOCert(regulation='UNI EN ISO 9000'))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 { // C(3,2)
+		t.Fatalf("2-of-3 alternatives = %d, want 3", len(ps))
+	}
+	for _, p := range ps {
+		if p.Resource != "VoMembership" || len(p.Terms) != 2 {
+			t.Fatalf("bad alternative: %+v", p)
+		}
+	}
+	// first combination is (AAACreditation, BalanceSheet)
+	if ps[0].Terms[0].CredType != "AAACreditation" || ps[0].Terms[1].CredType != "BalanceSheet" {
+		t.Fatalf("combo order: %+v", ps[0].Terms)
+	}
+	// conditions survive into the combos that include the term
+	found := false
+	for _, p := range ps {
+		for _, term := range p.Terms {
+			if term.CredType == "ISOCert" && len(term.Conditions) == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("conditions lost in group expansion")
+	}
+
+	// 1-of-n behaves like plain alternatives
+	ps, err = ParsePolicyRule("R <- 1 of (A | B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || len(ps[0].Terms) != 1 {
+		t.Fatalf("1-of-2 = %+v", ps)
+	}
+	// n-of-n behaves like a conjunction
+	ps, err = ParsePolicyRule("R <- 3 of (A | B | C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || len(ps[0].Terms) != 3 {
+		t.Fatalf("3-of-3 = %+v", ps)
+	}
+}
+
+func TestDSLGroupConditionErrors(t *testing.T) {
+	bad := []string{
+		"R <- 0 of (A | B)",
+		"R <- 3 of (A | B)",
+		"R <- 2 of A | B",
+		"R <- 2 of (A | B",
+		"R <- 2 of ()",
+		"R <- 2 of (A | B) trailing",
+	}
+	for _, s := range bad {
+		if _, err := ParsePolicyRule(s); err == nil {
+			t.Errorf("ParsePolicyRule(%q): expected error", s)
+		}
+	}
+	// a term named "of" or digits-leading names must still work outside
+	// the group syntax
+	if _, err := ParsePolicyRule("R <- offer"); err != nil {
+		t.Errorf("term starting with 'of' prefix: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package xtnl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xpath"
+)
+
+// Term is one requirement inside a disclosure policy: "the counterpart
+// must disclose a credential of type CredType satisfying Conditions".
+//
+// CredType may be empty or a variable name starting with '$', expressing
+// the paper's unspecified-type terms ("the credential type P can be
+// unspecified, and denoted by a variable, so to express constraints on
+// the counterpart properties without specifying from which types of
+// credential such properties should be obtained"). The receiver then
+// chooses any owned credential whose attributes satisfy the conditions.
+type Term struct {
+	CredType   string
+	Conditions []string // XPath expressions over the candidate credential
+}
+
+// Wildcard reports whether the term leaves the credential type open.
+func (t Term) Wildcard() bool {
+	return t.CredType == "" || strings.HasPrefix(t.CredType, "$")
+}
+
+// CompiledConditions compiles the term's XPath conditions once.
+func (t Term) CompiledConditions() ([]*xpath.Expr, error) {
+	out := make([]*xpath.Expr, 0, len(t.Conditions))
+	for _, c := range t.Conditions {
+		e, err := xpath.Compile(c)
+		if err != nil {
+			return nil, fmt.Errorf("xtnl: condition %q: %w", c, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// SatisfiedBy reports whether cred matches the term: type equal (unless
+// wildcard) and all conditions true. Compilation errors make the term
+// unsatisfied.
+func (t Term) SatisfiedBy(cred *Credential) bool {
+	if !t.Wildcard() && t.CredType != cred.Type {
+		return false
+	}
+	conds, err := t.CompiledConditions()
+	if err != nil {
+		return false
+	}
+	return cred.Satisfies(conds)
+}
+
+// String renders the term in DSL form; each condition becomes its own
+// raw-XPath bracket so the output re-parses to the same term.
+func (t Term) String() string {
+	name := t.CredType
+	if name == "" {
+		name = "$any"
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, c := range t.Conditions {
+		b.WriteByte('[')
+		b.WriteString(c)
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// Policy is a single disclosure rule: Resource ← Terms (a conjunction),
+// or Resource ← DELIV when Deliver is set. A party usually holds several
+// policies for the same resource; each is an alternative way to satisfy
+// the release of that resource (the multiedge branches of Fig. 2).
+type Policy struct {
+	ID       string
+	Resource string // R-term name: a credential type, service or resource
+	Deliver  bool   // delivery rule: release freely
+	Terms    []Term // conjunctive requirements (ignored when Deliver)
+
+	// Concepts optionally names the ontology concepts this policy's terms
+	// were abstracted to (paper §4.3.1); empty for concrete policies.
+	Concepts []string
+}
+
+// String renders the policy in DSL form.
+func (p Policy) String() string {
+	if p.Deliver {
+		return p.Resource + " <- DELIV"
+	}
+	parts := make([]string, len(p.Terms))
+	for i, t := range p.Terms {
+		parts[i] = t.String()
+	}
+	return p.Resource + " <- " + strings.Join(parts, ", ")
+}
+
+// Validate checks structural invariants: a resource name, and either
+// DELIV or at least one term, each with compilable conditions.
+func (p Policy) Validate() error {
+	if p.Resource == "" {
+		return errors.New("xtnl: policy without resource")
+	}
+	if p.Deliver {
+		if len(p.Terms) > 0 {
+			return fmt.Errorf("xtnl: delivery policy for %s must not carry terms", p.Resource)
+		}
+		return nil
+	}
+	if len(p.Terms) == 0 {
+		return fmt.Errorf("xtnl: policy for %s has no terms and is not DELIV", p.Resource)
+	}
+	for _, t := range p.Terms {
+		if _, err := t.CompiledConditions(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DOM builds the policy XML in the Fig. 7 layout:
+//
+//	<policy type="disclosure">
+//	  <resource target="ISO 9000 Certified"/>
+//	  <properties>
+//	    <certificate targetCertType="AAAccreditation">
+//	      <certCond>/credential/header/issuer='AAA'</certCond>
+//	    </certificate>
+//	  </properties>
+//	</policy>
+//
+// Delivery rules render as <policy type="delivery"> with no properties.
+func (p Policy) DOM() *xmldom.Node {
+	root := xmldom.NewElement("policy")
+	if p.ID != "" {
+		root.SetAttr("polID", p.ID)
+	}
+	if p.Deliver {
+		root.SetAttr("type", "delivery")
+	} else {
+		root.SetAttr("type", "disclosure")
+	}
+	res := xmldom.NewElement("resource").SetAttr("target", p.Resource)
+	root.AppendChild(res)
+	if p.Deliver {
+		return root
+	}
+	props := xmldom.NewElement("properties")
+	for _, t := range p.Terms {
+		cert := xmldom.NewElement("certificate")
+		if !t.Wildcard() {
+			cert.SetAttr("targetCertType", t.CredType)
+		} else if t.CredType != "" {
+			cert.SetAttr("var", t.CredType)
+		}
+		for _, cond := range t.Conditions {
+			cc := xmldom.NewElement("certCond")
+			cc.AppendChild(xmldom.NewText(cond))
+			cert.AppendChild(cc)
+		}
+		props.AppendChild(cert)
+	}
+	root.AppendChild(props)
+	for _, cname := range p.Concepts {
+		root.AppendChild(xmldom.NewElement("concept").SetAttr("name", cname))
+	}
+	return root
+}
+
+// XML serializes the policy in canonical form.
+func (p Policy) XML() string { return p.DOM().XML() }
+
+// ErrBadPolicy reports a malformed policy document.
+var ErrBadPolicy = errors.New("xtnl: malformed policy")
+
+// ParsePolicy decodes a Fig. 7-layout policy document.
+func ParsePolicy(xmlText string) (*Policy, error) {
+	root, err := xmldom.ParseString(xmlText)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+	return PolicyFromDOM(root)
+}
+
+// PolicyFromDOM decodes a policy from an already-parsed tree.
+func PolicyFromDOM(root *xmldom.Node) (*Policy, error) {
+	if root.Name != "policy" {
+		return nil, fmt.Errorf("%w: root element is <%s>, want <policy>", ErrBadPolicy, root.Name)
+	}
+	p := &Policy{ID: root.AttrOr("polID", "")}
+	res := root.Child("resource")
+	if res == nil {
+		return nil, fmt.Errorf("%w: missing <resource>", ErrBadPolicy)
+	}
+	p.Resource = res.AttrOr("target", "")
+	if p.Resource == "" {
+		return nil, fmt.Errorf("%w: <resource> without target", ErrBadPolicy)
+	}
+	if root.AttrOr("type", "disclosure") == "delivery" {
+		p.Deliver = true
+		return p, nil
+	}
+	props := root.Child("properties")
+	if props == nil {
+		return nil, fmt.Errorf("%w: disclosure policy for %s without <properties>", ErrBadPolicy, p.Resource)
+	}
+	for _, cert := range props.Childs("certificate") {
+		t := Term{CredType: cert.AttrOr("targetCertType", cert.AttrOr("var", ""))}
+		for _, cc := range cert.Childs("certCond") {
+			t.Conditions = append(t.Conditions, strings.TrimSpace(cc.Text()))
+		}
+		p.Terms = append(p.Terms, t)
+	}
+	for _, cn := range root.Childs("concept") {
+		p.Concepts = append(p.Concepts, cn.AttrOr("name", ""))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+	return p, nil
+}
+
+// PolicySet is a party's collection of disclosure policies, indexed by
+// protected resource. Multiple policies for one resource are disjunctive
+// alternatives.
+type PolicySet struct {
+	policies []*Policy
+	byRes    map[string][]*Policy
+}
+
+// NewPolicySet builds a set from the given policies. It fails if any
+// policy is invalid.
+func NewPolicySet(policies ...*Policy) (*PolicySet, error) {
+	s := &PolicySet{byRes: make(map[string][]*Policy)}
+	for _, p := range policies {
+		if err := s.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustPolicySet is NewPolicySet that panics on error, for fixtures.
+func MustPolicySet(policies ...*Policy) *PolicySet {
+	s, err := NewPolicySet(policies...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add validates and inserts a policy.
+func (s *PolicySet) Add(p *Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if s.byRes == nil {
+		s.byRes = make(map[string][]*Policy)
+	}
+	s.policies = append(s.policies, p)
+	s.byRes[p.Resource] = append(s.byRes[p.Resource], p)
+	return nil
+}
+
+// For returns all alternative policies protecting resource, nil if the
+// resource is unknown (meaning: the party holds no rule releasing it).
+func (s *PolicySet) For(resource string) []*Policy {
+	if s == nil {
+		return nil
+	}
+	return s.byRes[resource]
+}
+
+// All returns every policy in insertion order.
+func (s *PolicySet) All() []*Policy { return s.policies }
+
+// Len returns the number of policies.
+func (s *PolicySet) Len() int { return len(s.policies) }
+
+// Resources returns the set of protected resource names.
+func (s *PolicySet) Resources() []string {
+	out := make([]string, 0, len(s.byRes))
+	for r := range s.byRes {
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package trustvo is a from-scratch Go reproduction of "Trust
+// establishment in the formation of Virtual Organizations" (Squicciarini,
+// Paci, Bertino): the Trust-X trust negotiation engine — X-TNL
+// credentials and disclosure policies, negotiation trees, four
+// confidentiality-graded strategies, an ontology-backed semantic layer —
+// integrated into every phase of the Virtual Organization lifecycle, and
+// exposed as the paper's TN web service and VO Management toolkit.
+//
+// This package is the public facade: it re-exports the library's main
+// types so applications depend on a single import path. The
+// implementation lives under internal/ (see DESIGN.md for the map):
+//
+//   - X-TNL language:      internal/xtnl (+ internal/xmldom, internal/xpath)
+//   - PKI substrate:       internal/pki
+//   - Semantic layer:      internal/ontology
+//   - Negotiation engine:  internal/negotiation
+//   - Document store:      internal/store
+//   - VO substrate:        internal/vo, internal/vo/registry
+//   - Extended lifecycle:  internal/core
+//   - Web services:        internal/wsrpc
+//
+// # Quickstart
+//
+// Two parties establish trust over a protected resource:
+//
+//	ca := trustvo.MustNewAuthority("CertCA")
+//	alice := &trustvo.Party{
+//	    Name:     "alice",
+//	    Profile:  trustvo.NewProfile("alice"),
+//	    Policies: trustvo.MustPolicySet(),
+//	    Trust:    trustvo.NewTrustStore(ca),
+//	}
+//	alice.Profile.Add(ca.MustIssue(trustvo.IssueRequest{Type: "EmployeeBadge", Holder: "alice"}))
+//	bob := &trustvo.Party{
+//	    Name:     "bob",
+//	    Profile:  trustvo.NewProfile("bob"),
+//	    Policies: trustvo.MustPolicySet(trustvo.MustParsePolicies("Report <- EmployeeBadge")...),
+//	    Trust:    trustvo.NewTrustStore(ca),
+//	}
+//	out, _, err := trustvo.Negotiate(alice, bob, "Report")
+//
+// See examples/ for the full Aircraft Optimization VO scenario of the
+// paper's §3, a semantic (cross-naming) negotiation, and the Fig. 5
+// web-service deployment.
+package trustvo
+
+import (
+	"trustvo/internal/core"
+	"trustvo/internal/negotiation"
+	"trustvo/internal/ontology"
+	"trustvo/internal/pki"
+	"trustvo/internal/reputation"
+	"trustvo/internal/store"
+	"trustvo/internal/vo"
+	"trustvo/internal/vo/registry"
+	"trustvo/internal/wsrpc"
+	"trustvo/internal/xtnl"
+)
+
+// ---- X-TNL language ----
+
+type (
+	// Credential is an X-TNL attribute credential (Fig. 6 layout).
+	Credential = xtnl.Credential
+	// Attribute is one named property of a credential.
+	Attribute = xtnl.Attribute
+	// Profile is a party's X-Profile (its credential collection).
+	Profile = xtnl.Profile
+	// Policy is a disclosure policy (Fig. 7 layout / DSL form).
+	Policy = xtnl.Policy
+	// Term is one requirement inside a disclosure policy.
+	Term = xtnl.Term
+	// PolicySet indexes a party's disclosure policies by resource.
+	PolicySet = xtnl.PolicySet
+	// Sensitivity labels a credential's privacy level.
+	Sensitivity = xtnl.Sensitivity
+)
+
+// Sensitivity levels (Algorithm 1's CredCluster labels).
+const (
+	SensitivityLow    = xtnl.SensitivityLow
+	SensitivityMedium = xtnl.SensitivityMedium
+	SensitivityHigh   = xtnl.SensitivityHigh
+)
+
+// Language constructors and parsers.
+var (
+	NewProfile        = xtnl.NewProfile
+	ParseCredential   = xtnl.ParseCredential
+	ParsePolicy       = xtnl.ParsePolicy
+	ParsePolicies     = xtnl.ParsePolicies
+	MustParsePolicies = xtnl.MustParsePolicies
+	ParsePolicyRule   = xtnl.ParsePolicyRule
+	NewPolicySet      = xtnl.NewPolicySet
+	MustPolicySet     = xtnl.MustPolicySet
+	ParseProfile      = xtnl.ParseProfile
+)
+
+// ---- PKI ----
+
+type (
+	// Authority is a credential authority issuing signed credentials.
+	Authority = pki.Authority
+	// IssueRequest describes a credential to mint.
+	IssueRequest = pki.IssueRequest
+	// TrustStore verifies credentials against trusted issuer keys.
+	TrustStore = pki.TrustStore
+	// KeyPair is an Ed25519 key pair (holder keys, ownership proofs).
+	KeyPair = pki.KeyPair
+	// SelectiveCredential supports partial attribute hiding (§6.3).
+	SelectiveCredential = pki.SelectiveCredential
+	// MembershipToken is a decoded X.509 VO membership certificate.
+	MembershipToken = pki.MembershipToken
+	// VOAuthority mints X.509 membership tokens for one VO.
+	VOAuthority = pki.VOAuthority
+	// RevocationList is a signed CRL.
+	RevocationList = pki.RevocationList
+)
+
+// PKI constructors and helpers.
+var (
+	NewAuthority        = pki.NewAuthority
+	MustNewAuthority    = pki.MustNewAuthority
+	GenerateKeyPair     = pki.GenerateKeyPair
+	MustGenerateKeyPair = pki.MustGenerateKeyPair
+	NewTrustStore       = pki.NewTrustStore
+	NewVOAuthority      = pki.NewVOAuthority
+	// NewNonce, ProveOwnership and VerifyOwnership implement the
+	// challenge/response ownership proofs of §4.2.
+	NewNonce        = pki.NewNonce
+	ProveOwnership  = pki.ProveOwnership
+	VerifyOwnership = pki.VerifyOwnership
+	// VerifyDisclosure checks a selective disclosure's openings against
+	// its signed commitments (§6.3).
+	VerifyDisclosure = pki.VerifyDisclosure
+	// DecodeX509Attribute decodes the X.509 v2-style attribute-
+	// certificate encoding of a credential (§6.3 dual-format support).
+	DecodeX509Attribute = pki.DecodeX509Attribute
+)
+
+// ---- semantic layer ----
+
+type (
+	// Ontology is a concept graph with is_a edges (§4.3).
+	Ontology = ontology.Ontology
+	// Concept is one ontology node.
+	Concept = ontology.Concept
+	// Implementation maps a concept onto a credential type/attribute.
+	Implementation = ontology.Implementation
+	// Mapper implements the paper's Algorithm 1.
+	Mapper = ontology.Mapper
+	// Mapping is one resolved concept → credential row.
+	Mapping = ontology.Mapping
+)
+
+// Semantic-layer functions.
+var (
+	NewOntology       = ontology.New
+	ParseOntology     = ontology.ParseOntology
+	ComputeSimilarity = ontology.ComputeSimilarity
+	AbstractPolicy    = ontology.Abstract
+	ConceptRef        = ontology.ConceptRef
+)
+
+// ---- negotiation engine ----
+
+type (
+	// Party is a participant's negotiation identity.
+	Party = negotiation.Party
+	// Strategy selects the negotiation strategy.
+	Strategy = negotiation.Strategy
+	// Endpoint is one live negotiation state machine.
+	Endpoint = negotiation.Endpoint
+	// Message is one TN protocol message (XML-serializable).
+	Message = negotiation.Message
+	// Outcome is a finished negotiation's result.
+	Outcome = negotiation.Outcome
+	// Tree is the negotiation tree (§4.2, Fig. 2).
+	Tree = negotiation.Tree
+	// Ticket is a trust ticket that short-circuits repeat negotiations.
+	Ticket = negotiation.Ticket
+	// TicketCache stores received trust tickets for a party.
+	TicketCache = negotiation.TicketCache
+)
+
+// Negotiation strategies (§6.2).
+const (
+	Standard         = negotiation.Standard
+	Trusting         = negotiation.Trusting
+	Suspicious       = negotiation.Suspicious
+	StrongSuspicious = negotiation.StrongSuspicious
+)
+
+// Negotiation entry points.
+var (
+	// Negotiate runs a complete in-process negotiation.
+	Negotiate      = negotiation.Run
+	NewRequester   = negotiation.NewRequester
+	NewController  = negotiation.NewController
+	ParseStrategy  = negotiation.ParseStrategy
+	IssueTicket    = negotiation.IssueTicket
+	NewTicketCache = negotiation.NewTicketCache
+)
+
+// ---- VO substrate and extended lifecycle ----
+
+type (
+	// Contract is the VO collaboration contract (§2).
+	Contract = vo.Contract
+	// RoleSpec is one contract role with admission policies.
+	RoleSpec = vo.RoleSpec
+	// Rule is a collaboration rule.
+	Rule = vo.Rule
+	// VO is a live Virtual Organization.
+	VO = vo.VO
+	// Member is an admitted participant.
+	Member = vo.Member
+	// Registry is the public service repository (preparation phase).
+	Registry = registry.Registry
+	// Description is a published service description.
+	Description = registry.Description
+	// Initiator is the TN-extended VO Initiator (the paper's
+	// contribution, §5).
+	Initiator = core.Initiator
+	// MemberAgent is the service-provider side of the lifecycle.
+	MemberAgent = core.MemberAgent
+	// Invitation is a formation-phase invitation.
+	Invitation = core.Invitation
+	// JoinOptions tunes the join protocol (TN on/off).
+	JoinOptions = core.JoinOptions
+	// ReputationSystem tracks member reputations.
+	ReputationSystem = reputation.System
+)
+
+// Lifecycle constructors.
+var (
+	NewVO              = vo.New
+	NewRegistry        = registry.New
+	NewInitiator       = core.NewInitiator
+	NewMemberAgent     = core.NewMemberAgent
+	MembershipResource = vo.MembershipResource
+	// ParseContract decodes a contract.xml document.
+	ParseContract = vo.ParseContract
+	// ParseMessage decodes a TN wire message (for custom transports).
+	ParseMessage = negotiation.ParseMessage
+)
+
+// ---- storage ----
+
+type (
+	// Store is the embedded WAL-backed XML document store.
+	Store = store.Store
+	// Record is one stored document.
+	Record = store.Record
+)
+
+// Store constructors.
+var (
+	NewStore  = store.New
+	OpenStore = store.Open
+)
+
+// ---- web services (Fig. 5) ----
+
+type (
+	// TNService is the trust negotiation web service (§6.2).
+	TNService = wsrpc.TNService
+	// TNClient drives a requester against a remote TN service.
+	TNClient = wsrpc.TNClient
+	// ToolkitService is the VO Management toolkit service (§6.1).
+	ToolkitService = wsrpc.ToolkitService
+	// MemberClient is the member-edition client.
+	MemberClient = wsrpc.MemberClient
+)
+
+// Web-service constructors.
+var (
+	NewTNService      = wsrpc.NewTNService
+	NewToolkitService = wsrpc.NewToolkitService
+)

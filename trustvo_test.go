@@ -1,0 +1,69 @@
+package trustvo_test
+
+import (
+	"testing"
+
+	"trustvo"
+)
+
+// TestQuickstartSnippet runs the doc-comment quickstart: it must keep
+// compiling and succeeding as the public API evolves.
+func TestQuickstartSnippet(t *testing.T) {
+	ca := trustvo.MustNewAuthority("CertCA")
+	alice := &trustvo.Party{
+		Name:     "alice",
+		Profile:  trustvo.NewProfile("alice"),
+		Policies: trustvo.MustPolicySet(),
+		Trust:    trustvo.NewTrustStore(ca),
+	}
+	alice.Profile.Add(ca.MustIssue(trustvo.IssueRequest{Type: "EmployeeBadge", Holder: "alice"}))
+	bob := &trustvo.Party{
+		Name:     "bob",
+		Profile:  trustvo.NewProfile("bob"),
+		Policies: trustvo.MustPolicySet(trustvo.MustParsePolicies("Report <- EmployeeBadge")...),
+		Trust:    trustvo.NewTrustStore(ca),
+	}
+	out, _, err := trustvo.Negotiate(alice, bob, "Report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded {
+		t.Fatalf("quickstart negotiation failed: %s", out.Reason)
+	}
+}
+
+// TestFacadeConstants pins the strategy constants and sensitivity labels
+// exposed by the facade.
+func TestFacadeConstants(t *testing.T) {
+	if trustvo.Standard.String() != "standard" || trustvo.Trusting.String() != "trusting" ||
+		trustvo.Suspicious.String() != "suspicious" || trustvo.StrongSuspicious.String() != "strong-suspicious" {
+		t.Fatal("strategy labels changed")
+	}
+	if trustvo.SensitivityLow.String() != "low" || trustvo.SensitivityHigh.String() != "high" {
+		t.Fatal("sensitivity labels changed")
+	}
+	if s, err := trustvo.ParseStrategy("suspicious"); err != nil || s != trustvo.Suspicious {
+		t.Fatal("ParseStrategy broken through facade")
+	}
+}
+
+// TestFacadeOntology smoke-tests the semantic layer through the facade.
+func TestFacadeOntology(t *testing.T) {
+	o := trustvo.NewOntology()
+	o.MustAdd(&trustvo.Concept{
+		Name:            "gender",
+		Attributes:      []string{"gender"},
+		Implementations: []trustvo.Implementation{{CredType: "Passport", Attribute: "gender"}},
+	})
+	prof := trustvo.NewProfile("p")
+	ca := trustvo.MustNewAuthority("CA")
+	prof.Add(ca.MustIssue(trustvo.IssueRequest{
+		Type: "Passport", Holder: "p",
+		Attributes: []trustvo.Attribute{{Name: "gender", Value: "F"}},
+	}))
+	m := &trustvo.Mapper{Ontology: o, Profile: prof}
+	got, err := m.MapConcept("gender")
+	if err != nil || got.Credential.Type != "Passport" {
+		t.Fatalf("MapConcept = %+v, %v", got, err)
+	}
+}
