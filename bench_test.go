@@ -247,6 +247,49 @@ func benchmarkFormationCandidates(b *testing.B, k int, concurrent bool) {
 	}
 }
 
+// disabledMetrics mirrors an instrumented struct whose telemetry is off
+// (negotiation.Party.Metrics == nil): the hot-path cost must be the nil
+// branch alone.
+type disabledMetrics struct {
+	metrics *trustvo.MetricsRegistry
+}
+
+// BenchmarkTelemetryDisabled guards the telemetry-off fast path: every
+// instrumented call site gates on a nil registry check, so with
+// collection disabled the per-site cost must stay under 5ns/op — cheap
+// enough to leave the negotiation engine instrumented unconditionally.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	e := &disabledMetrics{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m := e.metrics; m != nil {
+			m.Counter("tn_disclosures_sent_total", "role", "requester").Inc()
+		}
+	}
+}
+
+// BenchmarkTelemetryNilCounter covers the cached-handle variant (the
+// store's pattern): metric handles resolved once from a nil registry are
+// nil and every operation on them is a no-op nil check.
+func BenchmarkTelemetryNilCounter(b *testing.B) {
+	var reg *trustvo.MetricsRegistry
+	c := reg.Counter("store_wal_appends_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkTelemetryCounterEnabled is the enabled counterpart: one
+// registry lookup plus an atomic increment per recording.
+func BenchmarkTelemetryCounterEnabled(b *testing.B) {
+	reg := trustvo.NewMetricsRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("tn_disclosures_sent_total", "role", "requester").Inc()
+	}
+}
+
 func BenchmarkFormationCandidates4Sequential(b *testing.B) { benchmarkFormationCandidates(b, 4, false) }
 func BenchmarkFormationCandidates4Concurrent(b *testing.B) { benchmarkFormationCandidates(b, 4, true) }
 func BenchmarkFormationCandidates8Sequential(b *testing.B) { benchmarkFormationCandidates(b, 8, false) }

@@ -8,10 +8,14 @@
 //
 // printing the same three rows the paper reports, plus the derived
 // overhead the paper's §6.3.1 discusses. With -strategies it also prints
-// the EXT-3 per-strategy comparison (rounds and latency).
+// the EXT-3 per-strategy comparison (rounds and latency). With -report
+// it writes a structured JSON run report: the median rows plus the full
+// telemetry registry (per-phase p50/p95/p99 latency, disclosure and
+// session counters) accumulated across every timed negotiation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +28,7 @@ import (
 	"trustvo/internal/core"
 	"trustvo/internal/negotiation"
 	"trustvo/internal/pki"
+	"trustvo/internal/telemetry"
 	"trustvo/internal/vo"
 	"trustvo/internal/vo/registry"
 	"trustvo/internal/wsrpc"
@@ -36,11 +41,21 @@ func main() {
 	var (
 		n          = flag.Int("n", 200, "iterations per measurement")
 		strategies = flag.Bool("strategies", false, "also print the per-strategy comparison (EXT-3)")
+		reportPath = flag.String("report", "", "write a JSON run report (medians + telemetry) to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *n, *strategies); err != nil {
+	if err := run(os.Stdout, *n, *strategies, *reportPath); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// benchReport is the -report schema: the Fig. 9 median rows in
+// milliseconds plus the registry's structured report.
+type benchReport struct {
+	Schema     string             `json:"schema"`
+	Iterations int                `json:"iterations"`
+	MedianMS   map[string]float64 `json:"median_ms"`
+	Telemetry  *telemetry.Report  `json:"telemetry"`
 }
 
 type env struct {
@@ -50,7 +65,7 @@ type env struct {
 	ca     *pki.Authority
 }
 
-func newEnv() (*env, error) {
+func newEnv(reg *telemetry.Registry) (*env, error) {
 	ca, err := pki.NewAuthority("CertCA")
 	if err != nil {
 		return nil, err
@@ -79,6 +94,7 @@ func newEnv() (*env, error) {
 		return nil, err
 	}
 	tk := wsrpc.NewToolkitService(ini)
+	tk.TN.Metrics = reg               // one registry across toolkit, standalone TN and member
 	tk.TN.MaxSessionAge = time.Second // keep the session table small across iterations
 	tk.TN.DoneRetention = 50 * time.Millisecond
 	mux := http.NewServeMux()
@@ -103,6 +119,7 @@ func newEnv() (*env, error) {
 		Party: &negotiation.Party{
 			Name: "AerospaceCo", Profile: prof,
 			Policies: xtnl.MustPolicySet(), Trust: pki.NewTrustStore(ca),
+			Metrics: reg, // requester-side phase latencies land in the same report
 		},
 	}
 	if err := member.Publish(&registry.Description{
@@ -133,8 +150,9 @@ func measure(n int, fn func() error) (time.Duration, error) {
 	return samples[len(samples)/2], nil
 }
 
-func run(w *os.File, n int, strategies bool) error {
-	e, err := newEnv()
+func run(w *os.File, n int, strategies bool, reportPath string) error {
+	reg := telemetry.NewRegistry()
+	e, err := newEnv(reg)
 	if err != nil {
 		return err
 	}
@@ -176,6 +194,7 @@ func run(w *os.File, n int, strategies bool) error {
 	}
 	mux := http.NewServeMux()
 	tnsvc := wsrpc.NewTNService(ctl)
+	tnsvc.Metrics = reg
 	tnsvc.MaxSessionAge = time.Second
 	tnsvc.DoneRetention = 50 * time.Millisecond
 	tnsvc.Register(mux)
@@ -216,7 +235,37 @@ func run(w *os.File, n int, strategies bool) error {
 			return err
 		}
 	}
+	if reportPath != "" {
+		rep := benchReport{
+			Schema:     "trustvo.benchjoin/v1",
+			Iterations: n,
+			MedianMS: map[string]float64{
+				"join_with_tn":  durMS(joinTN),
+				"join":          durMS(join),
+				"tn_standalone": durMS(tn),
+			},
+			Telemetry: reg.Report(),
+		}
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nrun report written to %s\n", reportPath)
+	}
 	return nil
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
 }
 
 // runStrategies prints the EXT-3 strategy comparison over in-process

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tnserve -party <dir> [-addr :8080]
+//	tnserve -party <dir> [-addr :8080] [-v] [-report run.json]
 //
 // Generate a demo workspace first with `voctl demo -dir demo`; then:
 //
@@ -14,18 +14,29 @@
 // The service grants an opaque receipt for any resource its disclosure
 // policies release; to integrate grants with a VO (membership tokens),
 // run `voctl serve` instead.
+//
+// Telemetry is always collected and served at GET /metrics (Prometheus
+// text format) alongside GET /healthz. -v (or TRUSTVO_DEBUG=1) logs one
+// key=value line per negotiation message; -report writes a structured
+// JSON run report — counters, gauges, and per-phase p50/p95/p99 — when
+// the server shuts down on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"trustvo/internal/cli"
 	"trustvo/internal/partydb"
 	"trustvo/internal/store"
+	"trustvo/internal/telemetry"
 	"trustvo/internal/wsrpc"
 )
 
@@ -38,6 +49,9 @@ func main() {
 		dbPath   = flag.String("db", "", "WAL-backed document store for policies and credentials; "+
 			"the party's profile and policies are written to it at startup and every "+
 			"StartNegotiation reloads them from it (the paper's §6.2 DB path)")
+		verbose = flag.Bool("v", false, "log one line per negotiation message handled "+
+			"(TRUSTVO_DEBUG=1 does the same)")
+		reportPath = flag.String("report", "", "write a JSON telemetry report to this file on shutdown")
 	)
 	flag.Parse()
 	if *partyDir == "" {
@@ -54,12 +68,17 @@ func main() {
 		}
 	}
 	svc := wsrpc.NewTNService(party)
+	svc.Logf = log.Printf
+	if *verbose || os.Getenv("TRUSTVO_DEBUG") != "" {
+		svc.Debugf = log.Printf
+	}
 	if *dbPath != "" {
 		db, err := store.Open(*dbPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer db.Close()
+		db.Instrument(svc.Metrics)
 		if err := partydb.SaveParty(db, party); err != nil {
 			log.Fatal(err)
 		}
@@ -72,8 +91,36 @@ func main() {
 	mux := http.NewServeMux()
 	svc.Register(mux)
 	log.Printf("negotiating as %q (strategy %s) on %s", party.Name, party.Strategy, *addr)
-	log.Printf("operations: POST /tn/start /tn/policyExchange /tn/credentialExchange, GET /tn/status")
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	log.Printf("operations: POST /tn/start /tn/policyExchange /tn/credentialExchange, GET /tn/status /metrics /healthz")
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	if *reportPath != "" {
+		if err := writeReport(svc.Metrics, *reportPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry report written to %s", *reportPath)
+	}
+}
+
+func writeReport(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Report().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

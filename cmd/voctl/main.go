@@ -101,6 +101,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	dbPath := fs.String("db", "", "WAL-backed store for the initiator's policies and credentials "+
 		"(reloaded on every StartNegotiation, the paper's §6.2 DB path)")
+	verbose := fs.Bool("v", false, "log one line per negotiation message handled "+
+		"(TRUSTVO_DEBUG=1 does the same)")
 	fs.Parse(args)
 	if *partyDir == "" || *contractPath == "" {
 		fs.Usage()
@@ -122,12 +124,17 @@ func cmdServe(args []string) error {
 		return err
 	}
 	tk := wsrpc.NewToolkitService(ini)
+	tk.TN.Logf = log.Printf
+	if *verbose || os.Getenv("TRUSTVO_DEBUG") != "" {
+		tk.TN.Debugf = log.Printf
+	}
 	if *dbPath != "" {
 		db, err := store.Open(*dbPath)
 		if err != nil {
 			return err
 		}
 		defer db.Close()
+		db.Instrument(tk.TN.Metrics)
 		// persist AFTER NewInitiator: the admission policies and the
 		// VO-property credential are part of the negotiating state
 		if err := partydb.SaveParty(db, party); err != nil {
@@ -141,7 +148,7 @@ func cmdServe(args []string) error {
 	}
 	mux := http.NewServeMux()
 	tk.Register(mux)
-	log.Printf("VO %q (initiator %s) in %s phase on %s", contract.VOName, party.Name, ini.VO.Phase(), *addr)
+	log.Printf("VO %q (initiator %s) in %s phase on %s (metrics at /metrics)", contract.VOName, party.Name, ini.VO.Phase(), *addr)
 	return http.ListenAndServe(*addr, mux)
 }
 

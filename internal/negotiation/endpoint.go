@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"trustvo/internal/ontology"
 	"trustvo/internal/pki"
+	"trustvo/internal/telemetry"
 	"trustvo/internal/xtnl"
 )
 
@@ -82,6 +84,14 @@ type Endpoint struct {
 	lastNonceSent []byte // my latest challenge (peer signs this)
 	disclosed     map[string]bool
 
+	// telemetry state (see instrument.go); zero-valued when the party
+	// carries neither a Metrics registry nor a Recorder.
+	startedAt time.Time
+	phaseAt   time.Time
+	trace     *telemetry.Trace
+	rootSpan  *telemetry.Span
+	phaseSpan *telemetry.Span
+
 	outcome *Outcome
 }
 
@@ -130,6 +140,7 @@ func (e *Endpoint) Start() (*Message, error) {
 	if e.tree != nil {
 		return nil, errors.New("negotiation: already started")
 	}
+	e.begin()
 	e.tree = NewTree(e.resource, "") // controller name learned from reply
 	nonce, err := pki.NewNonce()
 	if err != nil {
@@ -162,6 +173,9 @@ func (e *Endpoint) Handle(in *Message) (*Message, error) {
 	if e.phase == phaseDone {
 		return nil, errors.New("negotiation: endpoint already done")
 	}
+	e.begin()
+	sp := e.phaseSpan.StartChild("recv:" + in.Type.String())
+	defer sp.End()
 	if e.party.Trace != nil {
 		e.party.Trace("recv", in)
 	}
@@ -356,7 +370,7 @@ func (e *Endpoint) evalReply(preAnswers []Answer) (*Message, error) {
 	// exchange: an acknowledgment "asks for the subsequent credential…
 	// otherwise, a credential belonging to the subsequent set… is sent").
 	e.seq = e.tree.Sequence()
-	e.phase = phaseExchange
+	e.enterExchange()
 	ids := make([]string, len(e.seq))
 	for i, s := range e.seq {
 		ids[i] = s.NodeID
@@ -464,7 +478,7 @@ func (e *Endpoint) handleSequence(in *Message) (*Message, error) {
 		}
 	}
 	e.seq = want
-	e.phase = phaseExchange
+	e.enterExchange()
 	if failMsg := e.processDisclosures(in.Disclosures); failMsg != nil {
 		return failMsg, nil
 	}
@@ -646,7 +660,7 @@ func (e *Endpoint) verifyDisclosure(d *CredentialDisclosure, term xtnl.Term) (*x
 	case d.Committed != nil:
 		committed = d.Committed
 		if _, err := e.party.Trust.VerifyChain(d.Committed, d.Chain, now); err != nil {
-			return nil, e.fail("credential verification failed: " + err.Error())
+			return nil, e.failVerify("credential verification failed: " + err.Error())
 		}
 		pd := &pki.Disclosure{Committed: d.Committed}
 		for _, o := range d.Opened {
@@ -654,36 +668,37 @@ func (e *Endpoint) verifyDisclosure(d *CredentialDisclosure, term xtnl.Term) (*x
 		}
 		v, err := pki.VerifyDisclosure(pd)
 		if err != nil {
-			return nil, e.fail("selective disclosure invalid: " + err.Error())
+			return nil, e.failVerify("selective disclosure invalid: " + err.Error())
 		}
 		view = v
 	case d.Credential != nil:
 		committed = d.Credential
 		if _, err := e.party.Trust.VerifyChain(d.Credential, d.Chain, now); err != nil {
-			return nil, e.fail("credential verification failed: " + err.Error())
+			return nil, e.failVerify("credential verification failed: " + err.Error())
 		}
 		view = d.Credential
 	case len(d.X509) > 0:
 		v, err := e.party.Trust.VerifyX509Attribute(d.X509, now)
 		if err != nil {
-			return nil, e.fail("x509 credential verification failed: " + err.Error())
+			return nil, e.failVerify("x509 credential verification failed: " + err.Error())
 		}
 		committed = v
 		view = v
 	default:
-		return nil, e.fail("empty disclosure")
+		return nil, e.failVerify("empty disclosure")
 	}
 	if e.party.Strategy.RequiresOwnershipProof() {
 		if len(e.lastNonceSent) == 0 {
-			return nil, e.fail("internal: no challenge nonce issued")
+			return nil, e.failVerify("internal: no challenge nonce issued")
 		}
 		if err := pki.VerifyOwnership(committed, e.lastNonceSent, d.OwnershipProof); err != nil {
-			return nil, e.fail("ownership proof failed: " + err.Error())
+			return nil, e.failVerify("ownership proof failed: " + err.Error())
 		}
 	}
 	if !e.termSatisfied(term, view) {
-		return nil, e.fail(fmt.Sprintf("disclosed credential %s does not satisfy term %s", view.ID, term))
+		return nil, e.failVerify(fmt.Sprintf("disclosed credential %s does not satisfy term %s", view.ID, term))
 	}
+	e.countDisclosureReceived()
 	e.ensureOutcome().Received = append(e.outcome.Received, Disclosed{
 		By: e.peer, NodeID: d.NodeID, Credential: view,
 	})
@@ -803,6 +818,7 @@ func (e *Endpoint) fail(reason string) *Message {
 }
 
 func (e *Endpoint) finish(o *Outcome) {
+	prev := e.phase
 	base := e.ensureOutcome()
 	base.Succeeded = o.Succeeded
 	base.Resource = o.Resource
@@ -810,6 +826,7 @@ func (e *Endpoint) finish(o *Outcome) {
 	base.Grant = o.Grant
 	base.Rounds = e.rounds
 	e.phase = phaseDone
+	e.finishTelemetry(prev, base)
 }
 
 func (e *Endpoint) ensureOutcome() *Outcome {
@@ -820,6 +837,7 @@ func (e *Endpoint) ensureOutcome() *Outcome {
 }
 
 func (e *Endpoint) recordSent(nodeID string, pick candidate) {
+	e.countDisclosureSent()
 	e.ensureOutcome().Sent = append(e.outcome.Sent, Disclosed{
 		By: e.party.Name, NodeID: nodeID, Credential: pick.cred,
 	})

@@ -7,6 +7,7 @@ import (
 
 	"trustvo/internal/ontology"
 	"trustvo/internal/pki"
+	"trustvo/internal/telemetry"
 	"trustvo/internal/xtnl"
 )
 
@@ -59,6 +60,17 @@ type Party struct {
 	// hook behind the paper's "GUI … enabling [users] to monitor the
 	// negotiation process".
 	Trace func(direction string, m *Message)
+	// Metrics, when set, receives per-negotiation telemetry: outcome and
+	// disclosure counters, verification failures, and phase-latency
+	// histograms keyed by role (see README "Observability" for series
+	// names). nil disables collection at the cost of one branch per
+	// recording site.
+	Metrics *telemetry.Registry
+	// Recorder, when set, enables span tracing on this party's endpoints
+	// and is invoked with the finished negotiation's trace: one root span
+	// with children for each protocol phase and message handled. The
+	// trace is also readable mid-flight via Endpoint.Trace.
+	Recorder func(*telemetry.Trace)
 	// TicketTTL, when positive, makes this party (as controller) attach
 	// a trust ticket to every successful grant; a requester presenting
 	// that ticket later skips the negotiation phases entirely (the

@@ -1,0 +1,34 @@
+package store
+
+import "trustvo/internal/telemetry"
+
+// storeMetrics is the store's counter set. Every field is nil until
+// Instrument is called, and nil metrics are no-ops, so uninstrumented
+// stores pay nothing beyond a nil check inside each telemetry call.
+type storeMetrics struct {
+	appends       *telemetry.Counter // store_wal_appends_total
+	appendedBytes *telemetry.Counter // store_wal_appended_bytes_total
+	replayed      *telemetry.Counter // store_wal_replayed_frames_total
+	compactions   *telemetry.Counter // store_wal_compactions_total
+	records       *telemetry.Gauge   // store_records
+}
+
+// Instrument registers the store's WAL and record metrics in reg:
+// append counts and byte totals, frames replayed at Open, compactions,
+// and a live-record gauge. The replay count observed when the store was
+// opened is credited immediately; the record gauge is seeded from the
+// current contents. Instrumenting with a nil registry disables
+// collection again.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = storeMetrics{
+		appends:       reg.Counter("store_wal_appends_total"),
+		appendedBytes: reg.Counter("store_wal_appended_bytes_total"),
+		replayed:      reg.Counter("store_wal_replayed_frames_total"),
+		compactions:   reg.Counter("store_wal_compactions_total"),
+		records:       reg.Gauge("store_records"),
+	}
+	s.metrics.replayed.Add(int64(s.replayedFrames))
+	s.metrics.records.Set(int64(len(s.byKey)))
+}

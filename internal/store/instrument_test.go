@@ -1,0 +1,87 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trustvo/internal/telemetry"
+	"trustvo/internal/xmldom"
+)
+
+func TestWALCounters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "docs.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg := telemetry.NewRegistry()
+	s.Instrument(reg)
+
+	for _, key := range []string{"a", "b", "c"} {
+		doc := xmldom.NewElement("credential").SetAttr("type", "T").SetAttr("id", key)
+		if err := s.Put("credentials", key, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("credentials", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("store_wal_appends_total").Value(); got != 4 {
+		t.Fatalf("appends = %d, want 4", got)
+	}
+	bytes := reg.Counter("store_wal_appended_bytes_total").Value()
+	if bytes <= 0 {
+		t.Fatalf("appended bytes = %d", bytes)
+	}
+	if got := reg.Gauge("store_records").Value(); got != 2 {
+		t.Fatalf("records gauge = %d, want 2", got)
+	}
+	if got := reg.Counter("store_wal_compactions_total").Value(); got != 0 {
+		t.Fatalf("compactions = %d before Compact", got)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("store_wal_compactions_total").Value(); got != 1 {
+		t.Fatalf("compactions = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// reopening replays the compacted log: two live put frames
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	reg2 := telemetry.NewRegistry()
+	s2.Instrument(reg2)
+	if got := reg2.Counter("store_wal_replayed_frames_total").Value(); got != 2 {
+		t.Fatalf("replayed frames = %d, want 2", got)
+	}
+	if got := reg2.Gauge("store_records").Value(); got != 2 {
+		t.Fatalf("records gauge after reopen = %d, want 2", got)
+	}
+}
+
+func TestUninstrumentedStoreWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "docs.wal")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutXML("k", "x", `<d type="T"/>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}

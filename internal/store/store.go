@@ -74,6 +74,11 @@ type Store struct {
 	path string
 	// syncEveryPut forces an fsync after every logged write (OpenDurable).
 	syncEveryPut bool
+
+	// replayedFrames is how many WAL frames Open replayed, credited to
+	// the replay counter when the store is instrumented.
+	replayedFrames int
+	metrics        storeMetrics
 }
 
 // ErrNotFound is returned by Get and Delete for missing records.
@@ -110,6 +115,7 @@ func Open(path string) (*Store, error) {
 		return nil, err
 	}
 	s.wal = w
+	s.replayedFrames = len(entries)
 	for _, e := range entries {
 		switch e.op {
 		case opPut:
@@ -154,16 +160,23 @@ func (s *Store) Put(kind, key string, doc *xmldom.Node) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal != nil {
-		if err := s.wal.append(walEntry{op: opPut, kind: kind, key: key, doc: xml}); err != nil {
+		n, err := s.wal.append(walEntry{op: opPut, kind: kind, key: key, doc: xml})
+		if err != nil {
 			return err
 		}
+		s.metrics.appends.Inc()
+		s.metrics.appendedBytes.Add(int64(n))
 		if s.syncEveryPut {
 			if err := s.wal.sync(); err != nil {
 				return err
 			}
 		}
 	}
-	return s.applyPut(kind, key, xml)
+	if err := s.applyPut(kind, key, xml); err != nil {
+		return err
+	}
+	s.metrics.records.Set(int64(len(s.byKey)))
+	return nil
 }
 
 // PutXML stores a pre-serialized document after validating it parses.
@@ -236,9 +249,12 @@ func (s *Store) Delete(kind, key string) error {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
 	}
 	if s.wal != nil {
-		if err := s.wal.append(walEntry{op: opDelete, kind: kind, key: key}); err != nil {
+		n, err := s.wal.append(walEntry{op: opDelete, kind: kind, key: key})
+		if err != nil {
 			return err
 		}
+		s.metrics.appends.Inc()
+		s.metrics.appendedBytes.Add(int64(n))
 		if s.syncEveryPut {
 			if err := s.wal.sync(); err != nil {
 				return err
@@ -246,6 +262,7 @@ func (s *Store) Delete(kind, key string) error {
 		}
 	}
 	s.applyDelete(kind, key)
+	s.metrics.records.Set(int64(len(s.byKey)))
 	return nil
 }
 
@@ -343,7 +360,11 @@ func (s *Store) Compact() error {
 			entries = append(entries, walEntry{op: opPut, kind: kind, key: key, doc: r.XML})
 		}
 	}
-	return s.wal.rewrite(entries)
+	if err := s.wal.rewrite(entries); err != nil {
+		return err
+	}
+	s.metrics.compactions.Inc()
+	return nil
 }
 
 // Path returns the WAL path ("" for in-memory stores).

@@ -145,18 +145,19 @@ func encodeFrame(e walEntry) ([]byte, error) {
 	return frame, nil
 }
 
-func (w *wal) append(e walEntry) error {
+// append logs one frame and returns the number of bytes written.
+func (w *wal) append(e walEntry) (int, error) {
 	if w.f == nil {
-		return ErrWALClosed
+		return 0, ErrWALClosed
 	}
 	frame, err := encodeFrame(e)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("store: WAL append: %w", err)
+		return 0, fmt.Errorf("store: WAL append: %w", err)
 	}
-	return nil
+	return len(frame), nil
 }
 
 // rewrite atomically replaces the log contents with the given entries

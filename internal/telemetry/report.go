@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is the machine-readable run summary: every counter and gauge by
+// series, and per-histogram percentiles derived from the bucket counts.
+// Perf PRs diff these against a stored baseline instead of eyeballing
+// log output.
+type Report struct {
+	GeneratedAt time.Time                  `json:"generated_at"`
+	Counters    map[string]int64           `json:"counters,omitempty"`
+	Gauges      map[string]int64           `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramReport `json:"histograms,omitempty"`
+}
+
+// HistogramReport summarizes one histogram series. Latency histograms
+// are in seconds; count histograms (rounds, tree nodes) in units.
+type HistogramReport struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Report snapshots the registry into a Report. nil registry → empty
+// report (still marshalable).
+func (r *Registry) Report() *Report {
+	rep := &Report{GeneratedAt: time.Now().UTC()}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	cs, gs, hs := r.snapshotLocked()
+	r.mu.Unlock()
+	if len(cs) > 0 {
+		rep.Counters = make(map[string]int64, len(cs))
+		for _, c := range cs {
+			rep.Counters[c.key()] = c.c.Value()
+		}
+	}
+	if len(gs) > 0 {
+		rep.Gauges = make(map[string]int64, len(gs))
+		for _, g := range gs {
+			rep.Gauges[g.key()] = g.g.Value()
+		}
+	}
+	if len(hs) > 0 {
+		rep.Histograms = make(map[string]HistogramReport, len(hs))
+		for _, h := range hs {
+			snap := h.h.Snapshot()
+			rep.Histograms[h.key()] = HistogramReport{
+				Count: snap.Count,
+				Sum:   snap.Sum,
+				Mean:  snap.Mean(),
+				P50:   snap.Quantile(0.50),
+				P95:   snap.Quantile(0.95),
+				P99:   snap.Quantile(0.99),
+			}
+		}
+	}
+	return rep
+}
+
+// WriteJSON marshals the report, indented, to w.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

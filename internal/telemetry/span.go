@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is an ordered collection of spans describing one logical
+// operation (here: one trust negotiation). Spans form a tree through
+// parent links; StartSpan parents to the innermost open span, while
+// Span.StartChild parents explicitly. A nil *Trace is a valid no-op
+// recorder whose StartSpan returns a nil (no-op) *Span.
+//
+// Trace is safe for concurrent use, though negotiation endpoints drive
+// it from a single goroutine.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+	stack []*Span // open spans, innermost last
+	next  int
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Span is one timed region. ParentID is 0 for roots (IDs start at 1).
+type Span struct {
+	ID       int
+	ParentID int
+	Name     string
+	Begin    time.Time
+	Finish   time.Time // zero while open
+
+	trace *Trace
+	attrs []string // alternating key, value
+}
+
+func (t *Trace) newSpanLocked(name string, parent int) *Span {
+	t.next++
+	s := &Span{ID: t.next, ParentID: parent, Name: name, Begin: time.Now(), trace: t}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// StartSpan opens a span parented to the innermost open span (a root
+// span when none is open) and makes it the innermost.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent := 0
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1].ID
+	}
+	s := t.newSpanLocked(name, parent)
+	t.stack = append(t.stack, s)
+	return s
+}
+
+// StartChild opens a span explicitly parented to s, without touching the
+// open-span stack. Used where the parent is known (phase spans under the
+// negotiation root) so interleaved spans cannot mis-nest.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || s.trace == nil {
+		return nil
+	}
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.newSpanLocked(name, s.ID)
+}
+
+// SetAttr attaches a key=value annotation, returning s for chaining.
+func (s *Span) SetAttr(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, k, v)
+	s.trace.mu.Unlock()
+	return s
+}
+
+// End closes the span, recording its finish time. Ending a span that sits
+// on the open-span stack pops it (and anything opened after it). Double
+// End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.trace
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !s.Finish.IsZero() {
+		return
+	}
+	s.Finish = time.Now()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+}
+
+// Duration returns Finish−Begin for a closed span, and the time elapsed
+// so far for an open one.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	if s.Finish.IsZero() {
+		return time.Since(s.Begin)
+	}
+	return s.Finish.Sub(s.Begin)
+}
+
+// Attrs returns the span's annotations as alternating key/value pairs.
+func (s *Span) Attrs() []string {
+	if s == nil {
+		return nil
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	out := make([]string, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Spans returns the recorded spans in start order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// String renders the trace as an indented tree with per-span durations
+// and annotations — the human-readable negotiation trace:
+//
+//	negotiation 1.24ms resource=R role=requester
+//	  phase:policy-evaluation 0.91ms
+//	    recv:policy 0.30ms
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	children := make(map[int][]*Span)
+	var roots []*Span
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+	}
+	var b strings.Builder
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(s.Name)
+		fmt.Fprintf(&b, " %.3fms", float64(s.Duration().Microseconds())/1000)
+		t.mu.Lock()
+		attrs := make([]string, len(s.attrs))
+		copy(attrs, s.attrs)
+		t.mu.Unlock()
+		for i := 0; i+1 < len(attrs); i += 2 {
+			fmt.Fprintf(&b, " %s=%s", attrs[i], attrs[i+1])
+		}
+		b.WriteByte('\n')
+		kids := children[s.ID]
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	s := tr.StartSpan("x")
+	s.SetAttr("k", "v").End()
+	s.StartChild("y").End()
+	if s.Duration() != 0 || s.Attrs() != nil {
+		t.Fatal("nil span leaked state")
+	}
+	if tr.Spans() != nil || tr.String() != "" {
+		t.Fatal("nil trace has content")
+	}
+}
+
+func TestStackParenting(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan("root")
+	a := tr.StartSpan("a")
+	aa := tr.StartSpan("aa")
+	aa.End()
+	ab := tr.StartSpan("ab")
+	ab.End()
+	a.End()
+	b := tr.StartSpan("b")
+	b.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	wantParents := map[string]string{"root": "", "a": "root", "aa": "a", "ab": "a", "b": "root"}
+	byID := map[int]*Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		wantParent := wantParents[s.Name]
+		got := ""
+		if s.ParentID != 0 {
+			got = byID[s.ParentID].Name
+		}
+		if got != wantParent {
+			t.Fatalf("span %s parent = %q, want %q", s.Name, got, wantParent)
+		}
+		if s.Finish.IsZero() {
+			t.Fatalf("span %s not ended", s.Name)
+		}
+	}
+}
+
+func TestExplicitChildDoesNotDisturbStack(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan("root")
+	phase := root.StartChild("phase") // not pushed on the stack
+	msg := tr.StartSpan("msg")        // stack parent is still root
+	if msg.ParentID != root.ID {
+		t.Fatalf("msg parent = %d, want root %d", msg.ParentID, root.ID)
+	}
+	if phase.ParentID != root.ID {
+		t.Fatalf("phase parent = %d, want root %d", phase.ParentID, root.ID)
+	}
+	msg.End()
+	phase.End()
+	root.End()
+}
+
+func TestEndOutOfOrderPopsNested(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan("root")
+	inner := tr.StartSpan("inner")
+	root.End() // ends root while inner is still open on the stack
+	next := tr.StartSpan("next")
+	if next.ParentID != 0 {
+		t.Fatalf("next parent = %d, want root-level", next.ParentID)
+	}
+	inner.End() // double-bookkeeping must not panic
+	next.End()
+	root.End() // double End is a no-op
+	if n := len(tr.Spans()); n != 3 {
+		t.Fatalf("spans = %d", n)
+	}
+}
+
+func TestSpanDurationAndAttrs(t *testing.T) {
+	tr := NewTrace()
+	s := tr.StartSpan("work").SetAttr("resource", "R")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if d := s.Duration(); d < time.Millisecond {
+		t.Fatalf("duration = %v", d)
+	}
+	fin := s.Finish
+	s.End()
+	if !s.Finish.Equal(fin) {
+		t.Fatal("double End moved finish time")
+	}
+	attrs := s.Attrs()
+	if len(attrs) != 2 || attrs[0] != "resource" || attrs[1] != "R" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan("negotiation").SetAttr("resource", "R")
+	phase := root.StartChild("phase:policy-evaluation")
+	msg := phase.StartChild("recv:policy")
+	msg.End()
+	phase.End()
+	root.End()
+	out := tr.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "negotiation ") || !strings.Contains(lines[0], "resource=R") {
+		t.Fatalf("root line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  phase:policy-evaluation ") {
+		t.Fatalf("phase line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    recv:policy ") {
+		t.Fatalf("msg line: %q", lines[2])
+	}
+}

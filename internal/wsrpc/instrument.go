@@ -1,0 +1,78 @@
+package wsrpc
+
+import (
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trustvo/internal/telemetry"
+)
+
+// statusWriter captures the response status code for per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the service's HTTP metrics: request
+// count by route and status code, request latency by route, and a global
+// in-flight gauge. With no registry the handler is returned untouched —
+// the uninstrumented service serves at full speed.
+func instrument(reg *telemetry.Registry, route string, h http.HandlerFunc) http.HandlerFunc {
+	if reg == nil {
+		return h
+	}
+	inFlight := reg.Gauge("http_requests_in_flight")
+	latency := reg.LatencyHistogram("http_request_seconds", "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		inFlight.Dec()
+		latency.ObserveSince(start)
+		reg.Counter("http_requests_total", "route", route, "code", strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+// instrument applies the service's registry to one route.
+func (s *TNService) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return instrument(s.Metrics, route, h)
+}
+
+// handleHealthz answers liveness probes.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// logf reports operational events (session eviction under pressure);
+// defaults to the standard logger so evictions are never silent.
+func (s *TNService) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// debugf reports per-message debug lines; silent unless Debugf is set.
+func (s *TNService) debugf(format string, args ...any) {
+	if s.Debugf != nil {
+		s.Debugf(format, args...)
+	}
+}
+
+func (k phaseKind) String() string {
+	if k == policyPhase {
+		return "policy"
+	}
+	return "credential"
+}

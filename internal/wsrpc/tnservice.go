@@ -12,6 +12,7 @@ import (
 	"trustvo/internal/negotiation"
 	"trustvo/internal/partydb"
 	"trustvo/internal/store"
+	"trustvo/internal/telemetry"
 	"trustvo/internal/xmldom"
 )
 
@@ -52,6 +53,17 @@ type TNService struct {
 	// DoneRetention is how long a finished negotiation stays queryable
 	// via /tn/status (default 30 seconds).
 	DoneRetention time.Duration
+	// Metrics collects the service's HTTP and session telemetry and backs
+	// GET /metrics. NewTNService installs a fresh registry; set nil to
+	// disable collection, or share one registry across services to expose
+	// a single scrape endpoint.
+	Metrics *telemetry.Registry
+	// Logf reports operational events such as live-session eviction under
+	// capacity pressure (default log.Printf).
+	Logf func(format string, args ...any)
+	// Debugf, when set, receives one key=value line per negotiation
+	// message handled (session id, operation, message type, duration).
+	Debugf func(format string, args ...any)
 
 	mu       sync.Mutex
 	sessions map[string]*tnSession
@@ -65,17 +77,27 @@ type tnSession struct {
 	done     atomic.Bool
 }
 
-// NewTNService creates a service negotiating as party.
+// NewTNService creates a service negotiating as party, collecting
+// telemetry into a fresh registry.
 func NewTNService(party *negotiation.Party) *TNService {
-	return &TNService{Party: party, sessions: make(map[string]*tnSession)}
+	return &TNService{
+		Party:    party,
+		Metrics:  telemetry.NewRegistry(),
+		sessions: make(map[string]*tnSession),
+	}
 }
 
-// Register mounts the TN operations on mux under /tn/.
+// Register mounts the TN operations on mux under /tn/, plus /metrics
+// (when the service has a registry) and /healthz.
 func (s *TNService) Register(mux *http.ServeMux) {
-	mux.HandleFunc("/tn/start", s.handleStart)
-	mux.HandleFunc("/tn/policyExchange", s.exchangeHandler(policyPhase))
-	mux.HandleFunc("/tn/credentialExchange", s.exchangeHandler(credentialPhase))
-	mux.HandleFunc("/tn/status", s.handleStatus)
+	mux.HandleFunc("/tn/start", s.instrument("/tn/start", s.handleStart))
+	mux.HandleFunc("/tn/policyExchange", s.instrument("/tn/policyExchange", s.exchangeHandler(policyPhase)))
+	mux.HandleFunc("/tn/credentialExchange", s.instrument("/tn/credentialExchange", s.exchangeHandler(credentialPhase)))
+	mux.HandleFunc("/tn/status", s.instrument("/tn/status", s.handleStatus))
+	if s.Metrics != nil {
+		mux.Handle("/metrics", s.Metrics.Handler())
+	}
+	mux.HandleFunc("/healthz", handleHealthz)
 }
 
 func (s *TNService) maxAge() time.Duration {
@@ -139,6 +161,13 @@ func (s *TNService) newSession() (string, error) {
 		}
 		party = loaded
 	}
+	if party.Metrics == nil && s.Metrics != nil {
+		// Let session endpoints record negotiation-level series into the
+		// service registry without mutating the caller's Party.
+		clone := *party
+		clone.Metrics = s.Metrics
+		party = &clone
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLocked()
@@ -149,27 +178,85 @@ func (s *TNService) newSession() (string, error) {
 		}
 	}
 	if active >= s.maxSessions() {
+		active = s.evictForCapacityLocked(active)
+	}
+	if active >= s.maxSessions() {
 		return "", fmt.Errorf("wsrpc: %d concurrent negotiations", active)
 	}
 	s.sessions[id] = &tnSession{
 		endpoint: negotiation.NewController(party),
 		lastUsed: time.Now(),
 	}
+	if m := s.Metrics; m != nil {
+		m.Counter("tn_sessions_created_total").Inc()
+		m.Gauge("tn_sessions_active").Inc()
+	}
 	return id, nil
 }
 
-// sweepLocked drops idle sessions: unfinished ones after MaxSessionAge,
-// finished ones after the (shorter) DoneRetention. Caller holds s.mu.
-func (s *TNService) sweepLocked() {
+// sweepLocked drops idle sessions — unfinished ones after MaxSessionAge
+// ("expired"), finished ones after the (shorter) DoneRetention
+// ("retired") — and returns how many of each were dropped. Caller holds
+// s.mu.
+func (s *TNService) sweepLocked() (expired, retired int) {
 	now := time.Now()
 	cutoff := now.Add(-s.maxAge())
 	doneCutoff := now.Add(-s.doneRetention())
 	for id, sess := range s.sessions {
-		if sess.lastUsed.Before(cutoff) ||
-			(sess.done.Load() && sess.lastUsed.Before(doneCutoff)) {
+		switch {
+		case sess.done.Load() && (sess.lastUsed.Before(doneCutoff) || sess.lastUsed.Before(cutoff)):
 			delete(s.sessions, id)
+			retired++
+		case !sess.done.Load() && sess.lastUsed.Before(cutoff):
+			delete(s.sessions, id)
+			expired++
 		}
 	}
+	if m := s.Metrics; m != nil {
+		if expired > 0 {
+			m.Counter("tn_sessions_swept_total", "reason", "expired").Add(int64(expired))
+			m.Gauge("tn_sessions_active").Add(int64(-expired))
+		}
+		if retired > 0 {
+			m.Counter("tn_sessions_swept_total", "reason", "retired").Add(int64(retired))
+		}
+	}
+	return expired, retired
+}
+
+// evictForCapacityLocked relieves session pressure: when the table is at
+// MaxSessions, live sessions idle for more than half of MaxSessionAge
+// are evicted, oldest first, each with a log line — the deployment gets
+// signal instead of silent capacity errors, while fresh negotiations are
+// never sacrificed. Returns the remaining active count. Caller holds
+// s.mu. The half-age floor also means an evicted session cannot be
+// mid-message: handlers refresh lastUsed on lookup.
+func (s *TNService) evictForCapacityLocked(active int) int {
+	idleCutoff := time.Now().Add(-s.maxAge() / 2)
+	for active >= s.maxSessions() {
+		var oldestID string
+		var oldest *tnSession
+		for id, sess := range s.sessions {
+			if sess.done.Load() || !sess.lastUsed.Before(idleCutoff) {
+				continue
+			}
+			if oldest == nil || sess.lastUsed.Before(oldest.lastUsed) {
+				oldestID, oldest = id, sess
+			}
+		}
+		if oldest == nil {
+			return active
+		}
+		delete(s.sessions, oldestID)
+		active--
+		s.logf("wsrpc: evicted live negotiation %s idle=%s under session pressure (%d/%d active)",
+			oldestID, time.Since(oldest.lastUsed).Round(time.Millisecond), active, s.maxSessions())
+		if m := s.Metrics; m != nil {
+			m.Counter("tn_sessions_swept_total", "reason", "evicted").Inc()
+			m.Gauge("tn_sessions_active").Dec()
+		}
+	}
+	return active
 }
 
 func (s *TNService) session(id string) *tnSession {
@@ -233,10 +320,20 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 			writeFault(w, http.StatusConflict, "done", "negotiation already finished")
 			return
 		}
+		start := time.Now()
 		reply, err := sess.endpoint.Handle(msg)
-		if sess.endpoint.Done() {
+		s.debugf("tn-message session=%s op=%s type=%s dur=%s err=%v",
+			id, phase, msg.Type, time.Since(start).Round(time.Microsecond), err != nil)
+		if sess.endpoint.Done() && !sess.done.Swap(true) {
 			sess.outcome = sess.endpoint.Outcome()
-			sess.done.Store(true)
+			result := "failure"
+			if sess.outcome != nil && sess.outcome.Succeeded {
+				result = "success"
+			}
+			if m := s.Metrics; m != nil {
+				m.Counter("tn_sessions_completed_total", "result", result).Inc()
+				m.Gauge("tn_sessions_active").Dec()
+			}
 		}
 		if err != nil {
 			writeFault(w, http.StatusInternalServerError, "internal", err.Error())

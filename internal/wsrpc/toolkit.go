@@ -45,24 +45,30 @@ func NewToolkitService(ini *core.Initiator) *ToolkitService {
 	}
 }
 
-// Register mounts all operations on mux.
+// Register mounts all operations on mux. Toolkit routes share the TN
+// service's metrics registry, so one /metrics scrape covers the whole
+// deployment.
 func (t *ToolkitService) Register(mux *http.ServeMux) {
 	t.TN.Register(mux)
-	mux.HandleFunc("/registry/publish", t.handlePublish)
-	mux.HandleFunc("/registry/list", t.handleList)
-	mux.HandleFunc("/registry/find", t.handleFind)
-	mux.HandleFunc("/vo/apply", t.handleApply)
-	mux.HandleFunc("/vo/mailbox", t.handleMailbox)
-	mux.HandleFunc("/vo/join-direct", t.handleJoinDirect)
-	mux.HandleFunc("/vo/members", t.handleMembers)
-	mux.HandleFunc("/vo/status", t.handleStatus)
-	mux.HandleFunc("/vo/start-formation", t.lifecycleHandler(func() error { return t.Initiator.VO.StartFormation() }))
-	mux.HandleFunc("/vo/start-operation", t.lifecycleHandler(func() error { return t.Initiator.VO.StartOperation() }))
-	mux.HandleFunc("/vo/dissolve", t.lifecycleHandler(func() error { return t.Initiator.VO.Dissolve() }))
-	mux.HandleFunc("/vo/operate", t.handleOperate)
-	mux.HandleFunc("/vo/violation", t.handleViolation)
-	mux.HandleFunc("/vo/reputation", t.handleReputation)
-	mux.HandleFunc("/vo/audit", t.handleAudit)
+	reg := t.TN.Metrics
+	handle := func(route string, h http.HandlerFunc) {
+		mux.HandleFunc(route, instrument(reg, route, h))
+	}
+	handle("/registry/publish", t.handlePublish)
+	handle("/registry/list", t.handleList)
+	handle("/registry/find", t.handleFind)
+	handle("/vo/apply", t.handleApply)
+	handle("/vo/mailbox", t.handleMailbox)
+	handle("/vo/join-direct", t.handleJoinDirect)
+	handle("/vo/members", t.handleMembers)
+	handle("/vo/status", t.handleStatus)
+	handle("/vo/start-formation", t.lifecycleHandler(func() error { return t.Initiator.VO.StartFormation() }))
+	handle("/vo/start-operation", t.lifecycleHandler(func() error { return t.Initiator.VO.StartOperation() }))
+	handle("/vo/dissolve", t.lifecycleHandler(func() error { return t.Initiator.VO.Dissolve() }))
+	handle("/vo/operate", t.handleOperate)
+	handle("/vo/violation", t.handleViolation)
+	handle("/vo/reputation", t.handleReputation)
+	handle("/vo/audit", t.handleAudit)
 }
 
 // agentFor returns (creating on demand) the server-side mailbox agent

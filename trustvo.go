@@ -51,6 +51,7 @@ import (
 	"trustvo/internal/pki"
 	"trustvo/internal/reputation"
 	"trustvo/internal/store"
+	"trustvo/internal/telemetry"
 	"trustvo/internal/vo"
 	"trustvo/internal/vo/registry"
 	"trustvo/internal/wsrpc"
@@ -258,6 +259,40 @@ type (
 var (
 	NewStore  = store.New
 	OpenStore = store.Open
+)
+
+// ---- telemetry ----
+
+type (
+	// MetricsRegistry collects counters, gauges and latency histograms;
+	// set it on a Party (Metrics field) or a TNService to enable
+	// collection, and mount MetricsRegistry.Handler at /metrics for a
+	// Prometheus scrape. A nil registry disables collection everywhere.
+	MetricsRegistry = telemetry.Registry
+	// Counter is a monotonically increasing atomic counter.
+	Counter = telemetry.Counter
+	// Gauge is an atomic instantaneous value.
+	Gauge = telemetry.Gauge
+	// Histogram is a fixed-bucket latency/count histogram.
+	Histogram = telemetry.Histogram
+	// HistogramSnapshot is a mergeable point-in-time histogram copy with
+	// quantile estimation.
+	HistogramSnapshot = telemetry.HistogramSnapshot
+	// TelemetryReport is the structured JSON run summary (counters,
+	// gauges, per-histogram p50/p95/p99).
+	TelemetryReport = telemetry.Report
+	// SpanTrace is a per-negotiation span trace (see Party.Recorder).
+	SpanTrace = telemetry.Trace
+	// Span is one timed operation inside a SpanTrace.
+	Span = telemetry.Span
+)
+
+// Telemetry constructors and default bucket layouts.
+var (
+	NewMetricsRegistry = telemetry.NewRegistry
+	NewSpanTrace       = telemetry.NewTrace
+	LatencyBuckets     = telemetry.LatencyBuckets
+	CountBuckets       = telemetry.CountBuckets
 )
 
 // ---- web services (Fig. 5) ----
