@@ -11,6 +11,7 @@
 package trustvo_test
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -19,6 +20,8 @@ import (
 
 	"trustvo"
 )
+
+var bgCtx = context.Background()
 
 // benchEnv hosts the Aircraft Optimization initiator's toolkit on an
 // HTTP loopback server with one capable member.
@@ -83,7 +86,7 @@ func newBenchEnv(b *testing.B) *benchEnv {
 			Trust:    trustvo.NewTrustStore(ca),
 		},
 	}
-	if err := member.Publish(&trustvo.Description{
+	if err := member.Publish(bgCtx, &trustvo.Description{
 		Provider: "AerospaceCo", Service: "DesignPortal", Capabilities: []string{"design-db"},
 	}); err != nil {
 		b.Fatal(err)
@@ -109,10 +112,10 @@ func BenchmarkJoin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Same protocol steps as the integrated path minus the TN:
 		// invitation round trip, then admission + token minting.
-		if _, _, err := env.member.Apply("DesignWebPortal"); err != nil {
+		if _, _, err := env.member.Apply(bgCtx, "DesignWebPortal"); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := env.member.JoinDirect("DesignWebPortal"); err != nil {
+		if _, err := env.member.JoinDirect(bgCtx, "DesignWebPortal"); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -127,7 +130,7 @@ func BenchmarkJoinWithTN(b *testing.B) {
 	env := newBenchEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := env.member.Join("DesignWebPortal"); err != nil {
+		if _, _, err := env.member.Join(bgCtx, "DesignWebPortal"); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -162,7 +165,7 @@ func BenchmarkTrustNegotiationStandalone(b *testing.B) {
 	resource := trustvo.MembershipResource("AircraftOptimizationVO", "DesignWebPortal")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := tn.Negotiate(resource)
+		out, err := tn.Negotiate(bgCtx, resource)
 		if err != nil || !out.Succeeded {
 			b.Fatalf("negotiation failed: %v %+v", err, out)
 		}

@@ -12,10 +12,19 @@
 // it writes a structured JSON run report: the median rows plus the full
 // telemetry registry (per-phase p50/p95/p99 latency, disclosure and
 // session counters) accumulated across every timed negotiation.
+//
+// With -faults it instead runs the robustness demonstration: the same
+// VO join repeated under seeded, deterministic fault injection (dropped,
+// delayed, duplicated and truncated messages) and completed through the
+// hardened transport's retries plus negotiation suspend/resume. The
+// summary — and the -report JSON — then carries the injected-fault
+// counts next to the retry, circuit-breaker, replay and resume counters.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"trustvo/internal/core"
+	"trustvo/internal/faultinject"
 	"trustvo/internal/negotiation"
 	"trustvo/internal/pki"
 	"trustvo/internal/telemetry"
@@ -42,8 +52,16 @@ func main() {
 		n          = flag.Int("n", 200, "iterations per measurement")
 		strategies = flag.Bool("strategies", false, "also print the per-strategy comparison (EXT-3)")
 		reportPath = flag.String("report", "", "write a JSON run report (medians + telemetry) to this file")
+		faults     = flag.Bool("faults", false, "run joins under seeded fault injection instead of the Fig. 9 timing")
+		seed       = flag.Int64("seed", 1, "fault-injection seed (with -faults)")
 	)
 	flag.Parse()
+	if *faults {
+		if err := runFaults(os.Stdout, *n, *seed, *reportPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(os.Stdout, *n, *strategies, *reportPath); err != nil {
 		log.Fatal(err)
 	}
@@ -122,7 +140,7 @@ func newEnv(reg *telemetry.Registry) (*env, error) {
 			Metrics: reg, // requester-side phase latencies land in the same report
 		},
 	}
-	if err := member.Publish(&registry.Description{
+	if err := member.Publish(context.Background(), &registry.Description{
 		Provider: "AerospaceCo", Service: "DesignPortal", Capabilities: []string{"design-db"},
 	}); err != nil {
 		return nil, err
@@ -165,7 +183,7 @@ func run(w *os.File, n int, strategies bool, reportPath string) error {
 
 	joinTN, err := measure(n, func() error {
 		reset()
-		_, _, err := e.member.Join("DesignWebPortal")
+		_, _, err := e.member.Join(context.Background(), "DesignWebPortal")
 		return err
 	})
 	if err != nil {
@@ -173,10 +191,10 @@ func run(w *os.File, n int, strategies bool, reportPath string) error {
 	}
 	join, err := measure(n, func() error {
 		reset()
-		if _, _, err := e.member.Apply("DesignWebPortal"); err != nil {
+		if _, _, err := e.member.Apply(context.Background(), "DesignWebPortal"); err != nil {
 			return err
 		}
-		_, err := e.member.JoinDirect("DesignWebPortal")
+		_, err := e.member.JoinDirect(context.Background(), "DesignWebPortal")
 		return err
 	})
 	if err != nil {
@@ -203,7 +221,7 @@ func run(w *os.File, n int, strategies bool, reportPath string) error {
 	tnClient := &wsrpc.TNClient{BaseURL: tnSrv.URL, Party: e.member.Party}
 	resource := vo.MembershipResource("AircraftOptimizationVO", "DesignWebPortal")
 	tn, err := measure(n, func() error {
-		out, err := tnClient.Negotiate(resource)
+		out, err := tnClient.Negotiate(context.Background(), resource)
 		if err != nil {
 			return err
 		}
@@ -266,6 +284,139 @@ func run(w *os.File, n int, strategies bool, reportPath string) error {
 
 func durMS(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1000
+}
+
+// faultReport is the -faults -report schema: join outcomes, injected
+// fault counts, and the full telemetry registry (retry, breaker, replay
+// and resume counters included).
+type faultReport struct {
+	Schema    string            `json:"schema"`
+	Seed      int64             `json:"seed"`
+	Joins     int               `json:"joins"`
+	Completed int               `json:"completed"`
+	Resumes   int               `json:"resumes"`
+	Faults    map[string]int64  `json:"faults_injected"`
+	Telemetry *telemetry.Report `json:"telemetry"`
+}
+
+// runFaults repeats the full VO join under seeded fault injection and
+// reports how the hardened transport carried it through: every join must
+// converge via retries — or suspend into a resume ticket that the next
+// ResumeJoin completes.
+func runFaults(w *os.File, n int, seed int64, reportPath string) error {
+	ctx := context.Background()
+	reg := telemetry.NewRegistry()
+	e, err := newEnv(reg) // Publish runs over the clean transport
+	if err != nil {
+		return err
+	}
+	defer e.srv.Close()
+
+	ft := faultinject.New(faultinject.Config{
+		Seed:      seed,
+		Drop:      0.20,
+		Delay:     0.30,
+		MaxDelay:  2 * time.Millisecond,
+		Duplicate: 0.05,
+		Truncate:  0.05,
+	}, nil)
+	ft.Metrics = reg
+	// Under a 20% drop rate the default 4 attempts still give up about
+	// once per ~600 requests; raise the budget so a run of joins
+	// converges, and keep backoff tight for a loopback server.
+	e.member.Transport = &wsrpc.Transport{
+		HTTP: &http.Client{Transport: ft},
+		Retry: wsrpc.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    250 * time.Millisecond,
+		},
+		Metrics: reg,
+	}
+	e.member.ResumeTTL = time.Minute
+
+	fmt.Fprintf(w, "fault-injection run: %d joins, seed=%d, profile drop=20%% delay=30%% dup=5%% trunc=5%%\n", n, seed)
+	t0 := time.Now()
+	completed, resumes := 0, 0
+	for i := 0; i < n; i++ {
+		if e.tk.Initiator.VO.Member("AerospaceCo") != nil {
+			e.tk.Initiator.VO.Remove("AerospaceCo")
+		}
+		_, _, err := e.member.Join(ctx, "DesignWebPortal")
+		for attempt := 0; err != nil; attempt++ {
+			var se *wsrpc.SuspendedError
+			if !errors.As(err, &se) {
+				return fmt.Errorf("join %d failed unrecoverably: %w", i, err)
+			}
+			if attempt >= 10 {
+				return fmt.Errorf("join %d: still suspended after %d resumes: %w", i, attempt, err)
+			}
+			resumes++
+			_, _, err = e.member.ResumeJoin(ctx, se.Ticket)
+		}
+		completed++
+	}
+	elapsed := time.Since(t0)
+
+	counter := func(name string, lv ...string) int64 { return reg.Counter(name, lv...).Value() }
+	retries := counter("wsrpc_client_retries_total", "route", "/tn/start") +
+		counter("wsrpc_client_retries_total", "route", "/tn/policyExchange") +
+		counter("wsrpc_client_retries_total", "route", "/tn/credentialExchange") +
+		counter("wsrpc_client_retries_total", "route", "/vo/apply")
+	fmt.Fprintf(w, "  joins completed:   %d/%d in %v\n", completed, n, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  faults injected:   %s\n", ft.Stats.String())
+	fmt.Fprintf(w, "  client retries:    %d (start/policy/credential/apply)\n", retries)
+	fmt.Fprintf(w, "  breaker rejected:  %d   breaker tripped: %d\n",
+		sumByRoute(reg, "wsrpc_client_breaker_rejected_total"),
+		sumByRoute(reg, "wsrpc_client_breaker_tripped_total"))
+	fmt.Fprintf(w, "  server replays:    %d (duplicate-suppression cache hits)\n", counter("tn_replays_total"))
+	fmt.Fprintf(w, "  suspends/resumes:  %d/%d\n", counter("tn_suspends_total"), resumes)
+
+	if reportPath != "" {
+		rep := faultReport{
+			Schema:    "trustvo.benchjoin.faults/v1",
+			Seed:      seed,
+			Joins:     n,
+			Completed: completed,
+			Resumes:   resumes,
+			Faults: map[string]int64{
+				"requests":  ft.Stats.Requests.Load(),
+				"drop_pre":  ft.Stats.DropsPre.Load(),
+				"drop_post": ft.Stats.DropsPost.Load(),
+				"delay":     ft.Stats.Delays.Load(),
+				"duplicate": ft.Stats.Duplicates.Load(),
+				"truncate":  ft.Stats.Truncations.Load(),
+			},
+			Telemetry: reg.Report(),
+		}
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nrun report written to %s\n", reportPath)
+	}
+	return nil
+}
+
+// sumByRoute totals a per-route counter over the TN and toolkit routes
+// the join touches.
+func sumByRoute(reg *telemetry.Registry, name string) int64 {
+	var total int64
+	for _, route := range []string{
+		"/tn/start", "/tn/policyExchange", "/tn/credentialExchange", "/tn/status", "/vo/apply",
+	} {
+		total += reg.Counter(name, "route", route).Value()
+	}
+	return total
 }
 
 // runStrategies prints the EXT-3 strategy comparison over in-process

@@ -87,6 +87,12 @@ func main() {
 		}
 		svc.DB = db
 		log.Printf("policies and credentials stored in %s", *dbPath)
+		// pick up negotiations a previous run suspended on shutdown
+		if n, err := svc.ResumeSessions(db); err != nil {
+			log.Printf("resuming suspended negotiations: %v", err)
+		} else if n > 0 {
+			log.Printf("resumed %d suspended negotiation(s)", n)
+		}
 	}
 	mux := http.NewServeMux()
 	svc.Register(mux)
@@ -104,6 +110,15 @@ func main() {
 	}()
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
+	}
+	// the server has drained: persist live negotiations so clients can
+	// continue them against the next run (SIGTERM-safe restarts)
+	if svc.DB != nil {
+		if n, err := svc.SuspendSessions(svc.DB); err != nil {
+			log.Printf("suspending live negotiations: %v", err)
+		} else if n > 0 {
+			log.Printf("suspended %d live negotiation(s) to %s", n, *dbPath)
+		}
 	}
 	if *reportPath != "" {
 		if err := writeReport(svc.Metrics, *reportPath); err != nil {

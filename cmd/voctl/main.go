@@ -24,6 +24,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +33,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"trustvo/internal/cli"
 	"trustvo/internal/core"
@@ -160,8 +163,12 @@ func (s *stringsFlag) Set(v string) error { *s = append(*s, v); return nil }
 func memberClient(fs *flag.FlagSet, args []string) (*wsrpc.MemberClient, *flag.FlagSet, error) {
 	partyDir := fs.String("party", "", "party directory")
 	url := fs.String("url", "http://localhost:8080", "toolkit base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	fs.Parse(args)
-	c := &wsrpc.MemberClient{BaseURL: *url}
+	c := &wsrpc.MemberClient{
+		BaseURL:   *url,
+		Transport: &wsrpc.Transport{RequestTimeout: *timeout},
+	}
 	if *partyDir != "" {
 		p, err := cli.LoadParty(*partyDir)
 		if err != nil {
@@ -186,7 +193,7 @@ func cmdPublish(args []string) error {
 		fs.Usage()
 		os.Exit(2)
 	}
-	err = c.Publish(&registry.Description{
+	err = c.Publish(context.Background(), &registry.Description{
 		Provider: c.Party.Name, Service: *service,
 		Capabilities: caps, Quality: *quality,
 	})
@@ -219,15 +226,26 @@ func cmdJoin(args []string) error {
 			log.Printf("  tn %s %s", arrow, m.Summary())
 		}
 	}
+	ctx := context.Background()
 	if *direct {
-		der, err := c.JoinDirect(*role)
+		der, err := c.JoinDirect(ctx, *role)
 		if err != nil {
 			return err
 		}
 		log.Printf("joined %s without negotiation; membership token %d bytes (DER)", *role, len(der))
 		return nil
 	}
-	der, out, err := c.Join(*role)
+	der, out, err := c.Join(ctx, *role)
+	// A transport failure mid-negotiation suspends into a resume ticket;
+	// pick it up in place so a blip doesn't abandon the join.
+	for resumed := 0; err != nil && resumed < 3; resumed++ {
+		var se *wsrpc.SuspendedError
+		if !errors.As(err, &se) {
+			break
+		}
+		log.Printf("negotiation %s suspended (%v); resuming", se.Ticket.NegID, se.Unwrap())
+		der, out, err = c.ResumeJoin(ctx, se.Ticket)
+	}
 	if err != nil {
 		return err
 	}
@@ -248,7 +266,7 @@ func cmdMembers(args []string) error {
 	if err != nil {
 		return err
 	}
-	members, err := c.Members()
+	members, err := c.Members(context.Background())
 	if err != nil {
 		return err
 	}
@@ -269,7 +287,7 @@ func cmdStatus(args []string) error {
 	if err != nil {
 		return err
 	}
-	phase, members, err := c.VOStatus()
+	phase, members, err := c.VOStatus(context.Background())
 	if err != nil {
 		return err
 	}
@@ -280,24 +298,16 @@ func cmdStatus(args []string) error {
 func cmdPhase(args []string) error {
 	fs := flag.NewFlagSet("phase", flag.ExitOnError)
 	to := fs.String("to", "", "target phase: formation|operation|dissolution")
-	url := fs.String("url", "http://localhost:8080", "toolkit base URL")
-	fs.Parse(args)
-	path := map[string]string{
-		"formation":   "/vo/start-formation",
-		"operation":   "/vo/start-operation",
-		"dissolution": "/vo/dissolve",
-	}[*to]
-	if path == "" {
-		fs.Usage()
-		os.Exit(2)
-	}
-	resp, err := http.Post(strings.TrimRight(*url, "/")+path, wsrpc.ContentType, nil)
+	c, _, err := memberClient(fs, args)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("phase change failed: %s", resp.Status)
+	if *to == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := c.Phase(context.Background(), *to); err != nil {
+		return fmt.Errorf("phase change failed: %w", err)
 	}
 	log.Printf("phase changed to %s", *to)
 	return nil
@@ -314,7 +324,7 @@ func cmdOperate(args []string) error {
 		fs.Usage()
 		os.Exit(2)
 	}
-	if err := c.Operate(*op); err != nil {
+	if err := c.Operate(context.Background(), *op); err != nil {
 		return err
 	}
 	log.Printf("operation %q authorized for %s", *op, c.Party.Name)
@@ -332,7 +342,7 @@ func cmdReputation(args []string) error {
 		fs.Usage()
 		os.Exit(2)
 	}
-	score, err := c.Reputation(*member)
+	score, err := c.Reputation(context.Background(), *member)
 	if err != nil {
 		return err
 	}
@@ -346,7 +356,7 @@ func cmdAudit(args []string) error {
 	if err != nil {
 		return err
 	}
-	entries, err := c.Audit()
+	entries, err := c.Audit(context.Background())
 	if err != nil {
 		return err
 	}

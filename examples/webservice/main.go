@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -23,6 +24,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	ca := trustvo.MustNewAuthority("CertCA")
 
 	// ---- server side: initiator + toolkit + TN service ----
@@ -84,7 +86,7 @@ func main() {
 			Trust:    trustvo.NewTrustStore(ca),
 		},
 	}
-	if err := member.Publish(&trustvo.Description{
+	if err := member.Publish(ctx, &trustvo.Description{
 		Provider: "AerospaceCo", Service: "Design Partner Web Portal",
 		Capabilities: []string{"design-db"},
 	}); err != nil {
@@ -94,7 +96,7 @@ func main() {
 
 	// Join WITH the integrated trust negotiation.
 	t0 := time.Now()
-	der, out, err := member.Join("DesignWebPortal")
+	der, out, err := member.Join(ctx, "DesignWebPortal")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,10 +117,10 @@ func main() {
 		log.Fatal(err)
 	}
 	t0 = time.Now()
-	if _, _, err := member.Apply("DesignWebPortal"); err != nil {
+	if _, _, err := member.Apply(ctx, "DesignWebPortal"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := member.JoinDirect("DesignWebPortal"); err != nil {
+	if _, err := member.JoinDirect(ctx, "DesignWebPortal"); err != nil {
 		log.Fatal(err)
 	}
 	baseline := time.Since(t0)
@@ -126,7 +128,7 @@ func main() {
 	fmt.Printf("\nFig. 9 one-shot: overhead of the integrated TN = %v (%.1fx the baseline join)\n",
 		withTN-baseline, float64(withTN)/float64(baseline))
 
-	phase, members, err := member.VOStatus()
+	phase, members, err := member.VOStatus(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

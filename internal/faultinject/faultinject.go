@@ -1,0 +1,235 @@
+// Package faultinject wraps an http.RoundTripper with deterministic,
+// seeded fault injection — dropped, delayed, duplicated and truncated
+// messages — so the negotiation transport's retry, replay and resume
+// machinery can be exercised reproducibly from tests and from
+// `benchjoin -faults`.
+//
+// Determinism: all randomness comes from one seeded math/rand source
+// consumed in a fixed per-request order under a mutex, so a given seed
+// and request sequence always produces the same fault pattern.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trustvo/internal/telemetry"
+)
+
+// Config selects the fault mix. All probabilities are in [0, 1] and
+// independent; zero values inject nothing.
+type Config struct {
+	// Seed initializes the deterministic random source.
+	Seed int64
+	// Drop is the probability a request is lost. Half of the drops happen
+	// before the request is sent (the server never sees it), half after
+	// (the server processed it but the response is lost) — the latter is
+	// what forces the receiver-side reply cache to earn its keep.
+	Drop float64
+	// Delay is the probability a request is delayed by up to MaxDelay.
+	Delay float64
+	// MaxDelay bounds injected delays (default 5ms).
+	MaxDelay time.Duration
+	// Duplicate is the probability a request is delivered twice (the
+	// first response is discarded; the caller sees the second).
+	Duplicate float64
+	// Truncate is the probability a response body is cut short.
+	Truncate float64
+}
+
+// Stats counts injected faults (atomic; safe to read while in use).
+type Stats struct {
+	Requests    atomic.Int64
+	DropsPre    atomic.Int64 // dropped before reaching the server
+	DropsPost   atomic.Int64 // served, but the response was lost
+	Delays      atomic.Int64
+	Duplicates  atomic.Int64
+	Truncations atomic.Int64
+}
+
+// String summarizes the counters.
+func (s *Stats) String() string {
+	return fmt.Sprintf("requests=%d drop_pre=%d drop_post=%d delay=%d dup=%d trunc=%d",
+		s.Requests.Load(), s.DropsPre.Load(), s.DropsPost.Load(),
+		s.Delays.Load(), s.Duplicates.Load(), s.Truncations.Load())
+}
+
+// DroppedError is the transport error surfaced for an injected drop.
+type DroppedError struct {
+	// Where is "pre-send" or "post-send".
+	Where string
+}
+
+// Error implements error.
+func (e *DroppedError) Error() string { return "faultinject: message dropped (" + e.Where + ")" }
+
+// Transport is the fault-injecting http.RoundTripper.
+type Transport struct {
+	// Base performs the real requests (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// Metrics, when set, counts injected faults under
+	// fault_injected_total{kind=...}.
+	Metrics *telemetry.Registry
+	// Stats counts injected faults.
+	Stats Stats
+
+	cfg Config
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a fault-injecting transport around base.
+func New(cfg Config, base http.RoundTripper) *Transport {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &Transport{
+		Base: base,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// decision is one request's pre-drawn fault plan. Drawing everything up
+// front keeps the random stream's consumption fixed per request, so the
+// fault pattern depends only on (seed, request index) — not on timing.
+type decision struct {
+	delay    time.Duration
+	dropPre  bool
+	dropPost bool
+	dup      bool
+	truncAt  float64 // keep this fraction of the response body; 1 = intact
+}
+
+func (t *Transport) decide() decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d decision
+	if t.rng.Float64() < t.cfg.Delay {
+		d.delay = time.Duration(t.rng.Float64() * float64(t.cfg.MaxDelay))
+	}
+	if t.rng.Float64() < t.cfg.Drop {
+		if t.rng.Float64() < 0.5 {
+			d.dropPre = true
+		} else {
+			d.dropPost = true
+		}
+	}
+	if t.rng.Float64() < t.cfg.Duplicate {
+		d.dup = true
+	}
+	if t.rng.Float64() < t.cfg.Truncate {
+		d.truncAt = 0.2 + 0.6*t.rng.Float64() // keep 20–80%
+	} else {
+		d.truncAt = 1
+	}
+	return d
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) count(kind string, c *atomic.Int64) {
+	c.Add(1)
+	if t.Metrics != nil {
+		t.Metrics.Counter("fault_injected_total", "kind", kind).Inc()
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.Stats.Requests.Add(1)
+	d := t.decide()
+
+	// Buffer the body so the request can be replayed for duplication.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if d.delay > 0 {
+		t.count("delay", &t.Stats.Delays)
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.delay):
+		}
+	}
+	if d.dropPre {
+		t.count("drop-pre", &t.Stats.DropsPre)
+		return nil, &DroppedError{Where: "pre-send"}
+	}
+
+	resp, err := t.send(req, body)
+	if err != nil {
+		return nil, err
+	}
+	if d.dup {
+		// Deliver again; the caller sees the second response (the first
+		// is fully consumed, as a real duplicated datagram would be).
+		t.count("duplicate", &t.Stats.Duplicates)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp, err = t.send(req, body); err != nil {
+			return nil, err
+		}
+	}
+	if d.dropPost {
+		t.count("drop-post", &t.Stats.DropsPost)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &DroppedError{Where: "post-send"}
+	}
+	if d.truncAt < 1 {
+		t.count("truncate", &t.Stats.Truncations)
+		return truncate(resp, d.truncAt)
+	}
+	return resp, nil
+}
+
+func (t *Transport) send(req *http.Request, body []byte) (*http.Response, error) {
+	r := req.Clone(req.Context())
+	if body != nil {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+	}
+	return t.base().RoundTrip(r)
+}
+
+// truncate cuts the response body to a fraction of its length, fixing
+// Content-Length so the truncation is silent (the hard case: the reader
+// sees a well-formed HTTP response with a garbled payload).
+func truncate(resp *http.Response, frac float64) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	cut := int(float64(len(data)) * frac)
+	if cut >= len(data) && len(data) > 0 {
+		cut = len(data) - 1
+	}
+	data = data[:cut]
+	out := *resp
+	out.Body = io.NopCloser(bytes.NewReader(data))
+	out.ContentLength = int64(len(data))
+	out.Header = resp.Header.Clone()
+	out.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	return &out, nil
+}

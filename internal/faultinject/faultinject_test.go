@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const payload = "0123456789abcdefghijklmnopqrstuvwxyz0123456789abcdefghijklmnopqrstuvwxyz"
+
+func newBackend(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, payload)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func do(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	return client.Post(url, "text/plain", strings.NewReader("ping"))
+}
+
+// outcome flattens one request's result for comparison across runs.
+type outcome struct {
+	err     string
+	bodyLen int
+}
+
+func runSequence(t *testing.T, cfg Config, url string, n int) []outcome {
+	t.Helper()
+	tr := New(cfg, nil)
+	out := make([]outcome, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := do(t, tr, url)
+		o := outcome{}
+		if err != nil {
+			o.err = err.Error()
+		} else {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			o.bodyLen = len(body)
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// TestDeterministicBySeed pins the core contract: the same seed over the
+// same request sequence produces the identical fault pattern, and a
+// different seed produces a different one.
+func TestDeterministicBySeed(t *testing.T) {
+	srv, _ := newBackend(t)
+	cfg := Config{Seed: 42, Drop: 0.3, Delay: 0.4, MaxDelay: time.Millisecond, Duplicate: 0.2, Truncate: 0.2}
+	a := runSequence(t, cfg, srv.URL, 60)
+	b := runSequence(t, cfg, srv.URL, 60)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c := runSequence(t, cfg, srv.URL, 60)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 60-request fault pattern")
+	}
+}
+
+// TestDropModes forces drops and checks both halves: pre-send drops
+// never reach the server, post-send drops do (the response is lost after
+// the server processed the request).
+func TestDropModes(t *testing.T) {
+	srv, hits := newBackend(t)
+	tr := New(Config{Seed: 7, Drop: 1}, nil)
+	const n = 40
+	for i := 0; i < n; i++ {
+		_, err := do(t, tr, srv.URL)
+		var de *DroppedError
+		if !errors.As(err, &de) {
+			t.Fatalf("request %d: expected DroppedError, got %v", i, err)
+		}
+		if de.Where != "pre-send" && de.Where != "post-send" {
+			t.Fatalf("unexpected drop site %q", de.Where)
+		}
+	}
+	pre, post := tr.Stats.DropsPre.Load(), tr.Stats.DropsPost.Load()
+	if pre+post != n {
+		t.Fatalf("drops = %d+%d, want %d", pre, post, n)
+	}
+	if pre == 0 || post == 0 {
+		t.Fatalf("expected both drop sites over %d requests, got pre=%d post=%d", n, pre, post)
+	}
+	if got := hits.Load(); got != post {
+		t.Fatalf("server hits = %d, want %d (post-send drops only)", got, post)
+	}
+}
+
+// TestDuplicateDelivery forces duplication: the server sees every request
+// twice while the caller sees one intact response.
+func TestDuplicateDelivery(t *testing.T) {
+	srv, hits := newBackend(t)
+	tr := New(Config{Seed: 7, Duplicate: 1}, nil)
+	for i := 0; i < 5; i++ {
+		resp, err := do(t, tr, srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != payload {
+			t.Fatalf("duplicated delivery corrupted the response: %q", body)
+		}
+	}
+	if got := hits.Load(); got != 10 {
+		t.Fatalf("server hits = %d, want 10 (each request delivered twice)", got)
+	}
+	if got := tr.Stats.Duplicates.Load(); got != 5 {
+		t.Fatalf("duplicate count = %d, want 5", got)
+	}
+}
+
+// TestTruncationIsSilent forces truncation and checks the hard property:
+// the response stays well-formed HTTP (Content-Length matches the cut
+// body) while the payload is short.
+func TestTruncationIsSilent(t *testing.T) {
+	srv, _ := newBackend(t)
+	tr := New(Config{Seed: 7, Truncate: 1}, nil)
+	for i := 0; i < 10; i++ {
+		resp, err := do(t, tr, srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("truncated response not silently readable: %v", err)
+		}
+		if len(body) >= len(payload) {
+			t.Fatalf("request %d: body not truncated (%d bytes)", i, len(body))
+		}
+		if resp.ContentLength != int64(len(body)) {
+			t.Fatalf("Content-Length %d does not match truncated body %d", resp.ContentLength, len(body))
+		}
+	}
+	if got := tr.Stats.Truncations.Load(); got != 10 {
+		t.Fatalf("truncation count = %d, want 10", got)
+	}
+}
+
+// TestDelayInjectsLatency forces delays and checks they are bounded by
+// MaxDelay and counted.
+func TestDelayInjectsLatency(t *testing.T) {
+	srv, _ := newBackend(t)
+	tr := New(Config{Seed: 7, Delay: 1, MaxDelay: 20 * time.Millisecond}, nil)
+	t0 := time.Now()
+	for i := 0; i < 5; i++ {
+		resp, err := do(t, tr, srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if elapsed := time.Since(t0); elapsed > 5*20*time.Millisecond+time.Second {
+		t.Fatalf("delays exceeded MaxDelay budget: %v", elapsed)
+	}
+	if got := tr.Stats.Delays.Load(); got != 5 {
+		t.Fatalf("delay count = %d, want 5", got)
+	}
+}

@@ -1,0 +1,380 @@
+package negotiation
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xtnl"
+)
+
+// Endpoint suspend/resume.
+//
+// Trust-X resumes interrupted negotiations: a suspended negotiation is
+// captured as the last acknowledged tree state plus the exchange
+// position, so a rejoining party continues where it stopped instead of
+// restarting both phases. SnapshotDOM serializes everything Handle needs
+// — the mirror tree, the chosen candidates (by credential ID; the
+// credentials themselves stay in the party's profile), the disclosure
+// positions and nonces, and the partial outcome — and RestoreEndpoint
+// rebuilds a live endpoint from it. Both sides use it: clients embed the
+// snapshot in a ResumeTicket, servers persist it across restarts.
+
+// ErrSnapshotDone reports an attempt to snapshot a finished endpoint.
+var ErrSnapshotDone = fmt.Errorf("negotiation: endpoint already done, nothing to resume")
+
+// SnapshotDOM serializes the endpoint's in-flight negotiation state.
+func (e *Endpoint) SnapshotDOM() (*xmldom.Node, error) {
+	if e.phase == phaseDone {
+		return nil, ErrSnapshotDone
+	}
+	if e.tree == nil {
+		return nil, fmt.Errorf("negotiation: nothing to snapshot before the first message")
+	}
+	root := xmldom.NewElement("negotiationState").
+		SetAttr("role", e.role.String()).
+		SetAttr("resource", e.resource).
+		SetAttr("peer", e.peer).
+		SetAttr("phase", phaseName(e.phase)).
+		SetAttr("rounds", strconv.Itoa(e.rounds)).
+		SetAttr("seqPos", strconv.Itoa(e.seqPos))
+	if e.peerProof {
+		root.SetAttr("peerProof", "true")
+	}
+	if len(e.lastNonceRecv) > 0 {
+		root.SetAttr("nonceRecv", base64.StdEncoding.EncodeToString(e.lastNonceRecv))
+	}
+	if len(e.lastNonceSent) > 0 {
+		root.SetAttr("nonceSent", base64.StdEncoding.EncodeToString(e.lastNonceSent))
+	}
+	root.AppendChild(treeDOM(e.tree))
+	if len(e.disclosed) > 0 {
+		ids := make([]string, 0, len(e.disclosed))
+		for id, ok := range e.disclosed {
+			if ok {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		d := xmldom.NewElement("disclosed")
+		d.AppendChild(xmldom.NewText(strings.Join(ids, " ")))
+		root.AppendChild(d)
+	}
+	for _, id := range sortedKeys(e.chosen) {
+		root.AppendChild(xmldom.NewElement("chosen").
+			SetAttr("node", id).
+			SetAttr("credential", e.chosen[id].cred.ID))
+	}
+	for _, id := range sortedKeys(e.chosenAlts) {
+		ca := xmldom.NewElement("chosenAlts").SetAttr("node", id)
+		for _, c := range e.chosenAlts[id] {
+			cand := xmldom.NewElement("cand")
+			if c.cred != nil {
+				cand.SetAttr("credential", c.cred.ID)
+			}
+			ca.AppendChild(cand)
+		}
+		root.AppendChild(ca)
+	}
+	if e.outcome != nil && (len(e.outcome.Received) > 0 || len(e.outcome.Sent) > 0) {
+		out := xmldom.NewElement("partialOutcome")
+		for _, d := range e.outcome.Received {
+			out.AppendChild(disclosedDOM("received", d))
+		}
+		for _, d := range e.outcome.Sent {
+			out.AppendChild(disclosedDOM("sent", d))
+		}
+		root.AppendChild(out)
+	}
+	return root, nil
+}
+
+// RestoreEndpoint rebuilds a live endpoint for p from a snapshot.
+// Credentials are re-resolved from p's current profile by ID: restoring
+// fails only when a credential still owed to the peer is no longer held.
+func RestoreEndpoint(p *Party, root *xmldom.Node) (*Endpoint, error) {
+	if root == nil || root.Name != "negotiationState" {
+		return nil, fmt.Errorf("negotiation: expected <negotiationState>, got %v", nodeName(root))
+	}
+	e := &Endpoint{
+		party:      p,
+		resource:   root.AttrOr("resource", ""),
+		peer:       root.AttrOr("peer", ""),
+		chosen:     make(map[string]candidate),
+		chosenAlts: make(map[string][]candidate),
+		disclosed:  make(map[string]bool),
+	}
+	if root.AttrOr("role", "") == Controller.String() {
+		e.role = Controller
+	}
+	var err error
+	if e.phase, err = parsePhase(root.AttrOr("phase", "")); err != nil {
+		return nil, err
+	}
+	e.rounds, _ = strconv.Atoi(root.AttrOr("rounds", "0"))
+	e.seqPos, _ = strconv.Atoi(root.AttrOr("seqPos", "0"))
+	e.peerProof = root.AttrOr("peerProof", "") == "true"
+	if v := root.AttrOr("nonceRecv", ""); v != "" {
+		if e.lastNonceRecv, err = base64.StdEncoding.DecodeString(v); err != nil {
+			return nil, fmt.Errorf("negotiation: bad nonceRecv: %w", err)
+		}
+	}
+	if v := root.AttrOr("nonceSent", ""); v != "" {
+		if e.lastNonceSent, err = base64.StdEncoding.DecodeString(v); err != nil {
+			return nil, fmt.Errorf("negotiation: bad nonceSent: %w", err)
+		}
+	}
+	if e.tree, err = treeFromDOM(root.Child("tree")); err != nil {
+		return nil, err
+	}
+	if d := root.Child("disclosed"); d != nil {
+		for _, id := range strings.Fields(d.Text()) {
+			e.disclosed[id] = true
+		}
+	}
+	// The trust sequence is a pure function of the completed tree, so it
+	// is recomputed, not stored (phase 2 implies a complete tree).
+	if e.phase == phaseExchange {
+		e.seq = e.tree.Sequence()
+		if e.seq == nil {
+			return nil, fmt.Errorf("negotiation: restored exchange-phase tree is not satisfiable")
+		}
+		if e.seqPos > len(e.seq) {
+			return nil, fmt.Errorf("negotiation: restored seqPos %d beyond sequence length %d", e.seqPos, len(e.seq))
+		}
+	}
+	for _, ch := range root.Childs("chosen") {
+		nodeID, credID := ch.AttrOr("node", ""), ch.AttrOr("credential", "")
+		c, ok, err := e.findCandidate(nodeID, credID)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			e.chosen[nodeID] = c
+		}
+	}
+	for _, ca := range root.Childs("chosenAlts") {
+		nodeID := ca.AttrOr("node", "")
+		var alts []candidate
+		for _, cn := range ca.Childs("cand") {
+			c, ok, err := e.findCandidate(nodeID, cn.AttrOr("credential", ""))
+			if err != nil {
+				return nil, err
+			}
+			_ = ok // a missing optional candidate stays a zero placeholder
+			alts = append(alts, c)
+		}
+		e.chosenAlts[nodeID] = alts
+	}
+	if err := e.checkOwedCandidates(); err != nil {
+		return nil, err
+	}
+	if po := root.Child("partialOutcome"); po != nil {
+		out := e.ensureOutcome()
+		for _, el := range po.Elements() {
+			d, err := disclosedFromDOM(el)
+			if err != nil {
+				return nil, err
+			}
+			switch el.Name {
+			case "received":
+				out.Received = append(out.Received, d)
+			case "sent":
+				out.Sent = append(out.Sent, d)
+			}
+		}
+	}
+	return e, nil
+}
+
+// findCandidate re-resolves a chosen credential from the party's current
+// profile by node term and credential ID.
+func (e *Endpoint) findCandidate(nodeID, credID string) (candidate, bool, error) {
+	n := e.tree.Node(nodeID)
+	if n == nil {
+		return candidate{}, false, fmt.Errorf("negotiation: snapshot references unknown node %s", nodeID)
+	}
+	cands, err := e.party.resolveTerm(n.Term)
+	if err != nil {
+		return candidate{}, false, nil // no candidates at all; checkOwedCandidates decides
+	}
+	for _, c := range cands {
+		if c.cred.ID == credID {
+			return c, true, nil
+		}
+	}
+	return candidate{}, false, nil
+}
+
+// checkOwedCandidates verifies that every sequence entry this endpoint
+// still owes the peer has a disclosable candidate; entries already
+// disclosed (or belonging to the peer) need nothing.
+func (e *Endpoint) checkOwedCandidates() error {
+	for i := e.seqPos; i < len(e.seq); i++ {
+		s := e.seq[i]
+		if s.Owner != e.party.Name || e.disclosed[s.NodeID] {
+			continue
+		}
+		if _, ok := e.chosen[s.NodeID]; ok {
+			continue
+		}
+		if ai := e.tree.ChosenAlt(s.NodeID); ai >= 0 {
+			if alts := e.chosenAlts[s.NodeID]; ai < len(alts) && alts[ai].cred != nil {
+				continue
+			}
+		}
+		return fmt.Errorf("negotiation: cannot resume — credential for node %s no longer held", s.NodeID)
+	}
+	return nil
+}
+
+// ---- tree (de)serialization ----
+
+func treeDOM(t *Tree) *xmldom.Node {
+	root := xmldom.NewElement("tree")
+	ids := make([]string, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := t.nodes[id]
+		nd := xmldom.NewElement("node").
+			SetAttr("id", n.ID).
+			SetAttr("credType", n.Term.CredType).
+			SetAttr("owner", n.Owner).
+			SetAttr("state", n.State.String())
+		if n.Parent != "" {
+			nd.SetAttr("parent", n.Parent)
+		}
+		for _, c := range n.Term.Conditions {
+			cond := xmldom.NewElement("cond")
+			cond.AppendChild(xmldom.NewText(c))
+			nd.AppendChild(cond)
+		}
+		for _, alt := range n.Alts {
+			a := xmldom.NewElement("alt")
+			a.AppendChild(xmldom.NewText(strings.Join(alt, " ")))
+			nd.AppendChild(a)
+		}
+		root.AppendChild(nd)
+	}
+	return root
+}
+
+func treeFromDOM(root *xmldom.Node) (*Tree, error) {
+	if root == nil {
+		return nil, fmt.Errorf("negotiation: snapshot without <tree>")
+	}
+	t := &Tree{nodes: make(map[string]*Node)}
+	for _, nd := range root.Childs("node") {
+		id := nd.AttrOr("id", "")
+		if id == "" {
+			return nil, fmt.Errorf("negotiation: tree node without id")
+		}
+		state, err := parseNodeState(nd.AttrOr("state", ""))
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{
+			ID:     id,
+			Term:   xtnl.Term{CredType: nd.AttrOr("credType", "")},
+			Owner:  nd.AttrOr("owner", ""),
+			State:  state,
+			Parent: nd.AttrOr("parent", ""),
+		}
+		for _, c := range nd.Childs("cond") {
+			n.Term.Conditions = append(n.Term.Conditions, c.Text())
+		}
+		for _, a := range nd.Childs("alt") {
+			n.Alts = append(n.Alts, strings.Fields(a.Text()))
+		}
+		t.nodes[id] = n
+	}
+	if t.nodes[RootID] == nil {
+		return nil, fmt.Errorf("negotiation: snapshot tree without root node")
+	}
+	for _, n := range t.nodes {
+		if n.Parent != "" && t.nodes[n.Parent] == nil {
+			return nil, fmt.Errorf("negotiation: node %s references unknown parent %s", n.ID, n.Parent)
+		}
+		for _, alt := range n.Alts {
+			for _, cid := range alt {
+				if t.nodes[cid] == nil {
+					return nil, fmt.Errorf("negotiation: node %s references unknown child %s", n.ID, cid)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// ---- small helpers ----
+
+func phaseName(p phase) string {
+	if p == phaseExchange {
+		return "exchange"
+	}
+	return "eval"
+}
+
+func parsePhase(s string) (phase, error) {
+	switch s {
+	case "eval":
+		return phaseEval, nil
+	case "exchange":
+		return phaseExchange, nil
+	default:
+		return 0, fmt.Errorf("negotiation: snapshot phase %q not resumable", s)
+	}
+}
+
+func parseNodeState(s string) (NodeState, error) {
+	for _, st := range []NodeState{StateOpen, StateComply, StateExpanded, StateDenied} {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("negotiation: unknown node state %q", s)
+}
+
+func disclosedDOM(name string, d Disclosed) *xmldom.Node {
+	n := xmldom.NewElement(name).
+		SetAttr("by", d.By).
+		SetAttr("node", d.NodeID)
+	if d.Credential != nil {
+		n.AppendChild(d.Credential.DOM())
+	}
+	return n
+}
+
+func disclosedFromDOM(n *xmldom.Node) (Disclosed, error) {
+	d := Disclosed{By: n.AttrOr("by", ""), NodeID: n.AttrOr("node", "")}
+	if c := n.Child("credential"); c != nil {
+		cred, err := xtnl.CredentialFromDOM(c)
+		if err != nil {
+			return Disclosed{}, fmt.Errorf("negotiation: snapshot credential: %w", err)
+		}
+		d.Credential = cred
+	}
+	return d, nil
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func nodeName(n *xmldom.Node) string {
+	if n == nil {
+		return "nil"
+	}
+	return "<" + n.Name + ">"
+}

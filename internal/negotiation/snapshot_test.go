@@ -1,0 +1,177 @@
+package negotiation
+
+import (
+	"errors"
+	"testing"
+
+	"trustvo/internal/xmldom"
+	"trustvo/internal/xtnl"
+)
+
+// reserialize round-trips an endpoint through the XML text of its
+// snapshot — exactly what a resume ticket or the server-side suspend
+// store does — and returns the restored endpoint. Endpoints that cannot
+// be snapshotted yet (no tree before the first policy message) are
+// returned unchanged.
+func reserialize(t *testing.T, ep *Endpoint) *Endpoint {
+	t.Helper()
+	dom, err := ep.SnapshotDOM()
+	if err != nil {
+		if ep.tree == nil {
+			return ep
+		}
+		t.Fatal(err)
+	}
+	doc, err := xmldom.ParseString(dom.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEndpoint(ep.party, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return restored
+}
+
+// countMessages runs the §5.1 negotiation to completion and returns how
+// many messages were delivered.
+func countMessages(t *testing.T) int {
+	t.Helper()
+	f := newFixture(t)
+	rq := NewRequester(f.aerospace, "VoMembership")
+	ct := NewController(f.aircraft)
+	msg, err := rq.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	to := ct
+	other := rq
+	for msg != nil {
+		total++
+		if msg, err = to.Handle(msg); err != nil {
+			t.Fatal(err)
+		}
+		to, other = other, to
+	}
+	if !rq.Outcome().Succeeded {
+		t.Fatalf("baseline negotiation failed: %s", rq.Outcome().Reason)
+	}
+	return total
+}
+
+// TestSnapshotRoundTripMidNegotiation interrupts the negotiation at
+// every message boundary — covering both the policy-evaluation and the
+// credential-exchange phase — round-trips both live endpoints through
+// their XML snapshots, and completes the run on the restored endpoints.
+func TestSnapshotRoundTripMidNegotiation(t *testing.T) {
+	total := countMessages(t)
+	if total < 4 {
+		t.Fatalf("scenario too short to interrupt meaningfully: %d messages", total)
+	}
+	for cut := 1; cut < total; cut++ {
+		f := newFixture(t)
+		eps := [2]*Endpoint{NewRequester(f.aerospace, "VoMembership"), NewController(f.aircraft)}
+		msg, err := eps[0].Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sender := 0
+		for n := 0; msg != nil; n++ {
+			if n == cut {
+				for i := range eps {
+					if !eps[i].Done() {
+						eps[i] = reserialize(t, eps[i])
+					}
+				}
+			}
+			recv := 1 - sender
+			if msg, err = eps[recv].Handle(msg); err != nil {
+				t.Fatalf("cut=%d: %v", cut, err)
+			}
+			sender = recv
+		}
+		for i, role := range []string{"requester", "controller"} {
+			if !eps[i].Done() {
+				t.Fatalf("cut=%d: %s not done after restore", cut, role)
+			}
+			if out := eps[i].Outcome(); !out.Succeeded {
+				t.Fatalf("cut=%d: %s failed after restore: %s", cut, role, out.Reason)
+			}
+		}
+		// the restored requester still collected the disclosures
+		if out := eps[0].Outcome(); len(out.Sent) == 0 {
+			t.Fatalf("cut=%d: restored requester lost its disclosure record", cut)
+		}
+	}
+}
+
+// TestSnapshotRejectsFinishedEndpoint pins the ErrSnapshotDone contract:
+// a completed negotiation has nothing to resume.
+func TestSnapshotRejectsFinishedEndpoint(t *testing.T) {
+	f := newFixture(t)
+	rq := NewRequester(f.aerospace, "VoMembership")
+	ct := NewController(f.aircraft)
+	msg, err := rq.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Drive(rq, ct, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rq.SnapshotDOM(); !errors.Is(err, ErrSnapshotDone) {
+		t.Fatalf("snapshot of finished endpoint: %v", err)
+	}
+}
+
+// TestRestoreRejectsMissingCredential verifies the failure mode the
+// suspend store must tolerate: a snapshot referencing a credential the
+// restoring party no longer holds is refused rather than silently
+// continued.
+func TestRestoreRejectsMissingCredential(t *testing.T) {
+	total := countMessages(t)
+	f := newFixture(t)
+	prof := xtnl.NewProfile(f.aerospace.Name)
+	for _, c := range f.aerospace.Profile.All() {
+		if c.ID != f.wdqCred.ID {
+			prof.Add(c)
+		}
+	}
+	bare := &Party{
+		Name:     f.aerospace.Name,
+		Profile:  prof,
+		Policies: f.aerospace.Policies,
+		Trust:    f.aerospace.Trust,
+	}
+	// Interrupt at every boundary; once the requester has committed to
+	// disclosing its quality credential, restoring without it must fail.
+	rejected := false
+	for cut := 1; cut < total; cut++ {
+		eps := [2]*Endpoint{NewRequester(f.aerospace, "VoMembership"), NewController(f.aircraft)}
+		msg, err := eps[0].Start()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sender := 0
+		for n := 0; n < cut && msg != nil; n++ {
+			recv := 1 - sender
+			if msg, err = eps[recv].Handle(msg); err != nil {
+				t.Fatal(err)
+			}
+			sender = recv
+		}
+		if eps[0].Done() || eps[0].tree == nil {
+			continue
+		}
+		dom, err := eps[0].SnapshotDOM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RestoreEndpoint(bare, dom); err != nil {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatal("no interruption point rejected the restore despite the missing credential")
+	}
+}

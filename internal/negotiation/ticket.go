@@ -5,6 +5,7 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -172,4 +173,155 @@ func (c *TicketCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.tickets)
+}
+
+// Resume tickets.
+//
+// Where a trust ticket skips a negotiation that already succeeded, a
+// resume ticket continues one that was interrupted: when the transport
+// fails or a deadline expires mid-negotiation, the local endpoint state
+// is captured (SnapshotDOM) together with the unacknowledged message and
+// its envelope sequence number. Re-presenting the ticket restores the
+// endpoint and re-sends that message under the same sequence number, so
+// the counterpart's reply cache makes the hand-off exactly-once whether
+// or not the original delivery got through. The ticket is signed by its
+// holder's own key — it never crosses the wire; the signature protects a
+// ticket persisted to disk from tampering.
+
+// ResumeTicket captures an interrupted negotiation for later resumption.
+type ResumeTicket struct {
+	// NegID is the negotiation id assigned by the remote service.
+	NegID string
+	// Resource is the negotiated resource.
+	Resource string
+	// Peer is the counterpart's name ("" when the interruption happened
+	// before the first reply).
+	Peer string
+	// Seq is the envelope sequence number of LastSent; resumption re-sends
+	// under the same number so a duplicate is detected remotely.
+	Seq int64
+	// Expires bounds how long the resumption is honored locally.
+	Expires time.Time
+	// LastSent is the message whose delivery was never acknowledged.
+	LastSent *Message
+	// State is the endpoint snapshot (SnapshotDOM output).
+	State *xmldom.Node
+	// Signature is the holder's Ed25519 signature (empty when unkeyed).
+	Signature []byte
+}
+
+func (t *ResumeTicket) signedBytes() []byte {
+	state, lastSent := "", ""
+	if t.State != nil {
+		state = t.State.XML()
+	}
+	if t.LastSent != nil {
+		lastSent = t.LastSent.XML()
+	}
+	return []byte("trustvo-resume|" + t.NegID + "|" + t.Resource + "|" + t.Peer + "|" +
+		fmt.Sprintf("%d", t.Seq) + "|" + t.Expires.UTC().Format(time.RFC3339) + "|" +
+		state + "|" + lastSent)
+}
+
+// NewResumeTicket snapshots an in-flight endpoint into a resume ticket.
+// lastSent/seq identify the message whose delivery is in doubt. The
+// ticket is signed when the party holds keys.
+func NewResumeTicket(ep *Endpoint, negID string, seq int64, lastSent *Message, ttl time.Duration) (*ResumeTicket, error) {
+	state, err := ep.SnapshotDOM()
+	if err != nil {
+		return nil, err
+	}
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	t := &ResumeTicket{
+		NegID:    negID,
+		Resource: ep.resource,
+		Peer:     ep.peer,
+		Seq:      seq,
+		Expires:  ep.party.now().Add(ttl).UTC().Truncate(time.Second),
+		LastSent: lastSent,
+		State:    state,
+	}
+	if ep.party.Keys != nil {
+		t.Signature = ep.party.Keys.Sign(t.signedBytes())
+	}
+	return t, nil
+}
+
+// ErrBadResumeTicket reports an invalid or expired resume ticket.
+var ErrBadResumeTicket = errors.New("negotiation: invalid resume ticket")
+
+// Verify checks expiry, and — when the holder has keys and the ticket a
+// signature — integrity under the holder's public key.
+func (t *ResumeTicket) Verify(pub ed25519.PublicKey, now time.Time) error {
+	if t.NegID == "" || t.State == nil || t.LastSent == nil {
+		return fmt.Errorf("%w: incomplete", ErrBadResumeTicket)
+	}
+	if now.After(t.Expires) {
+		return fmt.Errorf("%w: expired %s", ErrBadResumeTicket, t.Expires.Format(time.RFC3339))
+	}
+	if pub != nil && len(t.Signature) > 0 &&
+		!ed25519.Verify(pub, t.signedBytes(), t.Signature) {
+		return fmt.Errorf("%w: signature", ErrBadResumeTicket)
+	}
+	return nil
+}
+
+// DOM serializes the resume ticket (for persistence, not the wire).
+func (t *ResumeTicket) DOM() *xmldom.Node {
+	n := xmldom.NewElement("resumeTicket").
+		SetAttr("negotiation", t.NegID).
+		SetAttr("resource", t.Resource).
+		SetAttr("peer", t.Peer).
+		SetAttr("seq", fmt.Sprintf("%d", t.Seq)).
+		SetAttr("expires", t.Expires.UTC().Format(time.RFC3339))
+	if t.LastSent != nil {
+		n.AppendChild(t.LastSent.DOM())
+	}
+	if t.State != nil {
+		n.AppendChild(t.State.Clone())
+	}
+	if len(t.Signature) > 0 {
+		sig := xmldom.NewElement("signature")
+		sig.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(t.Signature)))
+		n.AppendChild(sig)
+	}
+	return n
+}
+
+// ResumeTicketFromDOM parses a persisted resume ticket.
+func ResumeTicketFromDOM(n *xmldom.Node) (*ResumeTicket, error) {
+	if n == nil || n.Name != "resumeTicket" {
+		return nil, fmt.Errorf("%w: expected <resumeTicket>", ErrBadResumeTicket)
+	}
+	exp, err := time.Parse(time.RFC3339, n.AttrOr("expires", ""))
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad expiry: %v", ErrBadResumeTicket, err)
+	}
+	seq, err := strconv.ParseInt(n.AttrOr("seq", "0"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad seq: %v", ErrBadResumeTicket, err)
+	}
+	t := &ResumeTicket{
+		NegID:    n.AttrOr("negotiation", ""),
+		Resource: n.AttrOr("resource", ""),
+		Peer:     n.AttrOr("peer", ""),
+		Seq:      seq,
+		Expires:  exp,
+	}
+	if tm := n.Child("tnMessage"); tm != nil {
+		if t.LastSent, err = MessageFromDOM(tm); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadResumeTicket, err)
+		}
+	}
+	if st := n.Child("negotiationState"); st != nil {
+		t.State = st.Clone()
+	}
+	if sig := n.Child("signature"); sig != nil {
+		if t.Signature, err = base64.StdEncoding.DecodeString(sig.Text()); err != nil {
+			return nil, fmt.Errorf("%w: bad signature encoding: %v", ErrBadResumeTicket, err)
+		}
+	}
+	return t, nil
 }

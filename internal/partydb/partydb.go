@@ -16,6 +16,7 @@ package partydb
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"trustvo/internal/negotiation"
 	"trustvo/internal/ontology"
@@ -28,6 +29,10 @@ const (
 	KindCredential = "credential"
 	KindPolicy     = "policy"
 	KindOntology   = "ontology"
+	// KindResumeTicket holds suspended-negotiation resume tickets
+	// (negotiation.ResumeTicket), keyed <owner>/<negID>, so an
+	// interrupted party survives a process restart and still resumes.
+	KindResumeTicket = "resume"
 )
 
 func credKey(owner, id string) string { return owner + "/" + id }
@@ -156,6 +161,48 @@ func LoadParty(db *store.Store, template *negotiation.Party) (*negotiation.Party
 		p.Mapper = &ontology.Mapper{Ontology: o, Profile: p.Profile}
 	}
 	return &p, nil
+}
+
+// SaveResumeTicket persists a suspended negotiation's resume ticket.
+func SaveResumeTicket(db *store.Store, owner string, t *negotiation.ResumeTicket) error {
+	if t.NegID == "" {
+		return fmt.Errorf("partydb: resume ticket without negotiation id")
+	}
+	if err := db.Put(KindResumeTicket, credKey(owner, t.NegID), t.DOM()); err != nil {
+		return err
+	}
+	return db.Sync()
+}
+
+// LoadResumeTickets reads the owner's stored resume tickets, dropping
+// expired ones from the store as a side effect.
+func LoadResumeTickets(db *store.Store, owner string, now time.Time) ([]*negotiation.ResumeTicket, error) {
+	prefix := owner + "/"
+	var out []*negotiation.ResumeTicket
+	for _, rec := range db.List(KindResumeTicket) {
+		if len(rec.Key) <= len(prefix) || rec.Key[:len(prefix)] != prefix {
+			continue
+		}
+		doc, err := rec.Doc()
+		if err != nil {
+			return nil, err
+		}
+		t, err := negotiation.ResumeTicketFromDOM(doc)
+		if err != nil {
+			return nil, fmt.Errorf("partydb: resume ticket %s: %w", rec.Key, err)
+		}
+		if now.After(t.Expires) {
+			db.Delete(KindResumeTicket, rec.Key)
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// DeleteResumeTicket removes a consumed (or abandoned) resume ticket.
+func DeleteResumeTicket(db *store.Store, owner, negID string) error {
+	return db.Delete(KindResumeTicket, credKey(owner, negID))
 }
 
 // PoliciesProtecting returns the stored policies of owner whose resource

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"trustvo/internal/negotiation"
@@ -72,29 +73,50 @@ func readBodyDOM(r *http.Request) (*xmldom.Node, error) {
 //
 //	<envelope negotiation="id"><tnMessage .../></envelope>
 func envelope(negID string, m *negotiation.Message) *xmldom.Node {
+	return envelopeSeq(negID, 0, m)
+}
+
+// envelopeSeq additionally stamps a client sequence number, giving
+// exchange requests at-most-once semantics: the service caches the reply
+// per sequence number, so a retried or duplicated envelope replays the
+// cached reply instead of being applied twice.
+//
+//	<envelope negotiation="id" seq="7"><tnMessage .../></envelope>
+func envelopeSeq(negID string, seq int64, m *negotiation.Message) *xmldom.Node {
 	env := xmldom.NewElement("envelope").SetAttr("negotiation", negID)
+	if seq > 0 {
+		env.SetAttr("seq", strconv.FormatInt(seq, 10))
+	}
 	env.AppendChild(m.DOM())
 	return env
 }
 
 // openEnvelope decodes an envelope into (id, message).
 func openEnvelope(root *xmldom.Node) (string, *negotiation.Message, error) {
+	id, _, m, err := openEnvelopeSeq(root)
+	return id, m, err
+}
+
+// openEnvelopeSeq decodes an envelope into (id, seq, message); seq is 0
+// for envelopes from pre-sequence clients.
+func openEnvelopeSeq(root *xmldom.Node) (string, int64, *negotiation.Message, error) {
 	if root.Name != "envelope" {
-		return "", nil, fmt.Errorf("wsrpc: expected <envelope>, got <%s>", root.Name)
+		return "", 0, nil, fmt.Errorf("wsrpc: expected <envelope>, got <%s>", root.Name)
 	}
 	id := root.AttrOr("negotiation", "")
 	if id == "" {
-		return "", nil, fmt.Errorf("wsrpc: envelope without negotiation id")
+		return "", 0, nil, fmt.Errorf("wsrpc: envelope without negotiation id")
 	}
+	seq, _ := strconv.ParseInt(root.AttrOr("seq", "0"), 10, 64)
 	tm := root.Child("tnMessage")
 	if tm == nil {
-		return "", nil, fmt.Errorf("wsrpc: envelope without tnMessage")
+		return "", 0, nil, fmt.Errorf("wsrpc: envelope without tnMessage")
 	}
 	m, err := negotiation.MessageFromDOM(tm)
 	if err != nil {
-		return "", nil, err
+		return "", 0, nil, err
 	}
-	return id, m, nil
+	return id, seq, m, nil
 }
 
 // decodeResponse interprets an HTTP response body as either a fault or

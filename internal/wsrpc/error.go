@@ -1,0 +1,95 @@
+package wsrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Error is the typed transport error of the hardened client path. It
+// classifies every failed call so the retry layer can decide mechanically:
+// Temporary errors on idempotent routes are retried with backoff, anything
+// else surfaces immediately. A served <fault> payload stays reachable
+// through errors.As(err, **Fault) via the Unwrap chain.
+type Error struct {
+	// Op is "METHOD route", e.g. "POST /tn/start".
+	Op string
+	// Status is the HTTP status code (0 when the request never completed:
+	// connection failure, timeout, dropped response).
+	Status int
+	// Code is the wsrpc fault code when the server answered with a
+	// parseable <fault> ("" otherwise).
+	Code string
+	// Temporary marks transient failures — connection errors, per-request
+	// timeouts, 429/502/503/504, truncated or malformed response bodies —
+	// that a retry on an idempotent route may cure.
+	Temporary bool
+	// RetryAfter is the server-suggested backoff (from a 503 Retry-After
+	// header), 0 when absent.
+	RetryAfter time.Duration
+	// Err is the underlying cause (*Fault, a net error, a parse error).
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Temporary {
+		kind = "temporary"
+	}
+	if e.Status != 0 {
+		return fmt.Sprintf("wsrpc: %s: status %d (%s): %v", e.Op, e.Status, kind, e.Err)
+	}
+	return fmt.Sprintf("wsrpc: %s: %s transport failure: %v", e.Op, kind, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsTemporary reports whether err is a transient wsrpc transport error
+// (retry may cure it).
+func IsTemporary(err error) bool {
+	var te *Error
+	return errors.As(err, &te) && te.Temporary
+}
+
+// transientStatus reports whether an HTTP status signals a transient
+// server condition worth retrying.
+func transientStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, // 429
+		http.StatusBadGateway,         // 502
+		http.StatusServiceUnavailable, // 503
+		http.StatusGatewayTimeout:     // 504
+		return true
+	}
+	return false
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header (the HTTP-date
+// form is not used by this service).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// suspendable reports whether a mid-negotiation error warrants writing a
+// resume ticket: the transport failed (we cannot know how far the message
+// got) or the negotiation deadline expired. Protocol faults — the server
+// answered — are not suspendable; the protocol already resolved them.
+func suspendable(err error) bool {
+	if IsTemporary(err) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}

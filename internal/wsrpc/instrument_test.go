@@ -21,7 +21,7 @@ func TestMetricsEndpointAfterNegotiation(t *testing.T) {
 		debug = append(debug, fmt.Sprintf(format, args...))
 	}
 
-	if _, out, err := f.member.Join("DesignWebPortal"); err != nil || !out.Succeeded {
+	if _, out, err := f.member.Join(bg, "DesignWebPortal"); err != nil || !out.Succeeded {
 		t.Fatalf("join: %v %+v", err, out)
 	}
 
@@ -99,16 +99,16 @@ func TestCapacityEvictsIdleLiveSessions(t *testing.T) {
 		logged = append(logged, fmt.Sprintf(format, args...))
 	}
 	tn := &TNClient{BaseURL: f.srv.URL, Party: f.member.Party}
-	first, err := tn.Start("R")
+	first, err := tn.Start(bg, "R")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tn.Start("R"); err != nil {
+	if _, err := tn.Start(bg, "R"); err != nil {
 		t.Fatal(err)
 	}
 	// past half the session age, but well before expiry
 	time.Sleep(120 * time.Millisecond)
-	if _, err := tn.Start("R"); err != nil {
+	if _, err := tn.Start(bg, "R"); err != nil {
 		t.Fatalf("idle live session not evicted: %v", err)
 	}
 	if got := f.tk.TN.Metrics.Counter("tn_sessions_swept_total", "reason", "evicted").Value(); got != 1 {
@@ -117,7 +117,7 @@ func TestCapacityEvictsIdleLiveSessions(t *testing.T) {
 	if len(logged) != 1 || !strings.Contains(logged[0], "evicted live negotiation "+first) {
 		t.Fatalf("eviction log = %q", logged)
 	}
-	if _, _, _, err := tn.Status(first); err == nil {
+	if _, _, _, err := tn.Status(bg, first); err == nil {
 		t.Fatal("evicted session still served")
 	}
 }

@@ -1,16 +1,19 @@
 package wsrpc
 
 import (
+	"context"
 	"encoding/base64"
 	"fmt"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"trustvo/internal/core"
 	"trustvo/internal/negotiation"
 	"trustvo/internal/vo/registry"
+	"trustvo/internal/xmldom"
 )
 
 // timeNow is the package clock (overridable in tests).
@@ -21,55 +24,78 @@ func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
 // MemberClient is the member-edition client of the toolkit service: it
 // publishes the member's description, polls its mailbox, and joins VOs —
 // directly (baseline) or through the integrated trust negotiation.
+//
+// Calls go through the hardened Transport (deadlines, retries on
+// idempotent routes, circuit breaker); Join inherits the negotiation
+// suspend/resume machinery of TNClient.
 type MemberClient struct {
 	BaseURL string
 	Party   *negotiation.Party
-	HTTP    *http.Client
+	// HTTP overrides the transport's HTTP client (shorthand; ignored when
+	// Transport is set).
+	HTTP *http.Client
+	// Transport is the hardened call path; nil uses an owned default.
+	Transport *Transport
+	// NegotiationTimeout bounds a whole Join negotiation (0 = none).
+	NegotiationTimeout time.Duration
+	// ResumeTTL is the validity of Join suspend tickets (default 5m).
+	ResumeTTL time.Duration
+
+	ownedMu sync.Mutex
+	owned   *Transport
 }
 
-func (c *MemberClient) client() *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
+func (c *MemberClient) transport() *Transport {
+	if c.Transport != nil {
+		return c.Transport
 	}
-	return defaultHTTP
+	c.ownedMu.Lock()
+	defer c.ownedMu.Unlock()
+	if c.owned == nil {
+		c.owned = &Transport{HTTP: c.HTTP}
+	}
+	return c.owned
 }
 
-func (c *MemberClient) url(path string, q url.Values) string {
-	u := strings.TrimRight(c.BaseURL, "/") + path
+// tnClient builds the negotiation client sharing this client's transport
+// (so breaker state and metrics are common).
+func (c *MemberClient) tnClient() *TNClient {
+	return &TNClient{
+		BaseURL:            c.BaseURL,
+		Party:              c.Party,
+		Transport:          c.transport(),
+		NegotiationTimeout: c.NegotiationTimeout,
+		ResumeTTL:          c.ResumeTTL,
+	}
+}
+
+// call performs one toolkit request and asserts the response root.
+func (c *MemberClient) call(ctx context.Context, method, path string, q url.Values, body, wantRoot string, idempotent bool) (*xmldom.Node, error) {
+	query := ""
 	if len(q) > 0 {
-		u += "?" + q.Encode()
+		query = "?" + q.Encode()
 	}
-	return u
-}
-
-func (c *MemberClient) post(path string, q url.Values, body string) (*http.Response, error) {
-	resp, err := c.client().Post(c.url(path, q), ContentType, strings.NewReader(body))
+	root, err := c.transport().call(ctx, method, c.BaseURL, path, query, body, idempotent)
 	if err != nil {
-		return nil, fmt.Errorf("wsrpc: POST %s: %w", path, err)
+		return nil, err
 	}
-	return resp, nil
+	return expectRoot(root, wantRoot)
 }
 
 // Publish registers the member's service description with the host
-// edition (the preparation phase over the wire).
-func (c *MemberClient) Publish(d *registry.Description) error {
-	resp, err := c.post("/registry/publish", nil, d.DOM().XML())
-	if err != nil {
-		return err
-	}
-	_, err = decodeResponse(resp, "published")
+// edition (the preparation phase over the wire). Publishing is an
+// upsert, hence retried freely.
+func (c *MemberClient) Publish(ctx context.Context, d *registry.Description) error {
+	_, err := c.call(ctx, http.MethodPost, "/registry/publish", nil, d.DOM().XML(), "published", true)
 	return err
 }
 
 // Apply requests an invitation for a role. It returns the invitation
-// and the membership resource to negotiate for.
-func (c *MemberClient) Apply(role string) (*core.Invitation, string, error) {
+// and the membership resource to negotiate for. Re-applying reissues
+// the same invitation, so retries are safe.
+func (c *MemberClient) Apply(ctx context.Context, role string) (*core.Invitation, string, error) {
 	q := url.Values{"provider": {c.Party.Name}, "role": {role}}
-	resp, err := c.post("/vo/apply", q, "")
-	if err != nil {
-		return nil, "", err
-	}
-	root, err := decodeResponse(resp, "invitation")
+	root, err := c.call(ctx, http.MethodPost, "/vo/apply", q, "", "invitation", true)
 	if err != nil {
 		return nil, "", err
 	}
@@ -84,13 +110,9 @@ func (c *MemberClient) Apply(role string) (*core.Invitation, string, error) {
 }
 
 // Mailbox fetches the member's pending invitations.
-func (c *MemberClient) Mailbox() ([]*core.Invitation, error) {
+func (c *MemberClient) Mailbox(ctx context.Context) ([]*core.Invitation, error) {
 	q := url.Values{"provider": {c.Party.Name}}
-	resp, err := c.client().Get(c.url("/vo/mailbox", q))
-	if err != nil {
-		return nil, err
-	}
-	root, err := decodeResponse(resp, "mailbox")
+	root, err := c.call(ctx, http.MethodGet, "/vo/mailbox", q, "", "mailbox", true)
 	if err != nil {
 		return nil, err
 	}
@@ -108,14 +130,11 @@ func (c *MemberClient) Mailbox() ([]*core.Invitation, error) {
 }
 
 // JoinDirect performs the baseline join (no TN) and returns the X.509
-// membership token DER.
-func (c *MemberClient) JoinDirect(role string) ([]byte, error) {
+// membership token DER. Admission mutates VO state, so it is never
+// retried automatically.
+func (c *MemberClient) JoinDirect(ctx context.Context, role string) ([]byte, error) {
 	q := url.Values{"provider": {c.Party.Name}, "role": {role}}
-	resp, err := c.post("/vo/join-direct", q, "")
-	if err != nil {
-		return nil, err
-	}
-	root, err := decodeResponse(resp, "joined")
+	root, err := c.call(ctx, http.MethodPost, "/vo/join-direct", q, "", "joined", false)
 	if err != nil {
 		return nil, err
 	}
@@ -134,16 +153,28 @@ func (c *MemberClient) JoinDirect(role string) ([]byte, error) {
 // trust for the returned membership resource. On success the grant is
 // the X.509 membership token DER (the Fig. 9 "Join with trust
 // negotiation" path).
-func (c *MemberClient) Join(role string) ([]byte, *negotiation.Outcome, error) {
-	_, resource, err := c.Apply(role)
+//
+// A *SuspendedError (transport failure / deadline mid-negotiation)
+// carries a ticket that ResumeJoin completes later.
+func (c *MemberClient) Join(ctx context.Context, role string) ([]byte, *negotiation.Outcome, error) {
+	_, resource, err := c.Apply(ctx, role)
 	if err != nil {
 		return nil, nil, err
 	}
 	if resource == "" {
 		return nil, nil, fmt.Errorf("wsrpc: apply response without membership resource")
 	}
-	tn := &TNClient{BaseURL: c.BaseURL, Party: c.Party, HTTP: c.HTTP}
-	out, err := tn.Negotiate(resource)
+	out, err := c.tnClient().Negotiate(ctx, resource)
+	return grantOf(out, err)
+}
+
+// ResumeJoin continues a Join that was suspended mid-negotiation.
+func (c *MemberClient) ResumeJoin(ctx context.Context, t *negotiation.ResumeTicket) ([]byte, *negotiation.Outcome, error) {
+	out, err := c.tnClient().Resume(ctx, t)
+	return grantOf(out, err)
+}
+
+func grantOf(out *negotiation.Outcome, err error) ([]byte, *negotiation.Outcome, error) {
 	if err != nil {
 		return nil, nil, err
 	}
@@ -154,12 +185,8 @@ func (c *MemberClient) Join(role string) ([]byte, *negotiation.Outcome, error) {
 }
 
 // VOStatus fetches the VO's phase and member count.
-func (c *MemberClient) VOStatus() (phase string, members int, err error) {
-	resp, err := c.client().Get(c.url("/vo/status", nil))
-	if err != nil {
-		return "", 0, err
-	}
-	root, err := decodeResponse(resp, "voStatus")
+func (c *MemberClient) VOStatus(ctx context.Context) (phase string, members int, err error) {
+	root, err := c.call(ctx, http.MethodGet, "/vo/status", nil, "", "voStatus", true)
 	if err != nil {
 		return "", 0, err
 	}
@@ -169,12 +196,8 @@ func (c *MemberClient) VOStatus() (phase string, members int, err error) {
 }
 
 // Members lists the admitted members.
-func (c *MemberClient) Members() (map[string]string, error) {
-	resp, err := c.client().Get(c.url("/vo/members", nil))
-	if err != nil {
-		return nil, err
-	}
-	root, err := decodeResponse(resp, "members")
+func (c *MemberClient) Members(ctx context.Context) (map[string]string, error) {
+	root, err := c.call(ctx, http.MethodGet, "/vo/members", nil, "", "members", true)
 	if err != nil {
 		return nil, err
 	}
@@ -185,28 +208,38 @@ func (c *MemberClient) Members() (map[string]string, error) {
 	return out, nil
 }
 
-// Operate asks the toolkit to authorize an operation invocation.
-func (c *MemberClient) Operate(operation string) error {
+// Operate asks the toolkit to authorize an operation invocation. Each
+// call lands in the audit log, so it is not retried automatically.
+func (c *MemberClient) Operate(ctx context.Context, operation string) error {
 	q := url.Values{"member": {c.Party.Name}, "operation": {operation}}
-	resp, err := c.post("/vo/operate", q, "")
-	if err != nil {
-		return err
-	}
-	_, err = decodeResponse(resp, "authorized")
+	_, err := c.call(ctx, http.MethodPost, "/vo/operate", q, "", "authorized", false)
 	return err
 }
 
-// ReportViolation reports another member's violation.
-func (c *MemberClient) ReportViolation(member, operation, detail string, weight float64) error {
+// ReportViolation reports another member's violation (never retried:
+// a duplicate report would double the reputation penalty).
+func (c *MemberClient) ReportViolation(ctx context.Context, member, operation, detail string, weight float64) error {
 	q := url.Values{
 		"member": {member}, "operation": {operation},
 		"detail": {detail}, "weight": {fmt.Sprintf("%g", weight)},
 	}
-	resp, err := c.post("/vo/violation", q, "")
-	if err != nil {
-		return err
+	_, err := c.call(ctx, http.MethodPost, "/vo/violation", q, "", "recorded", false)
+	return err
+}
+
+// Phase asks the toolkit to advance the VO lifecycle; target is
+// "formation", "operation" or "dissolution". Lifecycle transitions are
+// one-shot, so the call is not retried automatically.
+func (c *MemberClient) Phase(ctx context.Context, target string) error {
+	path := map[string]string{
+		"formation":   "/vo/start-formation",
+		"operation":   "/vo/start-operation",
+		"dissolution": "/vo/dissolve",
+	}[target]
+	if path == "" {
+		return fmt.Errorf("wsrpc: unknown phase %q", target)
 	}
-	_, err = decodeResponse(resp, "recorded")
+	_, err := c.call(ctx, http.MethodPost, path, nil, "", "ok", false)
 	return err
 }
 
@@ -220,12 +253,8 @@ type AuditEntry struct {
 }
 
 // Audit fetches the VO's interaction log (monitoring, §2).
-func (c *MemberClient) Audit() ([]AuditEntry, error) {
-	resp, err := c.client().Get(c.url("/vo/audit", nil))
-	if err != nil {
-		return nil, err
-	}
-	root, err := decodeResponse(resp, "audit")
+func (c *MemberClient) Audit(ctx context.Context) ([]AuditEntry, error) {
+	root, err := c.call(ctx, http.MethodGet, "/vo/audit", nil, "", "audit", true)
 	if err != nil {
 		return nil, err
 	}
@@ -244,13 +273,9 @@ func (c *MemberClient) Audit() ([]AuditEntry, error) {
 }
 
 // Reputation fetches a member's reputation score.
-func (c *MemberClient) Reputation(member string) (float64, error) {
+func (c *MemberClient) Reputation(ctx context.Context, member string) (float64, error) {
 	q := url.Values{"member": {member}}
-	resp, err := c.client().Get(c.url("/vo/reputation", q))
-	if err != nil {
-		return 0, err
-	}
-	root, err := decodeResponse(resp, "reputation")
+	root, err := c.call(ctx, http.MethodGet, "/vo/reputation", q, "", "reputation", true)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,112 @@
+package wsrpc
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy controls the exponential-backoff retry loop of the hardened
+// transport. Retries only ever fire for idempotent routes on Temporary
+// errors; everything else surfaces after the first attempt. The zero value
+// means "use defaults" (4 attempts, 25ms base, 1s cap, x2 growth, 50%
+// jitter); set MaxAttempts to 1 to disable retries entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; 1 disables retries; negative values behave like 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay by ±Jitter/2 of its value (default 0.5,
+	// i.e. a delay d is drawn from [0.75d, 1.25d]).
+	Jitter float64
+
+	// Rand supplies jitter randomness; nil uses a private seeded source.
+	// Tests inject a deterministic one.
+	Rand *rand.Rand
+
+	randMu sync.Mutex
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts == 0 {
+		return 4
+	}
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before retry number retry (0-based), honoring
+// a server Retry-After hint as a floor — but never sleeping past MaxDelay,
+// so an overloaded server advertising a long recovery horizon makes the
+// client give up quickly instead of stalling the caller.
+func (p *RetryPolicy) delay(retry int, hint time.Duration) time.Duration {
+	base, maxd, mult, jit := 25*time.Millisecond, time.Second, 2.0, 0.5
+	if p != nil {
+		if p.BaseDelay > 0 {
+			base = p.BaseDelay
+		}
+		if p.MaxDelay > 0 {
+			maxd = p.MaxDelay
+		}
+		if p.Multiplier > 1 {
+			mult = p.Multiplier
+		}
+		if p.Jitter > 0 {
+			jit = p.Jitter
+		}
+	}
+	d := float64(base)
+	for i := 0; i < retry; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			d = float64(maxd)
+			break
+		}
+	}
+	// spread d over [d*(1-jit/2), d*(1+jit/2)] so synchronized clients
+	// don't re-collide on the same tick
+	d *= 1 + jit*(p.rand()-0.5)
+	out := time.Duration(d)
+	if out > maxd {
+		out = maxd
+	}
+	if hint > out {
+		out = hint
+	}
+	if out > maxd {
+		out = maxd
+	}
+	return out
+}
+
+func (p *RetryPolicy) rand() float64 {
+	if p == nil || p.Rand == nil {
+		return rand.Float64()
+	}
+	p.randMu.Lock()
+	defer p.randMu.Unlock()
+	return p.Rand.Float64()
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

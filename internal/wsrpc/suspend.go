@@ -1,0 +1,126 @@
+package wsrpc
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/store"
+	"trustvo/internal/xmldom"
+)
+
+// Server-side negotiation suspend/resume.
+//
+// On graceful shutdown, a TNService can persist its live, unfinished
+// sessions into the WAL-backed store — the negotiation tree snapshot
+// plus the reply cache — and a restarted service restores them, so a
+// client retrying (or resuming from its own ticket) continues the same
+// negotiation instead of getting "unknown negotiation". This is the
+// server half of the Trust-X interruption-recovery mechanism; the
+// client half is TNClient.Resume.
+
+// KindTNSession is the store kind for suspended negotiation sessions.
+const KindTNSession = "tnsession"
+
+// SuspendSessions persists every live, unfinished session to db and
+// returns how many were written. Sessions that never processed a
+// message carry no state worth saving and are skipped. Call after the
+// HTTP server has drained (no in-flight handlers).
+func (s *TNService) SuspendSessions(db *store.Store) (int, error) {
+	if db == nil {
+		return 0, fmt.Errorf("wsrpc: suspend requires a store")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	suspended := 0
+	for id, sess := range s.sessions {
+		if sess.done.Load() {
+			continue
+		}
+		sess.mu.Lock()
+		state, err := sess.endpoint.SnapshotDOM()
+		if err != nil {
+			// e.g. a session created by /tn/start that never saw a
+			// message: nothing to resume
+			sess.mu.Unlock()
+			continue
+		}
+		doc := xmldom.NewElement("tnSession").
+			SetAttr("id", id).
+			SetAttr("lastSeq", strconv.FormatInt(sess.lastSeq, 10)).
+			SetAttr("lastStatus", strconv.Itoa(sess.lastReplyStatus))
+		doc.AppendChild(state)
+		if sess.lastReply != "" {
+			lr := xmldom.NewElement("lastReply")
+			lr.AppendChild(xmldom.NewText(sess.lastReply))
+			doc.AppendChild(lr)
+		}
+		sess.mu.Unlock()
+		if err := db.Put(KindTNSession, id, doc); err != nil {
+			return suspended, err
+		}
+		suspended++
+	}
+	if m := s.Metrics; m != nil && suspended > 0 {
+		m.Counter("tn_sessions_suspended_total").Add(int64(suspended))
+	}
+	return suspended, db.Sync()
+}
+
+// ResumeSessions restores sessions previously written by SuspendSessions
+// and deletes their records. Unrestorable records (e.g. a credential no
+// longer held) are logged, removed, and skipped — they must not wedge
+// startup.
+func (s *TNService) ResumeSessions(db *store.Store) (int, error) {
+	if db == nil {
+		return 0, fmt.Errorf("wsrpc: resume requires a store")
+	}
+	resumed := 0
+	for _, rec := range db.List(KindTNSession) {
+		id := rec.Key
+		doc, err := rec.Doc()
+		if err != nil {
+			s.logf("wsrpc: dropping unreadable suspended session %s: %v", id, err)
+			db.Delete(KindTNSession, id)
+			continue
+		}
+		sess, err := s.restoreSession(doc)
+		if err != nil {
+			s.logf("wsrpc: dropping unrestorable suspended session %s: %v", id, err)
+			db.Delete(KindTNSession, id)
+			continue
+		}
+		s.mu.Lock()
+		s.sessions[id] = sess
+		s.mu.Unlock()
+		if m := s.Metrics; m != nil {
+			m.Counter("tn_sessions_resumed_total").Inc()
+			m.Gauge("tn_sessions_active").Inc()
+		}
+		db.Delete(KindTNSession, id)
+		resumed++
+	}
+	return resumed, db.Sync()
+}
+
+func (s *TNService) restoreSession(doc *xmldom.Node) (*tnSession, error) {
+	if doc.Name != "tnSession" {
+		return nil, fmt.Errorf("expected <tnSession>, got <%s>", doc.Name)
+	}
+	party, err := s.sessionParty()
+	if err != nil {
+		return nil, err
+	}
+	ep, err := negotiation.RestoreEndpoint(party, doc.Child("negotiationState"))
+	if err != nil {
+		return nil, err
+	}
+	sess := &tnSession{endpoint: ep, lastUsed: time.Now()}
+	sess.lastSeq, _ = strconv.ParseInt(doc.AttrOr("lastSeq", "0"), 10, 64)
+	sess.lastReplyStatus, _ = strconv.Atoi(doc.AttrOr("lastStatus", "0"))
+	if lr := doc.Child("lastReply"); lr != nil {
+		sess.lastReply = lr.Text()
+	}
+	return sess, nil
+}

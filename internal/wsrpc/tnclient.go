@@ -1,9 +1,12 @@
 package wsrpc
 
 import (
+	"context"
 	"fmt"
 	"net/http"
-	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"trustvo/internal/negotiation"
 	"trustvo/internal/xmldom"
@@ -13,42 +16,87 @@ import (
 // TNService, mirroring the paper's ClientWS.java ("A client application
 // has also been developed … implementing the negotiation protocol by
 // invoking the Web service's operations").
+//
+// All calls go through the hardened Transport: per-request deadlines,
+// retries with backoff on transient failures, and a per-endpoint circuit
+// breaker. Every exchange envelope carries a client sequence number; the
+// service replays its cached reply for a repeated number, so retries and
+// duplicated deliveries are applied at most once. When the transport
+// fails for good (or the negotiation deadline expires) mid-negotiation,
+// Negotiate returns a *SuspendedError carrying a resume ticket;
+// Resume continues from it.
 type TNClient struct {
 	// BaseURL of the counterpart's TN service, e.g. "http://host:8080".
 	BaseURL string
 	// Party is the local (requester) negotiation identity.
 	Party *negotiation.Party
-	// HTTP is the transport (http.DefaultClient when nil).
+	// HTTP overrides the transport's HTTP client (shorthand; ignored when
+	// Transport is set).
 	HTTP *http.Client
+	// Transport is the hardened call path; nil uses an owned default.
+	Transport *Transport
+	// NegotiationTimeout bounds one whole Negotiate/Resume run (all
+	// rounds); 0 means no per-negotiation deadline.
+	NegotiationTimeout time.Duration
+	// ResumeTTL is the validity of suspend tickets (default 5m).
+	ResumeTTL time.Duration
+
+	seq     atomic.Int64
+	ownedMu sync.Mutex
+	owned   *Transport
 }
 
-func (c *TNClient) client() *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
+// transport returns the effective transport, lazily creating an owned
+// one (so breaker state persists across calls) when none was injected.
+func (c *TNClient) transport() *Transport {
+	if c.Transport != nil {
+		return c.Transport
 	}
-	return defaultHTTP
+	c.ownedMu.Lock()
+	defer c.ownedMu.Unlock()
+	if c.owned == nil {
+		c.owned = &Transport{HTTP: c.HTTP}
+	}
+	return c.owned
 }
 
-func (c *TNClient) post(path, body string) (*http.Response, error) {
-	url := strings.TrimRight(c.BaseURL, "/") + path
-	resp, err := c.client().Post(url, ContentType, strings.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("wsrpc: POST %s: %w", path, err)
+// nextSeq issues a fresh envelope sequence number.
+func (c *TNClient) nextSeq() int64 { return c.seq.Add(1) }
+
+// bumpSeq ensures future sequence numbers stay above n (used when
+// resuming from a ticket minted by an earlier client instance).
+func (c *TNClient) bumpSeq(n int64) {
+	for {
+		cur := c.seq.Load()
+		if cur >= n || c.seq.CompareAndSwap(cur, n) {
+			return
+		}
 	}
-	return resp, nil
+}
+
+// negotiationCtx applies the per-negotiation deadline.
+func (c *TNClient) negotiationCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.NegotiationTimeout > 0 {
+		return context.WithTimeout(ctx, c.NegotiationTimeout)
+	}
+	return ctx, func() {}
 }
 
 // Start invokes StartNegotiation and returns the negotiation id.
-func (c *TNClient) Start(resource string) (string, error) {
+func (c *TNClient) Start(ctx context.Context, resource string) (string, error) {
 	req := xmldom.NewElement("startNegotiationRequest").
 		SetAttr("strategy", c.Party.Strategy.String()).
 		SetAttr("resource", resource)
-	resp, err := c.post("/tn/start", req.XML())
+	// Starting is idempotent in effect: a retried start at worst leaves an
+	// orphan session that the service sweeps out.
+	root, err := c.transport().call(ctx, http.MethodPost, c.BaseURL, "/tn/start", "", req.XML(), true)
 	if err != nil {
 		return "", err
 	}
-	root, err := decodeResponse(resp, "startNegotiationResponse")
-	if err != nil {
+	if _, err := expectRoot(root, "startNegotiationResponse"); err != nil {
 		return "", err
 	}
 	id := root.AttrOr("negotiation", "")
@@ -60,23 +108,24 @@ func (c *TNClient) Start(resource string) (string, error) {
 
 // Exchange posts one TN message and returns the counterpart's reply
 // (nil when the response was a terminal status acknowledgment).
-func (c *TNClient) Exchange(negID string, msg *negotiation.Message) (*negotiation.Message, error) {
+func (c *TNClient) Exchange(ctx context.Context, negID string, msg *negotiation.Message) (*negotiation.Message, error) {
+	return c.exchangeSeq(ctx, negID, msg, c.nextSeq())
+}
+
+// exchangeSeq is Exchange under an explicit sequence number; retries
+// (and ticket resumption) reuse the number so the service's reply cache
+// deduplicates.
+func (c *TNClient) exchangeSeq(ctx context.Context, negID string, msg *negotiation.Message, seq int64) (*negotiation.Message, error) {
 	path := "/tn/credentialExchange"
 	if phaseOf(msg.Type) == policyPhase {
 		path = "/tn/policyExchange"
 	}
-	resp, err := c.post(path, envelope(negID, msg).XML())
+	root, err := c.transport().call(ctx, http.MethodPost, c.BaseURL, path, "",
+		envelopeSeq(negID, seq, msg).XML(), true)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	root, err := xmldom.Parse(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("wsrpc: bad exchange response: %w", err)
-	}
 	switch root.Name {
-	case "fault":
-		return nil, faultFromDOM(root)
 	case "status":
 		return nil, nil // server consumed a terminal message
 	case "envelope":
@@ -90,8 +139,14 @@ func (c *TNClient) Exchange(negID string, msg *negotiation.Message) (*negotiatio
 // Negotiate runs a complete negotiation for resource against the remote
 // controller and returns the local outcome. This is the standalone-TN
 // path measured by Fig. 9's "trust negotiation" bar.
-func (c *TNClient) Negotiate(resource string) (*negotiation.Outcome, error) {
-	negID, err := c.Start(resource)
+//
+// On an unrecoverable transport failure (or expiry of the negotiation
+// deadline) mid-negotiation, the error is a *SuspendedError whose Ticket
+// resumes the negotiation via Resume.
+func (c *TNClient) Negotiate(ctx context.Context, resource string) (*negotiation.Outcome, error) {
+	ctx, cancel := c.negotiationCtx(ctx)
+	defer cancel()
+	negID, err := c.Start(ctx, resource)
 	if err != nil {
 		return nil, err
 	}
@@ -100,11 +155,56 @@ func (c *TNClient) Negotiate(resource string) (*negotiation.Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.drive(ctx, negID, ep, msg, 0)
+}
+
+// Resume continues a negotiation from a suspend ticket: the endpoint is
+// restored from the snapshot and the unacknowledged message is re-sent
+// under its original sequence number — the service's reply cache turns
+// that into "deliver once", whether or not the first delivery arrived.
+func (c *TNClient) Resume(ctx context.Context, t *negotiation.ResumeTicket) (*negotiation.Outcome, error) {
+	if err := c.verifyTicket(t); err != nil {
+		return nil, err
+	}
+	ep, err := negotiation.RestoreEndpoint(c.Party, t.State)
+	if err != nil {
+		return nil, err
+	}
+	c.bumpSeq(t.Seq)
+	if tr := c.transport(); tr.Metrics != nil {
+		tr.Metrics.Counter("tn_resumes_total").Inc()
+	}
+	ctx, cancel := c.negotiationCtx(ctx)
+	defer cancel()
+	return c.drive(ctx, t.NegID, ep, t.LastSent, t.Seq)
+}
+
+func (c *TNClient) verifyTicket(t *negotiation.ResumeTicket) error {
+	if t == nil {
+		return fmt.Errorf("wsrpc: nil resume ticket")
+	}
+	if c.Party.Keys != nil {
+		return t.Verify(c.Party.Keys.Public, time.Now())
+	}
+	return t.Verify(nil, time.Now())
+}
+
+// drive is the shared request loop: send msg, feed the reply to the
+// endpoint, repeat. seq carries the pre-assigned sequence number of the
+// first send (0 = assign fresh); replies always get fresh numbers.
+func (c *TNClient) drive(ctx context.Context, negID string, ep *negotiation.Endpoint, msg *negotiation.Message, seq int64) (*negotiation.Outcome, error) {
 	for msg != nil {
-		reply, err := c.Exchange(negID, msg)
+		if seq == 0 {
+			seq = c.nextSeq()
+		}
+		reply, err := c.exchangeSeq(ctx, negID, msg, seq)
 		if err != nil {
+			if suspendable(err) && !ep.Done() {
+				return nil, c.suspend(negID, ep, msg, seq, err)
+			}
 			return nil, err
 		}
+		seq = 0
 		if reply == nil {
 			break // server acknowledged our terminal message
 		}
@@ -119,18 +219,47 @@ func (c *TNClient) Negotiate(resource string) (*negotiation.Outcome, error) {
 	return ep.Outcome(), nil
 }
 
+// suspend converts a transport failure into a *SuspendedError carrying a
+// resume ticket; when snapshotting is impossible the original error is
+// returned unchanged.
+func (c *TNClient) suspend(negID string, ep *negotiation.Endpoint, pending *negotiation.Message, seq int64, cause error) error {
+	t, err := negotiation.NewResumeTicket(ep, negID, seq, pending, c.ResumeTTL)
+	if err != nil {
+		return cause
+	}
+	if tr := c.transport(); tr.Metrics != nil {
+		tr.Metrics.Counter("tn_suspends_total").Inc()
+	}
+	return &SuspendedError{Ticket: t, Err: cause}
+}
+
 // Status queries the remote side's view of a negotiation.
-func (c *TNClient) Status(negID string) (done, succeeded bool, reason string, err error) {
-	url := strings.TrimRight(c.BaseURL, "/") + "/tn/status?negotiation=" + negID
-	resp, err := c.client().Get(url)
+func (c *TNClient) Status(ctx context.Context, negID string) (done, succeeded bool, reason string, err error) {
+	root, err := c.transport().call(ctx, http.MethodGet, c.BaseURL, "/tn/status",
+		"?negotiation="+negID, "", true)
 	if err != nil {
 		return false, false, "", err
 	}
-	root, err := decodeResponse(resp, "status")
-	if err != nil {
+	if _, err := expectRoot(root, "status"); err != nil {
 		return false, false, "", err
 	}
 	return root.AttrOr("done", "") == "true",
 		root.AttrOr("succeeded", "") == "true",
 		root.AttrOr("reason", ""), nil
 }
+
+// SuspendedError reports a negotiation interrupted by transport failure
+// or deadline expiry; Ticket resumes it (TNClient.Resume /
+// MemberClient.ResumeJoin).
+type SuspendedError struct {
+	Ticket *negotiation.ResumeTicket
+	Err    error
+}
+
+// Error implements error.
+func (e *SuspendedError) Error() string {
+	return fmt.Sprintf("wsrpc: negotiation %s suspended (resumable): %v", e.Ticket.NegID, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *SuspendedError) Unwrap() error { return e.Err }

@@ -3,8 +3,11 @@ package wsrpc
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +78,16 @@ type tnSession struct {
 	lastUsed time.Time
 	outcome  *negotiation.Outcome
 	done     atomic.Bool
+
+	// Reply cache (at-most-once exchange): the last envelope sequence
+	// number applied and the exact response it produced. A duplicate
+	// delivery — client retry after a lost response, or a network-level
+	// duplicate — replays the cached bytes instead of advancing the
+	// endpoint twice. One entry suffices because a client sends one
+	// message at a time and only ever retries the newest. Guarded by mu.
+	lastSeq         int64
+	lastReplyStatus int
+	lastReply       string
 }
 
 // NewTNService creates a service negotiating as party, collecting
@@ -141,10 +154,54 @@ func (s *TNService) handleStart(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.newSession()
 	if err != nil {
+		var ce *capacityError
+		if errors.As(err, &ce) {
+			// Honest backpressure: tell the client when capacity is
+			// expected to free up instead of silently evicting live
+			// negotiations beyond what the half-age policy allows.
+			w.Header().Set("Retry-After", strconv.Itoa(int(ce.retryAfter/time.Second)))
+			if m := s.Metrics; m != nil {
+				m.Counter("tn_start_rejected_total", "reason", "capacity").Inc()
+			}
+		}
 		writeFault(w, http.StatusServiceUnavailable, "capacity", err.Error())
 		return
 	}
 	writeDOM(w, xmldom.NewElement("startNegotiationResponse").SetAttr("negotiation", id))
+}
+
+// capacityError reports MaxSessions pressure that half-age eviction could
+// not relieve; retryAfter estimates when the oldest live session becomes
+// evictable.
+type capacityError struct {
+	active     int
+	retryAfter time.Duration
+}
+
+func (e *capacityError) Error() string {
+	return fmt.Sprintf("wsrpc: %d concurrent negotiations", e.active)
+}
+
+// capacityRetryLocked estimates how long until the oldest live session
+// crosses the half-age eviction threshold. Caller holds s.mu.
+func (s *TNService) capacityRetryLocked() time.Duration {
+	var oldest time.Time
+	for _, sess := range s.sessions {
+		if sess.done.Load() {
+			continue
+		}
+		if oldest.IsZero() || sess.lastUsed.Before(oldest) {
+			oldest = sess.lastUsed
+		}
+	}
+	wait := s.maxAge() / 2
+	if !oldest.IsZero() {
+		wait = time.Until(oldest.Add(s.maxAge() / 2))
+	}
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait
 }
 
 func (s *TNService) newSession() (string, error) {
@@ -153,20 +210,9 @@ func (s *TNService) newSession() (string, error) {
 		return "", err
 	}
 	id := hex.EncodeToString(raw[:])
-	party := s.Party
-	if s.DB != nil {
-		loaded, err := partydb.LoadParty(s.DB, s.Party)
-		if err != nil {
-			return "", fmt.Errorf("wsrpc: load party from store: %w", err)
-		}
-		party = loaded
-	}
-	if party.Metrics == nil && s.Metrics != nil {
-		// Let session endpoints record negotiation-level series into the
-		// service registry without mutating the caller's Party.
-		clone := *party
-		clone.Metrics = s.Metrics
-		party = &clone
+	party, err := s.sessionParty()
+	if err != nil {
+		return "", err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -181,7 +227,7 @@ func (s *TNService) newSession() (string, error) {
 		active = s.evictForCapacityLocked(active)
 	}
 	if active >= s.maxSessions() {
-		return "", fmt.Errorf("wsrpc: %d concurrent negotiations", active)
+		return "", &capacityError{active: active, retryAfter: s.capacityRetryLocked()}
 	}
 	s.sessions[id] = &tnSession{
 		endpoint: negotiation.NewController(party),
@@ -192,6 +238,27 @@ func (s *TNService) newSession() (string, error) {
 		m.Gauge("tn_sessions_active").Inc()
 	}
 	return id, nil
+}
+
+// sessionParty prepares the negotiating identity for one session: the
+// DB-backed reload of §6.2 when a store is attached, plus the metrics
+// clone so endpoints record into the service registry without mutating
+// the caller's Party.
+func (s *TNService) sessionParty() (*negotiation.Party, error) {
+	party := s.Party
+	if s.DB != nil {
+		loaded, err := partydb.LoadParty(s.DB, s.Party)
+		if err != nil {
+			return nil, fmt.Errorf("wsrpc: load party from store: %w", err)
+		}
+		party = loaded
+	}
+	if party.Metrics == nil && s.Metrics != nil {
+		clone := *party
+		clone.Metrics = s.Metrics
+		party = &clone
+	}
+	return party, nil
 }
 
 // sweepLocked drops idle sessions — unfinished ones after MaxSessionAge
@@ -297,7 +364,7 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 			writeFault(w, http.StatusBadRequest, "parse", err.Error())
 			return
 		}
-		id, msg, err := openEnvelope(body)
+		id, seq, msg, err := openEnvelopeSeq(body)
 		if err != nil {
 			writeFault(w, http.StatusBadRequest, "schema", err.Error())
 			return
@@ -316,6 +383,16 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 		}
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
+		if seq > 0 && seq == sess.lastSeq {
+			// Duplicate delivery (client retry after a lost response, or a
+			// duplicated message): replay the cached response unchanged.
+			if m := s.Metrics; m != nil {
+				m.Counter("tn_replays_total").Inc()
+			}
+			s.debugf("tn-message session=%s op=%s type=%s seq=%d replayed", id, phase, msg.Type, seq)
+			writeRaw(w, sess.lastReplyStatus, sess.lastReply)
+			return
+		}
 		if sess.endpoint.Done() {
 			writeFault(w, http.StatusConflict, "done", "negotiation already finished")
 			return
@@ -335,17 +412,32 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 				m.Gauge("tn_sessions_active").Dec()
 			}
 		}
-		if err != nil {
-			writeFault(w, http.StatusInternalServerError, "internal", err.Error())
-			return
-		}
-		if reply == nil {
+		status, respBody := http.StatusOK, ""
+		switch {
+		case err != nil:
+			status = http.StatusInternalServerError
+			respBody = (&Fault{Code: "internal", Detail: err.Error()}).DOM().XML()
+		case reply == nil:
 			// Terminal message consumed; acknowledge with the outcome.
-			writeDOM(w, statusDOM(id, sess.endpoint))
-			return
+			respBody = statusDOM(id, sess.endpoint).XML()
+		default:
+			respBody = envelope(id, reply).XML()
 		}
-		writeDOM(w, envelope(id, reply))
+		if seq > 0 {
+			sess.lastSeq, sess.lastReplyStatus, sess.lastReply = seq, status, respBody
+		}
+		writeRaw(w, status, respBody)
 	}
+}
+
+// writeRaw emits a pre-serialized XML response (the replay path must be
+// byte-identical to the original).
+func writeRaw(w http.ResponseWriter, status int, body string) {
+	w.Header().Set("Content-Type", ContentType)
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	io.WriteString(w, body)
 }
 
 func (s *TNService) handleStatus(w http.ResponseWriter, r *http.Request) {

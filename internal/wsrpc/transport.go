@@ -1,0 +1,206 @@
+package wsrpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"trustvo/internal/telemetry"
+	"trustvo/internal/xmldom"
+)
+
+// Transport is the hardened call path shared by TNClient and
+// MemberClient: per-request deadlines, exponential-backoff retries on
+// idempotent routes, and a per-endpoint circuit breaker. The zero value
+// works (defaults below); a single Transport may be shared by many
+// clients — the breaker state is per (base URL, route).
+type Transport struct {
+	// HTTP performs the requests (a 30s-timeout default client when nil).
+	HTTP *http.Client
+	// RequestTimeout bounds each individual attempt (default 10s; set
+	// negative to disable).
+	RequestTimeout time.Duration
+	// Retry controls the backoff loop (zero value = defaults).
+	Retry RetryPolicy
+	// BreakerThreshold is the consecutive-failure count that trips an
+	// endpoint's breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// half-opening for a probe (default 2s).
+	BreakerCooldown time.Duration
+	// Metrics receives retry/breaker counters (nil disables).
+	Metrics *telemetry.Registry
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+}
+
+// DefaultTransport is used by clients that configure neither Transport
+// nor HTTP; it keeps breaker state process-wide like http.DefaultClient.
+var DefaultTransport = &Transport{}
+
+func (t *Transport) httpClient() *http.Client {
+	if t.HTTP != nil {
+		return t.HTTP
+	}
+	return defaultHTTP
+}
+
+func (t *Transport) requestTimeout() time.Duration {
+	if t.RequestTimeout < 0 {
+		return 0
+	}
+	if t.RequestTimeout == 0 {
+		return 10 * time.Second
+	}
+	return t.RequestTimeout
+}
+
+// breakerFor returns (lazily creating) the breaker guarding one endpoint.
+func (t *Transport) breakerFor(endpoint string) *breaker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.breakers == nil {
+		t.breakers = make(map[string]*breaker)
+	}
+	b := t.breakers[endpoint]
+	if b == nil {
+		b = newBreaker(t.BreakerThreshold, t.BreakerCooldown, nil)
+		t.breakers[endpoint] = b
+	}
+	return b
+}
+
+func (t *Transport) count(name string, labels ...string) {
+	if t.Metrics != nil {
+		t.Metrics.Counter(name, labels...).Inc()
+	}
+}
+
+// call performs one logical request: POST body (or GET when body is "")
+// to base+route, with retries when idempotent. It returns the parsed XML
+// root of a 2xx response; every failure is a *Error.
+func (t *Transport) call(ctx context.Context, method, base, route, query, body string, idempotent bool) (*xmldom.Node, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	url := strings.TrimRight(base, "/") + route + query
+	op := method + " " + route
+	br := t.breakerFor(strings.TrimRight(base, "/") + route)
+	attempts := 1
+	if idempotent {
+		attempts = t.Retry.attempts()
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			t.count("wsrpc_client_retries_total", "route", route)
+			hint := time.Duration(0)
+			if te, ok := lastErr.(*Error); ok {
+				hint = te.RetryAfter
+			}
+			if err := sleepCtx(ctx, t.Retry.delay(attempt-1, hint)); err != nil {
+				return nil, &Error{Op: op, Err: err}
+			}
+		}
+		if !br.allow() {
+			t.count("wsrpc_client_breaker_rejected_total", "route", route)
+			lastErr = &Error{Op: op, Code: "breaker-open", Temporary: true, Err: ErrCircuitOpen}
+			continue // the backoff may outlast the cooldown
+		}
+		root, err := t.once(ctx, method, url, op, body)
+		if err == nil {
+			br.success()
+			return root, nil
+		}
+		lastErr = err
+		te, _ := err.(*Error)
+		if te != nil && te.Temporary {
+			if br.failure() {
+				t.count("wsrpc_client_breaker_tripped_total", "route", route)
+			}
+		} else {
+			// the server answered with a definitive protocol response:
+			// the endpoint is alive even though the call failed
+			br.success()
+		}
+		if te == nil || !te.Temporary || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	t.count("wsrpc_client_gaveup_total", "route", route)
+	return nil, lastErr
+}
+
+// once performs a single attempt under the per-request timeout.
+func (t *Transport) once(ctx context.Context, method, url, op, body string) (*xmldom.Node, error) {
+	reqCtx := ctx
+	cancel := func() {}
+	if rt := t.requestTimeout(); rt > 0 {
+		reqCtx, cancel = context.WithTimeout(ctx, rt)
+	}
+	defer cancel()
+	var rd io.Reader
+	if method == http.MethodPost {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(reqCtx, method, url, rd)
+	if err != nil {
+		return nil, &Error{Op: op, Err: err}
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", ContentType)
+	}
+	resp, err := t.httpClient().Do(req)
+	if err != nil {
+		// a request that never completed is transient — unless the
+		// caller's own context ended it
+		return nil, &Error{Op: op, Temporary: ctx.Err() == nil, Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, &Error{Op: op, Status: resp.StatusCode, Temporary: ctx.Err() == nil, Err: err}
+	}
+	root, perr := xmldom.Parse(bytes.NewReader(data))
+	if resp.StatusCode >= 400 {
+		e := &Error{
+			Op:         op,
+			Status:     resp.StatusCode,
+			Temporary:  transientStatus(resp.StatusCode),
+			RetryAfter: parseRetryAfter(resp.Header),
+		}
+		if perr == nil && root.Name == "fault" {
+			f := faultFromDOM(root)
+			e.Code = f.Code
+			e.Err = f
+		} else {
+			e.Err = fmt.Errorf("server returned %s", resp.Status)
+		}
+		return nil, e
+	}
+	if perr != nil {
+		// truncated or garbled body on a 2xx: the reply was lost in
+		// transit — safe to retry on idempotent routes
+		return nil, &Error{Op: op, Status: resp.StatusCode, Code: "malformed-response", Temporary: true, Err: perr}
+	}
+	if root.Name == "fault" {
+		// defensive: a fault served with a 2xx status
+		f := faultFromDOM(root)
+		return nil, &Error{Op: op, Status: resp.StatusCode, Code: f.Code, Err: f}
+	}
+	return root, nil
+}
+
+// expectRoot asserts the root element name of a successful call.
+func expectRoot(root *xmldom.Node, want string) (*xmldom.Node, error) {
+	if root.Name != want {
+		return nil, fmt.Errorf("wsrpc: expected <%s> response, got <%s>", want, root.Name)
+	}
+	return root, nil
+}

@@ -1,0 +1,235 @@
+package wsrpc
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trustvo/internal/telemetry"
+)
+
+// fastRetry keeps transport tests quick while still exercising the loop.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+}
+
+// TestRetryOnTransientStatus: two 503s then a success converge through
+// the backoff loop, counting the retries.
+func TestRetryOnTransientStatus(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			writeFault(w, http.StatusServiceUnavailable, "overloaded", "try later")
+			return
+		}
+		fmt.Fprint(w, "<ok/>")
+	}))
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	tr := &Transport{Retry: fastRetry(), Metrics: reg}
+	root, err := tr.call(bg, http.MethodPost, srv.URL, "/x", "", "<req/>", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "ok" {
+		t.Fatalf("root = %s", root.Name)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server hits = %d, want 3", got)
+	}
+	if got := reg.Counter("wsrpc_client_retries_total", "route", "/x").Value(); got != 2 {
+		t.Fatalf("retries counter = %d, want 2", got)
+	}
+}
+
+// TestNoRetryOnNonIdempotent: a transient failure on a non-idempotent
+// route surfaces immediately.
+func TestNoRetryOnNonIdempotent(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeFault(w, http.StatusServiceUnavailable, "overloaded", "try later")
+	}))
+	defer srv.Close()
+	tr := &Transport{Retry: fastRetry()}
+	_, err := tr.call(bg, http.MethodPost, srv.URL, "/x", "", "<req/>", false)
+	if !IsTemporary(err) {
+		t.Fatalf("expected temporary error, got %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server hits = %d, want 1 (no retries)", got)
+	}
+}
+
+// TestNoRetryOnDefinitiveError: a 400-class protocol fault is final even
+// on an idempotent route, and unwraps to the typed *Fault.
+func TestNoRetryOnDefinitiveError(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeFault(w, http.StatusBadRequest, "bad-envelope", "unparseable")
+	}))
+	defer srv.Close()
+	tr := &Transport{Retry: fastRetry()}
+	_, err := tr.call(bg, http.MethodPost, srv.URL, "/x", "", "<req/>", true)
+	if IsTemporary(err) {
+		t.Fatalf("400 classified as temporary: %v", err)
+	}
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Code != "bad-envelope" {
+		t.Fatalf("fault not surfaced: %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server hits = %d, want 1", got)
+	}
+}
+
+// TestMalformedResponseIsTemporary: a truncated 2xx body means the reply
+// was lost in transit — transient, so idempotent routes retry it.
+func TestMalformedResponseIsTemporary(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			fmt.Fprint(w, "<ok") // cut mid-tag
+			return
+		}
+		fmt.Fprint(w, "<ok/>")
+	}))
+	defer srv.Close()
+	tr := &Transport{Retry: fastRetry()}
+	root, err := tr.call(bg, http.MethodPost, srv.URL, "/x", "", "<req/>", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "ok" || hits.Load() != 2 {
+		t.Fatalf("root=%s hits=%d", root.Name, hits.Load())
+	}
+}
+
+// TestRetryAfterHintIsCapped: a server advertising a huge Retry-After
+// must not stall the client past the policy's MaxDelay per retry.
+func TestRetryAfterHintIsCapped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		writeFault(w, http.StatusServiceUnavailable, "capacity", "full")
+	}))
+	defer srv.Close()
+	tr := &Transport{Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}}
+	t0 := time.Now()
+	_, err := tr.call(bg, http.MethodPost, srv.URL, "/x", "", "<req/>", true)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("Retry-After hint not capped: call took %v", elapsed)
+	}
+	var te *Error
+	if !errors.As(err, &te) || te.RetryAfter != 3600*time.Second {
+		t.Fatalf("Retry-After not parsed into the typed error: %v", err)
+	}
+}
+
+// TestBreakerStateMachine drives the breaker directly with a fake clock:
+// threshold failures open it, the cooldown half-opens it for one probe,
+// and the probe's outcome closes or re-opens it.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(3, time.Second, clock)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		if b.failure() {
+			t.Fatalf("breaker tripped before threshold at failure %d", i)
+		}
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected the threshold call")
+	}
+	if !b.failure() {
+		t.Fatal("threshold failure did not trip the breaker")
+	}
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("state = %s, want open", b.snapshot())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open after the cooldown")
+	}
+	if b.snapshot() != breakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.snapshot())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// failed probe: straight back to open
+	if !b.failure() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a call")
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker did not half-open for the second probe")
+	}
+	b.success()
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("state = %s, want closed after successful probe", b.snapshot())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+// errTransport always fails at the connection level.
+type errTransport struct{ hits atomic.Int64 }
+
+func (e *errTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	e.hits.Add(1)
+	return nil, errors.New("connection refused")
+}
+
+// TestBreakerTripsOnTransportFailures: consecutive connection failures
+// trip the endpoint breaker, and further attempts are rejected without
+// touching the network.
+func TestBreakerTripsOnTransportFailures(t *testing.T) {
+	et := &errTransport{}
+	reg := telemetry.NewRegistry()
+	tr := &Transport{
+		HTTP:             &http.Client{Transport: et},
+		Retry:            RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		Metrics:          reg,
+	}
+	_, err := tr.call(bg, http.MethodPost, "http://unreachable.invalid", "/x", "", "<req/>", true)
+	if !IsTemporary(err) {
+		t.Fatalf("expected temporary failure, got %v", err)
+	}
+	if got := et.hits.Load(); got != 2 {
+		t.Fatalf("network attempts = %d, want 2 (breaker open afterwards)", got)
+	}
+	if got := reg.Counter("wsrpc_client_breaker_tripped_total", "route", "/x").Value(); got != 1 {
+		t.Fatalf("tripped counter = %d, want 1", got)
+	}
+	if reg.Counter("wsrpc_client_breaker_rejected_total", "route", "/x").Value() == 0 {
+		t.Fatal("no rejected attempts counted while open")
+	}
+	if reg.Counter("wsrpc_client_gaveup_total", "route", "/x").Value() != 1 {
+		t.Fatal("gave-up counter not incremented")
+	}
+	// a breaker-open failure still reports as temporary and wraps the
+	// sentinel, so callers can distinguish it
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("final error does not wrap ErrCircuitOpen: %v", err)
+	}
+}

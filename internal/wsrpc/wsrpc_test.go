@@ -1,6 +1,7 @@
 package wsrpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -18,6 +19,9 @@ import (
 	"trustvo/internal/vo/registry"
 	"trustvo/internal/xtnl"
 )
+
+// bg is the context for test client calls.
+var bg = context.Background()
 
 // wsFixture hosts an initiator's toolkit (TN included) on an httptest
 // server and provides a capable member client.
@@ -81,7 +85,7 @@ func newWSFixture(t testing.TB) *wsFixture {
 
 func (f *wsFixture) publishMember(t testing.TB) {
 	t.Helper()
-	err := f.member.Publish(&registry.Description{
+	err := f.member.Publish(bg, &registry.Description{
 		Provider: "AerospaceCo", Service: "DesignPortal", Capabilities: []string{"design-db"},
 	})
 	if err != nil {
@@ -93,7 +97,7 @@ func TestJoinWithNegotiationOverHTTP(t *testing.T) {
 	f := newWSFixture(t)
 	f.publishMember(t)
 
-	der, out, err := f.member.Join("DesignWebPortal")
+	der, out, err := f.member.Join(bg, "DesignWebPortal")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,19 +113,19 @@ func TestJoinWithNegotiationOverHTTP(t *testing.T) {
 		t.Fatalf("token: %+v", tok)
 	}
 	// toolkit views agree
-	members, err := f.member.Members()
+	members, err := f.member.Members(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if members["AerospaceCo"] != "DesignWebPortal" {
 		t.Fatalf("members = %v", members)
 	}
-	phase, n, err := f.member.VOStatus()
+	phase, n, err := f.member.VOStatus(bg)
 	if err != nil || phase != "formation" || n != 1 {
 		t.Fatalf("status = %s %d %v", phase, n, err)
 	}
 	// the mailbox recorded the invitation
-	inbox, err := f.member.Mailbox()
+	inbox, err := f.member.Mailbox(bg)
 	if err != nil || len(inbox) != 1 || inbox[0].Role != "DesignWebPortal" {
 		t.Fatalf("mailbox = %+v (%v)", inbox, err)
 	}
@@ -130,7 +134,7 @@ func TestJoinWithNegotiationOverHTTP(t *testing.T) {
 func TestJoinDirectBaselineOverHTTP(t *testing.T) {
 	f := newWSFixture(t)
 	f.publishMember(t)
-	der, err := f.member.JoinDirect("DesignWebPortal")
+	der, err := f.member.JoinDirect(bg, "DesignWebPortal")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +142,7 @@ func TestJoinDirectBaselineOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	// joining again conflicts
-	if _, err := f.member.JoinDirect("DesignWebPortal"); err == nil {
+	if _, err := f.member.JoinDirect(bg, "DesignWebPortal"); err == nil {
 		t.Fatal("duplicate direct join accepted")
 	}
 }
@@ -147,7 +151,7 @@ func TestJoinFailsWithoutCredentialOverHTTP(t *testing.T) {
 	f := newWSFixture(t)
 	f.publishMember(t)
 	f.member.Party.Profile = xtnl.NewProfile("AerospaceCo") // drop credentials
-	_, out, err := f.member.Join("DesignWebPortal")
+	_, out, err := f.member.Join(bg, "DesignWebPortal")
 	if err == nil {
 		t.Fatal("credential-less join succeeded")
 	}
@@ -162,7 +166,7 @@ func TestJoinFailsWithoutCredentialOverHTTP(t *testing.T) {
 func TestOperateAndReputationOverHTTP(t *testing.T) {
 	f := newWSFixture(t)
 	f.publishMember(t)
-	if _, _, err := f.member.Join("DesignWebPortal"); err != nil {
+	if _, _, err := f.member.Join(bg, "DesignWebPortal"); err != nil {
 		t.Fatal(err)
 	}
 	// move to operation via the lifecycle endpoints
@@ -173,17 +177,17 @@ func TestOperateAndReputationOverHTTP(t *testing.T) {
 	if _, err := decodeResponse(resp, "ok"); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.member.Operate("optimize"); err != nil {
+	if err := f.member.Operate(bg, "optimize"); err != nil {
 		t.Fatal(err)
 	}
 	// a rule violation is rejected and reported
-	if err := f.member.Operate("exfiltrate"); err == nil {
+	if err := f.member.Operate(bg, "exfiltrate"); err == nil {
 		t.Fatal("illegal operation authorized")
 	}
-	if err := f.member.ReportViolation("AerospaceCo", "optimize", "late delivery", 2); err != nil {
+	if err := f.member.ReportViolation(bg, "AerospaceCo", "optimize", "late delivery", 2); err != nil {
 		t.Fatal(err)
 	}
-	score, err := f.member.Reputation("AerospaceCo")
+	score, err := f.member.Reputation(bg, "AerospaceCo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,17 +199,17 @@ func TestOperateAndReputationOverHTTP(t *testing.T) {
 func TestApplyFaults(t *testing.T) {
 	f := newWSFixture(t)
 	// unpublished provider
-	if _, _, err := f.member.Apply("DesignWebPortal"); err == nil {
+	if _, _, err := f.member.Apply(bg, "DesignWebPortal"); err == nil {
 		t.Fatal("apply without publication accepted")
 	}
 	var fault *Fault
-	_, _, err := f.member.Apply("DesignWebPortal")
+	_, _, err := f.member.Apply(bg, "DesignWebPortal")
 	if !errors.As(err, &fault) || fault.Code != "registry" {
 		t.Fatalf("fault = %v", err)
 	}
 	// unknown role
 	f.publishMember(t)
-	if _, _, err := f.member.Apply("NoSuchRole"); err == nil {
+	if _, _, err := f.member.Apply(bg, "NoSuchRole"); err == nil {
 		t.Fatal("unknown role accepted")
 	}
 }
@@ -251,7 +255,7 @@ func TestTNServiceProtocolFaults(t *testing.T) {
 	// phase mismatch: a request message on the credentialExchange
 	// operation is rejected (§6.2's operation/phase correspondence)
 	tn := &TNClient{BaseURL: f.srv.URL, Party: f.member.Party}
-	id, err := tn.Start("whatever")
+	id, err := tn.Start(bg, "whatever")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,15 +271,15 @@ func TestTNStatusEndpoint(t *testing.T) {
 	f := newWSFixture(t)
 	f.publishMember(t)
 	tn := &TNClient{BaseURL: f.srv.URL, Party: f.member.Party}
-	_, resource, err := f.member.Apply("DesignWebPortal")
+	_, resource, err := f.member.Apply(bg, "DesignWebPortal")
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := tn.Start(resource)
+	id, err := tn.Start(bg, resource)
 	if err != nil {
 		t.Fatal(err)
 	}
-	done, _, _, err := tn.Status(id)
+	done, _, _, err := tn.Status(bg, id)
 	if err != nil || done {
 		t.Fatalf("fresh status: done=%v err=%v", done, err)
 	}
@@ -283,7 +287,7 @@ func TestTNStatusEndpoint(t *testing.T) {
 	ep := negotiation.NewRequester(f.member.Party, resource)
 	msg, _ := ep.Start()
 	for msg != nil {
-		reply, err := tn.Exchange(id, msg)
+		reply, err := tn.Exchange(bg, id, msg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,11 +298,11 @@ func TestTNStatusEndpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	done, succeeded, _, err := tn.Status(id)
+	done, succeeded, _, err := tn.Status(bg, id)
 	if err != nil || !done || !succeeded {
 		t.Fatalf("final status: done=%v ok=%v err=%v", done, succeeded, err)
 	}
-	if _, _, _, err := tn.Status("nope"); err == nil {
+	if _, _, _, err := tn.Status(bg, "nope"); err == nil {
 		t.Fatal("status of unknown negotiation should fault")
 	}
 }
@@ -307,16 +311,16 @@ func TestSessionExpiry(t *testing.T) {
 	f := newWSFixture(t)
 	f.tk.TN.MaxSessionAge = time.Millisecond
 	tn := &TNClient{BaseURL: f.srv.URL, Party: f.member.Party}
-	id, err := tn.Start("R")
+	id, err := tn.Start(bg, "R")
 	if err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(5 * time.Millisecond)
 	// sweeping happens on the next session creation
-	if _, err := tn.Start("R"); err != nil {
+	if _, err := tn.Start(bg, "R"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := tn.Status(id); err == nil {
+	if _, _, _, err := tn.Status(bg, id); err == nil {
 		t.Fatal("expired session still served")
 	}
 }
@@ -326,11 +330,11 @@ func TestSessionCapacity(t *testing.T) {
 	f.tk.TN.MaxSessions = 2
 	tn := &TNClient{BaseURL: f.srv.URL, Party: f.member.Party}
 	for i := 0; i < 2; i++ {
-		if _, err := tn.Start("R"); err != nil {
+		if _, err := tn.Start(bg, "R"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := tn.Start("R"); err == nil {
+	if _, err := tn.Start(bg, "R"); err == nil {
 		t.Fatal("capacity limit not enforced")
 	}
 	if got := f.tk.TN.Sessions(); got != 2 {
@@ -378,11 +382,11 @@ func TestRegistryEndpoints(t *testing.T) {
 
 func TestDelivRoleJoinOverHTTP(t *testing.T) {
 	f := newWSFixture(t)
-	err := f.member.Publish(&registry.Description{Provider: "AerospaceCo", Service: "S"})
+	err := f.member.Publish(bg, &registry.Description{Provider: "AerospaceCo", Service: "S"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	der, out, err := f.member.Join("Storage")
+	der, out, err := f.member.Join(bg, "Storage")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +432,7 @@ func TestDBBackedSessions(t *testing.T) {
 		Name: "AerospaceCo", Profile: reqProf,
 		Policies: xtnl.MustPolicySet(), Trust: pki.NewTrustStore(ca),
 	}}
-	out, err := tn.Negotiate("Certification")
+	out, err := tn.Negotiate(bg, "Certification")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +448,7 @@ func TestDBBackedSessions(t *testing.T) {
 	srv2 := httptest.NewServer(mux2)
 	defer srv2.Close()
 	tn2 := &TNClient{BaseURL: srv2.URL, Party: tn.Party}
-	out, err = tn2.Negotiate("Certification")
+	out, err = tn2.Negotiate(bg, "Certification")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,11 +500,11 @@ func TestConcurrentJoinsOverHTTP(t *testing.T) {
 					Policies: xtnl.MustPolicySet(), Trust: pki.NewTrustStore(ca),
 				},
 			}
-			if err := mc.Publish(&registry.Description{Provider: name, Service: "work"}); err != nil {
+			if err := mc.Publish(bg, &registry.Description{Provider: name, Service: "work"}); err != nil {
 				errs <- err
 				return
 			}
-			der, out, err := mc.Join("Worker")
+			der, out, err := mc.Join(bg, "Worker")
 			if err != nil {
 				errs <- fmt.Errorf("%s: %w", name, err)
 				return
@@ -529,7 +533,7 @@ func TestConcurrentJoinsOverHTTP(t *testing.T) {
 func TestAuditEndpoint(t *testing.T) {
 	f := newWSFixture(t)
 	f.publishMember(t)
-	if _, _, err := f.member.Join("DesignWebPortal"); err != nil {
+	if _, _, err := f.member.Join(bg, "DesignWebPortal"); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Post(f.srv.URL+"/vo/start-operation", ContentType, nil)
@@ -537,9 +541,9 @@ func TestAuditEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	f.member.Operate("optimize")   // allowed
-	f.member.Operate("exfiltrate") // violation
-	entries, err := f.member.Audit()
+	f.member.Operate(bg, "optimize")   // allowed
+	f.member.Operate(bg, "exfiltrate") // violation
+	entries, err := f.member.Audit(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -565,7 +569,7 @@ func TestDoneSessionsRetiredAndDontCountAgainstCapacity(t *testing.T) {
 
 	// complete two negotiations; their sessions finish
 	for i := 0; i < 2; i++ {
-		if _, _, err := f.member.Join("DesignWebPortal"); err != nil {
+		if _, _, err := f.member.Join(bg, "DesignWebPortal"); err != nil {
 			t.Fatal(err)
 		}
 		f.tk.Initiator.VO.Remove("AerospaceCo")
@@ -573,7 +577,7 @@ func TestDoneSessionsRetiredAndDontCountAgainstCapacity(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 	// finished sessions neither block new ones nor linger past retention
 	tn := &TNClient{BaseURL: f.srv.URL, Party: f.member.Party}
-	if _, err := tn.Start("R"); err != nil {
+	if _, err := tn.Start(bg, "R"); err != nil {
 		t.Fatalf("capacity blocked by finished sessions: %v", err)
 	}
 	if got := f.tk.TN.Sessions(); got != 1 {

@@ -46,6 +46,7 @@ package trustvo
 
 import (
 	"trustvo/internal/core"
+	"trustvo/internal/faultinject"
 	"trustvo/internal/negotiation"
 	"trustvo/internal/ontology"
 	"trustvo/internal/pki"
@@ -182,6 +183,9 @@ type (
 	Ticket = negotiation.Ticket
 	// TicketCache stores received trust tickets for a party.
 	TicketCache = negotiation.TicketCache
+	// ResumeTicket lets an interrupted negotiation continue from its
+	// last acknowledged tree state (the Trust-X recovery ticket).
+	ResumeTicket = negotiation.ResumeTicket
 )
 
 // Negotiation strategies (§6.2).
@@ -201,6 +205,9 @@ var (
 	ParseStrategy  = negotiation.ParseStrategy
 	IssueTicket    = negotiation.IssueTicket
 	NewTicketCache = negotiation.NewTicketCache
+	// RestoreEndpoint rebuilds a live negotiation endpoint from a
+	// suspended-state snapshot (see ResumeTicket).
+	RestoreEndpoint = negotiation.RestoreEndpoint
 )
 
 // ---- VO substrate and extended lifecycle ----
@@ -306,10 +313,42 @@ type (
 	ToolkitService = wsrpc.ToolkitService
 	// MemberClient is the member-edition client.
 	MemberClient = wsrpc.MemberClient
+	// Transport is the hardened HTTP transport shared by the clients:
+	// per-request deadlines, retries with exponential backoff, and a
+	// per-endpoint circuit breaker.
+	Transport = wsrpc.Transport
+	// RetryPolicy tunes the transport's backoff loop.
+	RetryPolicy = wsrpc.RetryPolicy
+	// TransportError is the typed RPC error carrying status, transience
+	// and Retry-After information.
+	TransportError = wsrpc.Error
+	// SuspendedError wraps a negotiation interrupted by transport
+	// failure; it carries the ResumeTicket to continue it.
+	SuspendedError = wsrpc.SuspendedError
 )
 
-// Web-service constructors.
+// Web-service constructors and error classification.
 var (
 	NewTNService      = wsrpc.NewTNService
 	NewToolkitService = wsrpc.NewToolkitService
+	// IsTemporary reports whether an RPC error is transient (worth
+	// retrying).
+	IsTemporary = wsrpc.IsTemporary
 )
+
+// ---- fault injection ----
+
+type (
+	// FaultConfig selects a deterministic, seeded fault mix (drops,
+	// delays, duplicates, truncations) for the fault-injecting transport.
+	FaultConfig = faultinject.Config
+	// FaultTransport is an http.RoundTripper wrapper that injects the
+	// configured faults; use it to exercise retry/replay/resume paths.
+	FaultTransport = faultinject.Transport
+	// FaultStats counts the faults a FaultTransport injected.
+	FaultStats = faultinject.Stats
+)
+
+// NewFaultTransport wraps base (nil = http.DefaultTransport) with
+// deterministic fault injection.
+var NewFaultTransport = faultinject.New
