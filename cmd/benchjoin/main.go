@@ -358,6 +358,7 @@ func runFaults(w *os.File, n int, seed int64, reportPath string) error {
 	}
 	elapsed := time.Since(t0)
 
+	//lint:allow metricname read-side helper; names below are literals
 	counter := func(name string, lv ...string) int64 { return reg.Counter(name, lv...).Value() }
 	retries := counter("wsrpc_client_retries_total", "route", "/tn/start") +
 		counter("wsrpc_client_retries_total", "route", "/tn/policyExchange") +
@@ -414,7 +415,7 @@ func sumByRoute(reg *telemetry.Registry, name string) int64 {
 	for _, route := range []string{
 		"/tn/start", "/tn/policyExchange", "/tn/credentialExchange", "/tn/status", "/vo/apply",
 	} {
-		total += reg.Counter(name, "route", route).Value()
+		total += reg.Counter(name, "route", route).Value() //lint:allow metricname read-side sum helper; call sites pass literals
 	}
 	return total
 }
@@ -486,7 +487,7 @@ func runStrategies(w *os.File, n int, e *env) error {
 		ctlT.Keys = keysT
 		ctlT.TicketTTL = time.Hour
 		if out, _, err := negotiation.Run(&reqT, &ctlT, resource); err != nil || !out.Succeeded {
-			return fmt.Errorf("ticket priming failed: %v", err)
+			return fmt.Errorf("ticket priming failed: %w", err)
 		}
 		rounds := 0
 		d, err := measure(n, func() error {

@@ -1,0 +1,154 @@
+// Command vetvo runs the module's domain static analyzers (see
+// internal/analysis) over every package in the tree and exits non-zero
+// on findings, making the negotiation/telemetry/codec invariants a CI
+// gate rather than a convention.
+//
+// Usage:
+//
+//	go run ./cmd/vetvo [-json] [-only a,b] [-skip a,b] [packages]
+//
+// With no package arguments (or "./..."), the whole module is
+// analyzed; otherwise findings are limited to packages whose import
+// path matches an argument (a trailing "/..." matches the subtree).
+// Deliberate exceptions are annotated in source with
+// `//lint:allow <analyzer> reason`.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"trustvo/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("vetvo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to skip")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite, err := analysis.Select(analysis.Suite(), splitList(*only), splitList(*skip))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	root, modPath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader := analysis.NewLoader()
+	loader.AddRoot(modPath, root)
+	pkgs, err := loader.LoadModule(modPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if selected := filterPackages(pkgs, modPath, fs.Args()); selected != nil {
+		pkgs = selected
+	} else {
+		fmt.Fprintf(stderr, "vetvo: no packages match %v\n", fs.Args())
+		return 2
+	}
+
+	findings, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil {
+			findings[i].File = rel
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stdout, "vetvo: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// filterPackages narrows pkgs to the requested patterns. Patterns are
+// import paths or ./-relative directories; "p/..." matches the
+// subtree. Returns nil when patterns were given but none matched.
+func filterPackages(pkgs []*analysis.Package, modPath string, patterns []string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	matchers := make([]func(string) bool, 0, len(patterns))
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		recursive := false
+		if pat != "/" {
+			pat = strings.TrimSuffix(pat, "/")
+		}
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive, pat = true, strings.TrimSuffix(rest, "/")
+		}
+		if pat == "" || pat == "." {
+			return pkgs
+		}
+		if pat != modPath && !strings.HasPrefix(pat, modPath+"/") {
+			pat = modPath + "/" + pat
+		}
+		want := pat
+		matchers = append(matchers, func(path string) bool {
+			return path == want || (recursive && strings.HasPrefix(path, want+"/"))
+		})
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		for _, m := range matchers {
+			if m(p.Path) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trustvo/internal/analysis"
+)
+
+// capture runs vetvo's run() with stdout redirected to a temp file and
+// returns the exit code and output.
+func capture(t *testing.T, args ...string) (int, []byte) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "vetvo-out-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(args, out, os.Stderr)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, data
+}
+
+// TestTreeCleanJSON is the acceptance gate in test form: the shipped
+// tree must produce zero findings, and -json must emit a well-formed
+// (empty) array rather than nothing.
+func TestTreeCleanJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	// run() resolves the module from the working directory; tests run
+	// in cmd/vetvo, which is inside the module, so this exercises the
+	// same path CI uses.
+	if _, err := os.Stat(filepath.Join("..", "..", "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	code, data := capture(t, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("vetvo on the shipped tree exited %d:\n%s", code, data)
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, data)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("shipped tree has findings: %v", findings)
+	}
+}
+
+func TestUnknownAnalyzerExits2(t *testing.T) {
+	code, _ := capture(t, "-only", "nosuch")
+	if code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestFilterPackages(t *testing.T) {
+	pkgs := []*analysis.Package{
+		{Path: "trustvo"},
+		{Path: "trustvo/internal/wsrpc"},
+		{Path: "trustvo/internal/wsrpc/sub"},
+		{Path: "trustvo/cmd/vetvo"},
+	}
+	cases := []struct {
+		patterns []string
+		want     int
+	}{
+		{nil, 4},
+		{[]string{"./..."}, 4},
+		{[]string{"internal/wsrpc"}, 1},
+		{[]string{"./internal/wsrpc/"}, 1},
+		{[]string{"./internal/wsrpc/..."}, 2},
+		{[]string{"trustvo/cmd/vetvo"}, 1},
+		{[]string{"nonexistent"}, 0},
+	}
+	for _, c := range cases {
+		got := filterPackages(pkgs, "trustvo", c.patterns)
+		if len(got) != c.want {
+			t.Errorf("filterPackages(%v) matched %d packages, want %d", c.patterns, len(got), c.want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxpropagate enforces the PR-2 transport invariant: cancellation
+// flows from the caller down every network path.
+//
+//   - context.Background() / context.TODO() are reserved for package
+//     main (and tests, which the loader never analyzes); a library that
+//     conjures its own root context breaks deadline propagation.
+//   - A context.Context parameter must come first, everywhere.
+//   - In the network-facing packages (wsrpc, negotiation), an exported
+//     function that calls context-aware code must itself accept a
+//     context (HTTP handlers are exempt: they derive one from
+//     *http.Request), and a context parameter it declares must actually
+//     be used.
+func ctxpropagate() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxpropagate",
+		Doc:  "context.Background/TODO only in package main; ctx params first, present on exported network paths, and passed down",
+	}
+	a.Run = func(p *Pass) error {
+		info := p.Pkg.TypesInfo
+		isMain := p.Pkg.Name == "main"
+		netPkg := pkgPathHasSuffix(p.Pkg.Path, "wsrpc") || pkgPathHasSuffix(p.Pkg.Path, "negotiation")
+		for _, file := range p.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if fn := callee(info, n); !isMain && isPkgFunc(fn, "context", "Background", "TODO") {
+						p.Reportf(n.Pos(), "context.%s is reserved for package main and tests; accept a context.Context from the caller", fn.Name())
+					}
+				case *ast.FuncDecl:
+					checkFuncDecl(p, info, n, isMain, netPkg)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkFuncDecl(p *Pass, info *types.Info, fd *ast.FuncDecl, isMain, netPkg bool) {
+	ctxIdents, paramIndex := contextParams(info, fd.Type)
+	if paramIndex > 0 {
+		p.Reportf(fd.Name.Pos(), "%s: context.Context parameter must come first", fd.Name.Name)
+	}
+	if !netPkg || isMain || !fd.Name.IsExported() || fd.Body == nil {
+		return
+	}
+	if paramIndex < 0 {
+		if hasRequestParam(info, fd.Type) {
+			return // handlers reach the context through *http.Request
+		}
+		if callee := firstContextAwareCall(info, fd.Body); callee != "" {
+			p.Reportf(fd.Name.Pos(), "exported %s calls context-aware %s but takes no context.Context", fd.Name.Name, callee)
+		}
+		return
+	}
+	for _, id := range ctxIdents {
+		if id.Name == "_" {
+			p.Reportf(id.Pos(), "exported %s discards its context parameter; pass it down", fd.Name.Name)
+			continue
+		}
+		obj := info.Defs[id]
+		if obj != nil && !identUsed(info, fd.Body, obj) {
+			p.Reportf(id.Pos(), "exported %s never uses its context parameter; pass it down", fd.Name.Name)
+		}
+	}
+}
+
+// contextParams returns the names of context.Context parameters and the
+// index of the first one (-1 when absent).
+func contextParams(info *types.Info, ft *ast.FuncType) (idents []*ast.Ident, first int) {
+	first = -1
+	index := 0
+	if ft.Params == nil {
+		return nil, first
+	}
+	for _, field := range ft.Params.List {
+		t := info.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextType(t) {
+			if first < 0 {
+				first = index
+			}
+			idents = append(idents, field.Names...)
+		}
+		index += n
+	}
+	return idents, first
+}
+
+// hasRequestParam reports whether the signature takes a *http.Request.
+func hasRequestParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := info.Types[field.Type].Type
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+			return true
+		}
+	}
+	return false
+}
+
+// firstContextAwareCall returns the rendered name of the first call in
+// body whose callee's signature takes a context.Context, skipping the
+// context package itself (whose constructors are reported separately).
+func firstContextAwareCall(info *types.Info, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil || (fn.Pkg() != nil && fn.Pkg().Path() == "context") {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && signatureTakesContext(sig) {
+			found = fn.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// identUsed reports whether obj is referenced anywhere inside body.
+func identUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

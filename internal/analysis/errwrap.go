@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// errwrap enforces the module's error idiom: fmt.Errorf must wrap an
+// error operand with %w (so errors.Is/As see through transport layers —
+// the retry policy classifies wsrpc.Error by unwrapping), and error
+// strings follow Go convention — lower-case first word, no trailing
+// punctuation — so they compose when wrapped.
+func errwrap() *Analyzer {
+	a := &Analyzer{
+		Name: "errwrap",
+		Doc:  "fmt.Errorf wraps error operands with %w; error strings start lower-case and end without punctuation",
+	}
+	a.Run = func(p *Pass) error {
+		info := p.Pkg.TypesInfo
+		errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+		for _, file := range p.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(info, call)
+				switch {
+				case isPkgFunc(fn, "fmt", "Errorf"):
+					checkErrorf(p, info, errorIface, call)
+				case isPkgFunc(fn, "errors", "New"):
+					if len(call.Args) == 1 {
+						checkErrorString(p, info, call.Args[0])
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkErrorf(p *Pass, info *types.Info, errorIface *types.Interface, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	checkErrorString(p, info, call.Args[0])
+	format, ok := constString(info, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	operands := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(operands) {
+			break
+		}
+		if v == 'w' {
+			continue
+		}
+		t := info.Types[operands[i]].Type
+		if t == nil || !types.Implements(t, errorIface) {
+			continue
+		}
+		p.Reportf(operands[i].Pos(), "error operand formatted with %%%c; use %%w so callers can unwrap it", v)
+	}
+}
+
+// checkErrorString applies the style rules to a constant string
+// argument of errors.New / fmt.Errorf.
+func checkErrorString(p *Pass, info *types.Info, arg ast.Expr) {
+	s, ok := constString(info, arg)
+	if !ok || s == "" {
+		return
+	}
+	first, _ := utf8.DecodeRuneInString(s)
+	rest := s[utf8.RuneLen(first):]
+	second, _ := utf8.DecodeRuneInString(rest)
+	// A capital is fine when it starts an initialism or proper token
+	// ("TN service down", "X-TNL ..."), i.e. when the next rune is not
+	// lower-case.
+	if unicode.IsUpper(first) && unicode.IsLower(second) {
+		p.Reportf(arg.Pos(), "error string %q is capitalized; error strings start lower-case", clip(s))
+	}
+	last, _ := utf8.DecodeLastRuneInString(s)
+	if strings.ContainsRune(".!?\n", last) {
+		p.Reportf(arg.Pos(), "error string %q ends with punctuation; error strings compose when wrapped", clip(s))
+	}
+}
+
+// constString extracts the compile-time string value of an expression.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv := info.Types[e]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter for each argument a format string
+// consumes, in order. A '*' width or precision consumes an argument of
+// its own and is emitted as a '*' pseudo-verb to keep alignment.
+func formatVerbs(format string) []rune {
+	var out []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	flags:
+		for i < len(format) {
+			switch format[i] {
+			case '*':
+				out = append(out, '*')
+				i++
+			case '+', '-', '#', ' ', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '.', '[', ']':
+				i++
+			default:
+				break flags
+			}
+		}
+		if i < len(format) && format[i] != '%' {
+			out = append(out, rune(format[i]))
+		}
+	}
+	return out
+}
+
+// clip shortens long strings for the finding message.
+func clip(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunGolden loads importPath through l, runs the analyzers over it, and
+// compares the findings against `// want "regexp"` comments in the
+// package's files: every finding must match an unconsumed want regexp
+// on its line, and every want must be consumed. Multiple quoted
+// regexps on one line expect multiple findings there.
+func RunGolden(t testing.TB, l *Loader, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := l.Load(importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", importPath, err)
+	}
+	findings, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("run %s: %v", importPath, err)
+	}
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, raw := range quotedStrings(t, rest) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.File, f.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no finding matched want %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// quotedStrings extracts the sequence of Go-quoted strings from the
+// tail of a want comment.
+func quotedStrings(t testing.TB, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" || s[0] != '"' {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("bad want comment tail %q: %v", s, err)
+		}
+		raw, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("bad want string %q: %v", q, err)
+		}
+		out = append(out, raw)
+		s = s[len(q):]
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path      string // import path, e.g. trustvo/internal/wsrpc
+	Name      string // package name, e.g. wsrpc or main
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader resolves import paths to directories under registered roots,
+// parses and type-checks them (non-test files only), and falls back to
+// the go/importer source importer for everything else — which is how a
+// stdlib-only driver reaches net/http and friends without export data.
+//
+// Loader implements types.Importer, so loaded packages can import each
+// other and the stdlib freely; results are cached per path.
+type Loader struct {
+	Fset *token.FileSet
+
+	roots   []loaderRoot
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// loaderRoot maps an import-path prefix to a directory. An empty prefix
+// matches any path whose directory exists under dir (used by the golden
+// testdata root, which acts like a tiny GOPATH src tree).
+type loaderRoot struct {
+	prefix string
+	dir    string
+}
+
+// NewLoader returns an empty loader with its own FileSet. The source
+// importer is bound to the same FileSet so all positions stay coherent.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// AddRoot registers a directory serving import paths that start with
+// prefix ("" matches any path that resolves to an existing directory).
+func (l *Loader) AddRoot(prefix, dir string) {
+	l.roots = append(l.roots, loaderRoot{prefix: prefix, dir: dir})
+}
+
+// dirFor resolves an import path against the registered roots.
+func (l *Loader) dirFor(path string) (string, bool) {
+	for _, r := range l.roots {
+		switch {
+		case r.prefix != "" && path == r.prefix:
+			return r.dir, true
+		case r.prefix != "" && strings.HasPrefix(path, r.prefix+"/"):
+			return filepath.Join(r.dir, filepath.FromSlash(strings.TrimPrefix(path, r.prefix+"/"))), true
+		case r.prefix == "":
+			dir := filepath.Join(r.dir, filepath.FromSlash(path))
+			if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+				return dir, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Import implements types.Importer over the registered roots with a
+// stdlib source-importer fallback.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.dirFor(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package at the import path, loading
+// its root-resident dependencies first. Test files are skipped: the
+// analyzers enforce invariants on shipping code, and _test.go files may
+// import packages outside the roots.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s is outside every loader root", path)
+	}
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	for _, name := range names {
+		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	pkg.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, pkg.Files, pkg.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Name = tpkg.Name()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadModule walks the module rooted at dir (its import-path prefix
+// must already be registered via AddRoot) and loads every package under
+// it, skipping testdata, vendor, and dot-directories. Packages come
+// back sorted by import path so analyzer state and findings are
+// deterministic.
+func (l *Loader) LoadModule(prefix string) ([]*Package, error) {
+	var rootDir string
+	for _, r := range l.roots {
+		if r.prefix == prefix {
+			rootDir = r.dir
+		}
+	}
+	if rootDir == "" {
+		return nil, fmt.Errorf("analysis: no root registered for %s", prefix)
+	}
+	var paths []string
+	err := filepath.WalkDir(rootDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != rootDir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(p)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(rootDir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, prefix)
+		} else {
+			paths = append(paths, prefix+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goFileNames lists the non-test Go files in dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod and returns that directory plus the declared module path.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// metricNameRE is the naming contract from the telemetry PR: snake_case,
+// lower-case first letter, no trailing underscore. Unit/kind suffixes
+// (_total, _seconds, _bytes) are checked per constructor below.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*[a-z0-9]$`)
+
+// metricUse records where a metric name was first registered and as
+// what kind, for the module-wide uniqueness check.
+type metricUse struct {
+	kind string
+	pos  token.Position
+}
+
+// metricname checks every string literal handed to the telemetry
+// constructors (Registry.Counter/Gauge/Histogram/LatencyHistogram and
+// anything else with those method names defined in a telemetry
+// package): the name must be a compile-time constant matching the
+// naming contract, counters must end in _total, latency histograms in
+// _seconds, gauges must not carry a unit suffix, label key/value
+// arguments must pair up, and a name must keep one kind module-wide —
+// the same series emitted as both counter and gauge corrupts the
+// Prometheus exposition and the Fig. 9 run reports.
+//
+// The analyzer keeps state across packages, so it must come from
+// Suite() fresh per run; the telemetry package itself is exempt (its
+// internals forward names between constructors).
+func metricname() *Analyzer {
+	a := &Analyzer{
+		Name: "metricname",
+		Doc:  "telemetry metric names are constant snake_case with kind-correct suffixes, paired labels, and one kind per name module-wide",
+	}
+	seen := make(map[string]metricUse)
+	a.Run = func(p *Pass) error {
+		if pkgPathHasSuffix(p.Pkg.Path, "telemetry") {
+			return nil
+		}
+		info := p.Pkg.TypesInfo
+		for _, file := range p.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, labelStart := metricConstructor(info, call)
+				if kind == "" || len(call.Args) == 0 {
+					return true
+				}
+				checkMetricCall(p, info, seen, call, kind, labelStart)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// metricConstructor classifies a call as one of the telemetry
+// constructors, returning the metric kind and the index where label
+// key/value arguments begin ("" when the call is something else).
+func metricConstructor(info *types.Info, call *ast.CallExpr) (kind string, labelStart int) {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !pkgPathHasSuffix(fn.Pkg().Path(), "telemetry") {
+		return "", 0
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return "", 0
+	}
+	switch fn.Name() {
+	case "Counter":
+		return "counter", 1
+	case "Gauge":
+		return "gauge", 1
+	case "Histogram":
+		return "histogram", 2 // (name, buckets, labels...)
+	case "LatencyHistogram":
+		return "latency histogram", 1
+	}
+	return "", 0
+}
+
+func checkMetricCall(p *Pass, info *types.Info, seen map[string]metricUse, call *ast.CallExpr, kind string, labelStart int) {
+	nameArg := call.Args[0]
+	name, ok := constString(info, nameArg)
+	if !ok {
+		p.Reportf(nameArg.Pos(), "%s name must be a constant string so the series set is greppable", kind)
+		return
+	}
+	switch {
+	case !metricNameRE.MatchString(name):
+		p.Reportf(nameArg.Pos(), "%s name %q must match %s", kind, name, metricNameRE)
+	case kind == "counter" && !strings.HasSuffix(name, "_total"):
+		p.Reportf(nameArg.Pos(), "counter name %q must end in _total", name)
+	case kind == "latency histogram" && !strings.HasSuffix(name, "_seconds"):
+		p.Reportf(nameArg.Pos(), "latency histogram name %q must end in _seconds", name)
+	case kind == "gauge" && hasUnitSuffix(name):
+		p.Reportf(nameArg.Pos(), "gauge name %q must not carry a _total/_seconds/_bytes suffix", name)
+	}
+	if len(call.Args) > labelStart && !call.Ellipsis.IsValid() {
+		if nlabels := len(call.Args) - labelStart; nlabels%2 != 0 {
+			p.Reportf(call.Args[labelStart].Pos(), "%s %q has %d label arguments; labels are key/value pairs", kind, name, nlabels)
+		}
+	}
+	// Histograms share one kind bucket: LatencyHistogram is sugar over
+	// Histogram, so the same name through either is consistent.
+	kindKey := kind
+	if kind == "latency histogram" {
+		kindKey = "histogram"
+	}
+	pos := p.Fset.Position(nameArg.Pos())
+	if prev, ok := seen[name]; ok {
+		if prev.kind != kindKey {
+			p.Reportf(nameArg.Pos(), "metric %q already registered as a %s at %s:%d; one kind per name", name, prev.kind, prev.pos.Filename, prev.pos.Line)
+		}
+		return
+	}
+	seen[name] = metricUse{kind: kindKey, pos: pos}
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range []string{"_total", "_seconds", "_bytes"} {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}

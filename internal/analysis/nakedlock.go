@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nakedlock flags a sync.Mutex/RWMutex Lock or RLock whose very next
+// statement in the block is not the matching defer Unlock: every early
+// return between a naked Lock and its Unlock is a deadlock waiting for
+// the next refactor (the telemetry and suspend paths run under these
+// locks while handling live negotiations). Deliberate short critical
+// sections — lock, snapshot, unlock before slow work — carry
+// //lint:allow nakedlock with a reason.
+func nakedlock() *Analyzer {
+	a := &Analyzer{
+		Name: "nakedlock",
+		Doc:  "mu.Lock() is immediately followed by defer mu.Unlock() (same for RLock/RUnlock) unless annotated",
+	}
+	a.Run = func(p *Pass) error {
+		info := p.Pkg.TypesInfo
+		for _, file := range p.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					list = n.List
+				case *ast.CaseClause:
+					list = n.Body
+				case *ast.CommClause:
+					list = n.Body
+				default:
+					return true
+				}
+				for i, stmt := range list {
+					recv, method, ok := mutexLockStmt(info, stmt)
+					if !ok {
+						continue
+					}
+					want := "Unlock"
+					if method == "RLock" {
+						want = "RUnlock"
+					}
+					if i+1 < len(list) && isDeferUnlock(list[i+1], recv, want) {
+						continue
+					}
+					p.Reportf(stmt.Pos(), "%s.%s() is not immediately followed by defer %s.%s(); an early return leaks the lock", recv, method, recv, want)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// mutexLockStmt matches `expr.Lock()` / `expr.RLock()` statements where
+// expr is a sync.Mutex or sync.RWMutex (possibly behind a pointer) and
+// returns the rendered receiver expression and the method name.
+func mutexLockStmt(info *types.Info, stmt ast.Stmt) (recv, method string, ok bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", "", false
+	}
+	t := info.Types[sel.X].Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || (obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isDeferUnlock matches `defer recv.want()` for the textually same
+// receiver expression.
+func isDeferUnlock(stmt ast.Stmt, recv, want string) bool {
+	ds, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := ds.Call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != want {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}

@@ -1,0 +1,12 @@
+// Command mainpkg is a golden fixture: package main may own root
+// contexts, so nothing here is flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = use(ctx)
+}
+
+func use(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,65 @@
+// Package wsrpc is a golden fixture: its import path ends in /wsrpc,
+// so the ctxpropagate network-package rules apply.
+package wsrpc
+
+import (
+	"context"
+	"net/http"
+)
+
+// Dial is context-aware plumbing the fixtures below call into.
+func Dial(ctx context.Context, addr string) error { return ctx.Err() }
+
+// background conjures a root context in library code (unexported, so
+// only the context-constructor rule fires).
+func background() error {
+	ctx := context.Background() // want "context.Background is reserved for package main"
+	return Dial(ctx, "a")
+}
+
+// todo conjures the other root context.
+func todo() error {
+	ctx := context.TODO() // want "context.TODO is reserved for package main"
+	return Dial(ctx, "a")
+}
+
+// MisplacedCtx takes a context, but not first.
+func MisplacedCtx(addr string, ctx context.Context) error { // want "context.Context parameter must come first"
+	return Dial(ctx, addr)
+}
+
+// NoCtx is an exported network path with no context parameter.
+func NoCtx(addr string) error { // want "exported NoCtx calls context-aware Dial but takes no context.Context"
+	return Dial(nil, addr)
+}
+
+// DropsCtx declares a context and never passes it down.
+func DropsCtx(ctx context.Context, addr string) error { // want "exported DropsCtx never uses its context parameter"
+	return nil
+}
+
+// BlankCtx discards the context outright.
+func BlankCtx(_ context.Context, addr string) error { // want "exported BlankCtx discards its context parameter"
+	return nil
+}
+
+// Good threads its context down; no finding.
+func Good(ctx context.Context, addr string) error {
+	return Dial(ctx, addr)
+}
+
+// ServeHTTP-style handlers derive the context from the request.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	_ = Dial(r.Context(), "a")
+}
+
+// unexportedNoCtx is not exported, so the network-path rule skips it.
+func unexportedNoCtx(addr string) error {
+	return Dial(nil, addr)
+}
+
+// allowed is a deliberate, annotated exception.
+func allowed() error {
+	ctx := context.Background() //lint:allow ctxpropagate fixture exception
+	return Dial(ctx, "a")
+}

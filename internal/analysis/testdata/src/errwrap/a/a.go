@@ -1,0 +1,67 @@
+// Package a is the errwrap golden fixture.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wraps(err error) error {
+	return fmt.Errorf("reading frame: %v", err) // want "error operand formatted with %v; use %w"
+}
+
+func wrapsS(err error) error {
+	return fmt.Errorf("reading frame: %s", err) // want "error operand formatted with %s; use %w"
+}
+
+func wrapsWell(err error) error {
+	return fmt.Errorf("reading frame: %w", err) // ok
+}
+
+func doubleWrap(err error) error {
+	return fmt.Errorf("%w: %w", errBase, err) // ok: multi-%w since go1.20
+}
+
+func mixedOperands(n int, err error) error {
+	// the int is %d, the error lands on the second verb
+	return fmt.Errorf("frame %d: %v", n, err) // want "error operand formatted with %v"
+}
+
+func starWidth(w int, err error) error {
+	// '*' consumes an argument; the error still aligns with %v
+	return fmt.Errorf("%*d oops: %v", w, 7, err) // want "error operand formatted with %v"
+}
+
+func capitalized() error {
+	return errors.New("Bad handshake") // want "error string \"Bad handshake\" is capitalized"
+}
+
+func capitalizedErrorf(n int) error {
+	return fmt.Errorf("Too many rounds: %d", n) // want "is capitalized"
+}
+
+func initialism() error {
+	return errors.New("TN service unavailable") // ok: initialisms stay upper-case
+}
+
+func properToken() error {
+	return errors.New("X-TNL policy rejected") // ok
+}
+
+func punctuated() error {
+	return errors.New("handshake failed.") // want "ends with punctuation"
+}
+
+func exclaimed(n int) error {
+	return fmt.Errorf("round %d exploded!", n) // want "ends with punctuation"
+}
+
+func colonTail() error {
+	return errors.New("context:") // ok: colons are separators, not sentence enders
+}
+
+func allowed() error {
+	return errors.New("Sentence case kept on purpose.") //lint:allow errwrap fixture exception
+}

@@ -1,0 +1,35 @@
+// Package a is the metricname golden fixture.
+package a
+
+import "telemetry"
+
+const constName = "frames_total"
+
+func record(r *telemetry.Registry, dynamic string) {
+	r.Counter("tn_rounds_total").Inc()                     // ok
+	r.Counter(constName).Inc()                             // ok: constants resolve
+	r.Counter("tn_Rounds_total").Inc()                     // want "must match"
+	r.Counter("_rounds_total").Inc()                       // want "must match"
+	r.Counter("rounds_total_").Inc()                       // want "must match"
+	r.Counter("tn_rounds").Inc()                           // want "counter name \"tn_rounds\" must end in _total"
+	r.Counter(dynamic).Inc()                               // want "must be a constant string"
+	r.Gauge("sessions_active").Set(1)                      // ok
+	r.Gauge("sessions_total").Set(1)                       // want "must not carry a _total/_seconds/_bytes suffix"
+	r.LatencyHistogram("join_seconds")                     // ok
+	r.LatencyHistogram("join_latency")                     // want "must end in _seconds"
+	r.Histogram("tree_nodes", nil)                         // ok: plain histograms carry no unit suffix rule
+	r.Counter("labeled_total", "route", "/tn/start").Inc() // ok: paired labels
+	r.Counter("odd_total", "route").Inc()                  // want "has 1 label arguments"
+}
+
+func kinds(r *telemetry.Registry) {
+	r.Counter("mixed_kind_total").Inc()  // ok: first registration wins
+	r.Histogram("mixed_kind_total", nil) // want "already registered as a counter"
+	r.Histogram("join_seconds", nil)     // ok: latency histograms are histograms
+	allowed(r)
+}
+
+func allowed(r *telemetry.Registry) {
+	//lint:allow metricname fixture exception
+	r.Counter("Legacy_name").Inc()
+}

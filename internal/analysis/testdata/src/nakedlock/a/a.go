@@ -1,0 +1,88 @@
+// Package a is the nakedlock golden fixture.
+package a
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	val int
+}
+
+func (b *box) naked() int {
+	b.mu.Lock() // want "b.mu.Lock\\(\\) is not immediately followed by defer b.mu.Unlock\\(\\)"
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}
+
+func (b *box) nakedRead() int {
+	b.rw.RLock() // want "b.rw.RLock\\(\\) is not immediately followed by defer b.rw.RUnlock\\(\\)"
+	v := b.val
+	b.rw.RUnlock()
+	return v
+}
+
+func (b *box) deferredRead() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.val
+}
+
+func (b *box) mismatchedDefer() int {
+	b.rw.RLock() // want "b.rw.RLock\\(\\) is not immediately followed by defer b.rw.RUnlock\\(\\)"
+	defer b.rw.Unlock()
+	return b.val
+}
+
+func (b *box) wrongReceiverDefer(other *box) int {
+	b.mu.Lock() // want "b.mu.Lock\\(\\) is not immediately followed by defer b.mu.Unlock\\(\\)"
+	defer other.mu.Unlock()
+	return b.val
+}
+
+func (b *box) inBranch(ok bool) int {
+	if ok {
+		b.mu.Lock() // want "b.mu.Lock\\(\\)"
+		b.val++
+		b.mu.Unlock()
+	}
+	return b.val
+}
+
+func (b *box) inSwitch(n int) {
+	switch n {
+	case 0:
+		b.mu.Lock() // want "b.mu.Lock\\(\\)"
+		b.val = n
+		b.mu.Unlock()
+	default:
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.val = n
+	}
+}
+
+func (b *box) allowed() int {
+	b.mu.Lock() //lint:allow nakedlock snapshot-then-release fixture
+	v := b.val
+	b.mu.Unlock()
+	return v
+}
+
+// notAMutex has Lock/Unlock methods but is not a sync type; ignored.
+type notAMutex struct{}
+
+func (notAMutex) Lock()   {}
+func (notAMutex) Unlock() {}
+
+func otherLocker(l notAMutex) {
+	l.Lock()
+	l.Unlock()
+}

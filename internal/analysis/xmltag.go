@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+)
+
+// xmltag guards the wire-schema hygiene of structs that go through
+// encoding/xml (the X-TNL credential/policy documents of §5 travel as
+// XML; a field silently marshaled under its Go name is a schema change
+// nobody reviewed). Two rules:
+//
+//   - A struct declared in the analyzed package with at least one
+//     xml-tagged field must tag every exported field — a half-tagged
+//     struct means someone added a field and forgot the wire name.
+//   - Any named struct passed to encoding/xml marshal/unmarshal entry
+//     points must tag every exported field, reported at the call site
+//     so uses of structs from other packages are still caught.
+//
+// `xml:"-"` counts as an explicit decision and satisfies both rules.
+func xmltag() *Analyzer {
+	a := &Analyzer{
+		Name: "xmltag",
+		Doc:  "structs serialized with encoding/xml carry explicit xml tags on every exported field",
+	}
+	a.Run = func(p *Pass) error {
+		info := p.Pkg.TypesInfo
+		// seen dedupes rule-1 and rule-2 reports for the same field.
+		seen := make(map[string]bool)
+		for _, file := range p.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.TypeSpec:
+					if st, ok := n.Type.(*ast.StructType); ok {
+						checkDeclaredStruct(p, n.Name.Name, st, seen)
+					}
+				case *ast.CallExpr:
+					if arg := xmlPayloadArg(info, n); arg != nil {
+						checkXMLArg(p, info, n, arg, seen)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkDeclaredStruct applies rule 1 to a struct type declaration.
+func checkDeclaredStruct(p *Pass, typeName string, st *ast.StructType, seen map[string]bool) {
+	tagged := false
+	for _, f := range st.Fields.List {
+		if _, ok := fieldXMLTag(f); ok {
+			tagged = true
+			break
+		}
+	}
+	if !tagged {
+		return
+	}
+	for _, f := range st.Fields.List {
+		if _, ok := fieldXMLTag(f); ok {
+			continue
+		}
+		for _, name := range f.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if key := typeName + "." + name.Name; !seen[key] {
+				seen[key] = true
+				p.Reportf(name.Pos(), "exported field %s.%s has no xml tag but sibling fields do; tag it (or xml:\"-\")", typeName, name.Name)
+			}
+		}
+	}
+}
+
+// fieldXMLTag extracts the xml struct tag of a field.
+func fieldXMLTag(f *ast.Field) (string, bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(f.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("xml")
+}
+
+// xmlPayloadArg returns the payload argument of an encoding/xml
+// marshal/unmarshal call, or nil for other calls.
+func xmlPayloadArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/xml" {
+		return nil
+	}
+	idx := -1
+	switch fn.Name() {
+	case "Marshal", "MarshalIndent", "Encode", "EncodeElement", "Decode", "DecodeElement":
+		idx = 0
+	case "Unmarshal":
+		idx = 1
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return nil
+	}
+	return call.Args[idx]
+}
+
+// checkXMLArg applies rule 2 to the payload of an encoding/xml call.
+func checkXMLArg(p *Pass, info *types.Info, call *ast.CallExpr, arg ast.Expr, seen map[string]bool) {
+	t := info.Types[arg].Type
+	if t == nil {
+		return
+	}
+	named, st := derefStruct(t)
+	if named == nil {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || f.Embedded() {
+			continue
+		}
+		if _, ok := reflect.StructTag(st.Tag(i)).Lookup("xml"); ok {
+			continue
+		}
+		key := named.Obj().Name() + "." + f.Name()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		p.Reportf(call.Pos(), "%s is serialized with encoding/xml but exported field %s has no xml tag", named.Obj().Name(), f.Name())
+	}
+}

@@ -263,7 +263,7 @@ var ErrBadMessage = errors.New("negotiation: malformed message")
 func ParseMessage(xmlText string) (*Message, error) {
 	root, err := xmldom.ParseString(xmlText)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	return MessageFromDOM(root)
 }
@@ -275,7 +275,7 @@ func MessageFromDOM(root *xmldom.Node) (*Message, error) {
 	}
 	mt, err := parseMsgType(root.AttrOr("type", ""))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 	}
 	m := &Message{
 		Type:         mt,
@@ -286,7 +286,7 @@ func MessageFromDOM(root *xmldom.Node) (*Message, error) {
 	if st, ok := root.Attr("strategy"); ok {
 		s, err := ParseStrategy(st)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 		}
 		m.Strategy = s
 	}
@@ -311,7 +311,7 @@ func MessageFromDOM(root *xmldom.Node) (*Message, error) {
 		for _, pe := range an.Childs("policy") {
 			p, err := xtnl.PolicyFromDOM(pe)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+				return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 			}
 			a.Policies = append(a.Policies, p)
 		}
@@ -338,12 +338,12 @@ func MessageFromDOM(root *xmldom.Node) (*Message, error) {
 	}
 	if n := root.Child("nonce"); n != nil {
 		if m.Nonce, err = b64(n.Text()); err != nil {
-			return nil, fmt.Errorf("%w: nonce: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: nonce: %w", ErrBadMessage, err)
 		}
 	}
 	if g := root.Child("grant"); g != nil {
 		if m.Grant, err = b64(g.Text()); err != nil {
-			return nil, fmt.Errorf("%w: grant: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: grant: %w", ErrBadMessage, err)
 		}
 	}
 	if tk := root.Child("ticket"); tk != nil {
@@ -364,14 +364,14 @@ func disclosureFromDOM(el *xmldom.Node) (*CredentialDisclosure, error) {
 	if ce := el.Child("credential"); ce != nil {
 		c, err := xtnl.CredentialFromDOM(ce)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 		}
 		d.Credential = c
 	}
 	if xe := el.Child("x509"); xe != nil {
 		b, err := base64.StdEncoding.DecodeString(strings.TrimSpace(xe.Text()))
 		if err != nil {
-			return nil, fmt.Errorf("%w: x509: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: x509: %w", ErrBadMessage, err)
 		}
 		d.X509 = b
 	}
@@ -382,14 +382,14 @@ func disclosureFromDOM(el *xmldom.Node) (*CredentialDisclosure, error) {
 		}
 		c, err := xtnl.CredentialFromDOM(ce)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadMessage, err)
 		}
 		d.Committed = c
 	}
 	for _, oe := range el.Childs("opened") {
 		salt, err := base64.StdEncoding.DecodeString(oe.AttrOr("salt", ""))
 		if err != nil {
-			return nil, fmt.Errorf("%w: opened salt: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: opened salt: %w", ErrBadMessage, err)
 		}
 		d.Opened = append(d.Opened, OpenedAttr{
 			Name:  oe.AttrOr("name", ""),
@@ -400,7 +400,7 @@ func disclosureFromDOM(el *xmldom.Node) (*CredentialDisclosure, error) {
 	if pr := el.Child("ownershipProof"); pr != nil {
 		b, err := base64.StdEncoding.DecodeString(pr.Text())
 		if err != nil {
-			return nil, fmt.Errorf("%w: ownership proof: %v", ErrBadMessage, err)
+			return nil, fmt.Errorf("%w: ownership proof: %w", ErrBadMessage, err)
 		}
 		d.OwnershipProof = b
 	}
@@ -408,7 +408,7 @@ func disclosureFromDOM(el *xmldom.Node) (*CredentialDisclosure, error) {
 		for _, ce := range ch.Childs("credential") {
 			c, err := xtnl.CredentialFromDOM(ce)
 			if err != nil {
-				return nil, fmt.Errorf("%w: chain: %v", ErrBadMessage, err)
+				return nil, fmt.Errorf("%w: chain: %w", ErrBadMessage, err)
 			}
 			d.Chain = append(d.Chain, c)
 		}

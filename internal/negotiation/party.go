@@ -182,7 +182,7 @@ func (p *Party) resolveTerm(term xtnl.Term) ([]candidate, error) {
 			if len(out) > 0 {
 				return sortCandidates(out), nil
 			}
-			return nil, fmt.Errorf("%w: %v", errNoCandidate, err)
+			return nil, fmt.Errorf("%w: %w", errNoCandidate, err)
 		}
 		for _, c := range creds {
 			out = append(out, candidate{cred: c})

@@ -85,11 +85,11 @@ func (t *Ticket) DOM() *xmldom.Node {
 func ticketFromDOM(n *xmldom.Node) (*Ticket, error) {
 	exp, err := time.Parse(time.RFC3339, n.AttrOr("expires", ""))
 	if err != nil {
-		return nil, fmt.Errorf("%w: bad expiry: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: bad expiry: %w", ErrBadMessage, err)
 	}
 	sig, err := base64.StdEncoding.DecodeString(n.Text())
 	if err != nil {
-		return nil, fmt.Errorf("%w: bad ticket signature encoding: %v", ErrBadMessage, err)
+		return nil, fmt.Errorf("%w: bad ticket signature encoding: %w", ErrBadMessage, err)
 	}
 	return &Ticket{
 		Issuer:    n.AttrOr("issuer", ""),
@@ -297,11 +297,11 @@ func ResumeTicketFromDOM(n *xmldom.Node) (*ResumeTicket, error) {
 	}
 	exp, err := time.Parse(time.RFC3339, n.AttrOr("expires", ""))
 	if err != nil {
-		return nil, fmt.Errorf("%w: bad expiry: %v", ErrBadResumeTicket, err)
+		return nil, fmt.Errorf("%w: bad expiry: %w", ErrBadResumeTicket, err)
 	}
 	seq, err := strconv.ParseInt(n.AttrOr("seq", "0"), 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("%w: bad seq: %v", ErrBadResumeTicket, err)
+		return nil, fmt.Errorf("%w: bad seq: %w", ErrBadResumeTicket, err)
 	}
 	t := &ResumeTicket{
 		NegID:    n.AttrOr("negotiation", ""),
@@ -312,7 +312,7 @@ func ResumeTicketFromDOM(n *xmldom.Node) (*ResumeTicket, error) {
 	}
 	if tm := n.Child("tnMessage"); tm != nil {
 		if t.LastSent, err = MessageFromDOM(tm); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadResumeTicket, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadResumeTicket, err)
 		}
 	}
 	if st := n.Child("negotiationState"); st != nil {
@@ -320,7 +320,7 @@ func ResumeTicketFromDOM(n *xmldom.Node) (*ResumeTicket, error) {
 	}
 	if sig := n.Child("signature"); sig != nil {
 		if t.Signature, err = base64.StdEncoding.DecodeString(sig.Text()); err != nil {
-			return nil, fmt.Errorf("%w: bad signature encoding: %v", ErrBadResumeTicket, err)
+			return nil, fmt.Errorf("%w: bad signature encoding: %w", ErrBadResumeTicket, err)
 		}
 	}
 	return t, nil

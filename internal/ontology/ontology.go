@@ -390,7 +390,7 @@ type Match struct {
 // it with every concept in ontology O2"). It returns a zero Match when
 // the ontology is empty.
 func (o *Ontology) BestMatch(foreign *Concept) Match {
-	o.mu.RLock()
+	o.mu.RLock() //lint:allow nakedlock snapshot names only; the O(n) matching below runs unlocked
 	names := make([]string, 0, len(o.concepts))
 	for n := range o.concepts {
 		names = append(names, n)

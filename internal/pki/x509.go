@@ -71,6 +71,14 @@ type VOAuthority struct {
 	caDER  []byte
 }
 
+// nextSerial allocates the next certificate serial number.
+func (a *VOAuthority) nextSerial() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.serial++
+	return a.serial
+}
+
 // NewVOAuthority creates the VO's certificate authority with a
 // self-signed CA certificate.
 func NewVOAuthority(voName string) (*VOAuthority, error) {
@@ -123,10 +131,7 @@ func (a *VOAuthority) IssueMembership(member, role string, lifetime time.Duratio
 	if lifetime == 0 {
 		lifetime = 365 * 24 * time.Hour
 	}
-	a.mu.Lock()
-	a.serial++
-	serial := a.serial
-	a.mu.Unlock()
+	serial := a.nextSerial()
 
 	// The member's certificate key: a fresh key pair would normally be
 	// provided by the member via CSR; for membership tokens the subject

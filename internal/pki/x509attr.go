@@ -51,6 +51,14 @@ type x509State struct {
 	mu     sync.Mutex
 }
 
+// nextSerial allocates the next issued-certificate counter value.
+func (st *x509State) nextSerial() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.serial++
+	return st.serial
+}
+
 var x509States sync.Map // *Authority -> *x509State
 
 func (a *Authority) x509state() (*x509State, error) {
@@ -102,10 +110,7 @@ func (a *Authority) EncodeX509Attribute(cred *xtnl.Credential) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	st.mu.Lock()
-	st.serial++
-	serial := st.serial + 1 // serial 1 is the CA certificate itself
-	st.mu.Unlock()
+	serial := st.nextSerial() + 1 // serial 1 is the CA certificate itself
 
 	attrs := make([]asn1Attr, len(cred.Attributes))
 	for i, at := range cred.Attributes {

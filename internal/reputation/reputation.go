@@ -112,7 +112,7 @@ type MemberScore struct {
 // Ranking returns all known members ordered by descending score
 // (ties broken by name for determinism).
 func (s *System) Ranking(now time.Time) []MemberScore {
-	s.mu.RLock()
+	s.mu.RLock() //lint:allow nakedlock snapshot member names; scoring below re-locks per member
 	members := make([]string, 0, len(s.events))
 	for m := range s.events {
 		members = append(members, m)

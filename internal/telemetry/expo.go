@@ -17,9 +17,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	cs, gs, hs := r.snapshotLocked()
-	r.mu.Unlock()
+	cs, gs, hs := r.snapshot()
 
 	var lastName string
 	for _, c := range cs {

@@ -35,9 +35,7 @@ func (r *Registry) Report() *Report {
 	if r == nil {
 		return rep
 	}
-	r.mu.Lock()
-	cs, gs, hs := r.snapshotLocked()
-	r.mu.Unlock()
+	cs, gs, hs := r.snapshot()
 	if len(cs) > 0 {
 		rep.Counters = make(map[string]int64, len(cs))
 		for _, c := range cs {

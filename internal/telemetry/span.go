@@ -81,8 +81,8 @@ func (s *Span) SetAttr(k, v string) *Span {
 		return nil
 	}
 	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
 	s.attrs = append(s.attrs, k, v)
-	s.trace.mu.Unlock()
 	return s
 }
 
@@ -156,10 +156,7 @@ func (t *Trace) String() string {
 	if t == nil {
 		return ""
 	}
-	t.mu.Lock()
-	spans := make([]*Span, len(t.spans))
-	copy(spans, t.spans)
-	t.mu.Unlock()
+	spans := t.Spans()
 
 	children := make(map[int][]*Span)
 	var roots []*Span
@@ -176,10 +173,7 @@ func (t *Trace) String() string {
 		b.WriteString(strings.Repeat("  ", depth))
 		b.WriteString(s.Name)
 		fmt.Fprintf(&b, " %.3fms", float64(s.Duration().Microseconds())/1000)
-		t.mu.Lock()
-		attrs := make([]string, len(s.attrs))
-		copy(attrs, s.attrs)
-		t.mu.Unlock()
+		attrs := s.Attrs()
 		for i := 0; i+1 < len(attrs); i += 2 {
 			fmt.Fprintf(&b, " %s=%s", attrs[i], attrs[i+1])
 		}

@@ -238,6 +238,14 @@ func (r *Registry) LatencyHistogram(name string, labels ...string) *Histogram {
 	return r.Histogram(name, LatencyBuckets, labels...)
 }
 
+// snapshot takes the registry lock just long enough to copy the series
+// lists; rendering happens outside the lock.
+func (r *Registry) snapshot() (cs []*counterSeries, gs []*gaugeSeries, hs []*histogramSeries) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
 // snapshotSeries returns sorted copies of all series for rendering.
 func (r *Registry) snapshotLocked() (cs []*counterSeries, gs []*gaugeSeries, hs []*histogramSeries) {
 	for _, c := range r.counters {

@@ -23,6 +23,28 @@ import (
 // KindTNSession is the store kind for suspended negotiation sessions.
 const KindTNSession = "tnsession"
 
+// suspendDoc snapshots one session into its store document under the
+// session lock, reporting ok=false when there is nothing to resume.
+func (sess *tnSession) suspendDoc(id string) (doc *xmldom.Node, ok bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	state, err := sess.endpoint.SnapshotDOM()
+	if err != nil {
+		return nil, false
+	}
+	doc = xmldom.NewElement("tnSession").
+		SetAttr("id", id).
+		SetAttr("lastSeq", strconv.FormatInt(sess.lastSeq, 10)).
+		SetAttr("lastStatus", strconv.Itoa(sess.lastReplyStatus))
+	doc.AppendChild(state)
+	if sess.lastReply != "" {
+		lr := xmldom.NewElement("lastReply")
+		lr.AppendChild(xmldom.NewText(sess.lastReply))
+		doc.AppendChild(lr)
+	}
+	return doc, true
+}
+
 // SuspendSessions persists every live, unfinished session to db and
 // returns how many were written. Sessions that never processed a
 // message carry no state worth saving and are skipped. Call after the
@@ -38,25 +60,12 @@ func (s *TNService) SuspendSessions(db *store.Store) (int, error) {
 		if sess.done.Load() {
 			continue
 		}
-		sess.mu.Lock()
-		state, err := sess.endpoint.SnapshotDOM()
-		if err != nil {
+		doc, ok := sess.suspendDoc(id)
+		if !ok {
 			// e.g. a session created by /tn/start that never saw a
 			// message: nothing to resume
-			sess.mu.Unlock()
 			continue
 		}
-		doc := xmldom.NewElement("tnSession").
-			SetAttr("id", id).
-			SetAttr("lastSeq", strconv.FormatInt(sess.lastSeq, 10)).
-			SetAttr("lastStatus", strconv.Itoa(sess.lastReplyStatus))
-		doc.AppendChild(state)
-		if sess.lastReply != "" {
-			lr := xmldom.NewElement("lastReply")
-			lr.AppendChild(xmldom.NewText(sess.lastReply))
-			doc.AppendChild(lr)
-		}
-		sess.mu.Unlock()
 		if err := db.Put(KindTNSession, id, doc); err != nil {
 			return suspended, err
 		}
@@ -91,7 +100,7 @@ func (s *TNService) ResumeSessions(db *store.Store) (int, error) {
 			db.Delete(KindTNSession, id)
 			continue
 		}
-		s.mu.Lock()
+		s.mu.Lock() //lint:allow nakedlock map insert inside a loop; defer would hold the lock across iterations
 		s.sessions[id] = sess
 		s.mu.Unlock()
 		if m := s.Metrics; m != nil {

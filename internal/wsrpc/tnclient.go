@@ -77,7 +77,7 @@ func (c *TNClient) bumpSeq(n int64) {
 // negotiationCtx applies the per-negotiation deadline.
 func (c *TNClient) negotiationCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxpropagate defensive default for nil-ctx callers
 	}
 	if c.NegotiationTimeout > 0 {
 		return context.WithTimeout(ctx, c.NegotiationTimeout)

@@ -210,7 +210,7 @@ var ErrBadCredential = errors.New("xtnl: malformed credential")
 func ParseCredential(xmlText string) (*Credential, error) {
 	root, err := xmldom.ParseString(xmlText)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCredential, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadCredential, err)
 	}
 	return CredentialFromDOM(root)
 }
@@ -243,7 +243,7 @@ func CredentialFromDOM(root *xmldom.Node) (*Credential, error) {
 	if hk := header.ChildText("holderKey"); hk != "" {
 		b, err := base64.StdEncoding.DecodeString(hk)
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad holderKey: %v", ErrBadCredential, err)
+			return nil, fmt.Errorf("%w: bad holderKey: %w", ErrBadCredential, err)
 		}
 		c.HolderKey = b
 	}
@@ -271,7 +271,7 @@ func CredentialFromDOM(root *xmldom.Node) (*Credential, error) {
 	if sig := root.Child("signature"); sig != nil {
 		b, err := base64.StdEncoding.DecodeString(strings.TrimSpace(sig.Text()))
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad signature encoding: %v", ErrBadCredential, err)
+			return nil, fmt.Errorf("%w: bad signature encoding: %w", ErrBadCredential, err)
 		}
 		c.Signature = b
 	}

@@ -1,0 +1,62 @@
+package xtnl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedCorpus adds the checked-in X-TNL documents (and a few structural
+// mutations) as fuzz seeds.
+func seedCorpus(f *testing.F, names ...string) {
+	f.Helper()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			f.Fatalf("seed %s: %v", name, err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("")
+	f.Add("<credential>")
+	f.Add("<policy/>")
+	f.Add("<?xml version=\"1.0\"?><credential type=\"t\"><header/></credential>")
+}
+
+// FuzzParseCredential checks that ParseCredential never panics and
+// that anything it accepts survives an XML round trip.
+func FuzzParseCredential(f *testing.F) {
+	seedCorpus(f, "credential_iso9000.xml")
+	f.Fuzz(func(t *testing.T, xmlText string) {
+		c, err := ParseCredential(xmlText)
+		if err != nil {
+			return
+		}
+		again, err := ParseCredential(c.XML())
+		if err != nil {
+			t.Fatalf("accepted credential does not re-parse: %v\noriginal: %q\nrendered: %q", err, xmlText, c.XML())
+		}
+		if again.ID != c.ID || again.Type != c.Type || again.Issuer != c.Issuer || again.Holder != c.Holder {
+			t.Fatalf("round trip changed identity fields: %+v vs %+v", c, again)
+		}
+	})
+}
+
+// FuzzParsePolicy checks that ParsePolicy never panics and that
+// accepted policies survive an XML round trip.
+func FuzzParsePolicy(f *testing.F) {
+	seedCorpus(f, "policy_iso9000.xml", "message_policy.xml")
+	f.Fuzz(func(t *testing.T, xmlText string) {
+		p, err := ParsePolicy(xmlText)
+		if err != nil {
+			return
+		}
+		again, err := ParsePolicy(p.XML())
+		if err != nil {
+			t.Fatalf("accepted policy does not re-parse: %v\noriginal: %q\nrendered: %q", err, xmlText, p.XML())
+		}
+		if again.Resource != p.Resource || len(again.Terms) != len(p.Terms) {
+			t.Fatalf("round trip changed policy shape: %+v vs %+v", p, again)
+		}
+	})
+}

@@ -181,7 +181,7 @@ var ErrBadPolicy = errors.New("xtnl: malformed policy")
 func ParsePolicy(xmlText string) (*Policy, error) {
 	root, err := xmldom.ParseString(xmlText)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadPolicy, err)
 	}
 	return PolicyFromDOM(root)
 }
@@ -219,7 +219,7 @@ func PolicyFromDOM(root *xmldom.Node) (*Policy, error) {
 		p.Concepts = append(p.Concepts, cn.AttrOr("name", ""))
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadPolicy, err)
 	}
 	return p, nil
 }
