@@ -54,8 +54,23 @@ func main() {
 		reportPath = flag.String("report", "", "write a JSON run report (medians + telemetry) to this file")
 		faults     = flag.Bool("faults", false, "run joins under seeded fault injection instead of the Fig. 9 timing")
 		seed       = flag.Int64("seed", 1, "fault-injection seed (with -faults)")
+
+		concurrency = flag.Int("concurrency", 0, "run the throughput mode with this many simultaneous joiners instead of the Fig. 9 timing")
+		joins       = flag.Int("joins", 0, "total joins in throughput mode (default 25 per worker)")
+		baseline    = flag.Bool("baseline", false, "throughput mode: single lock stripe and no verification cache (the before half of the A/B)")
+		out         = flag.String("out", "BENCH_throughput.json", "throughput mode: JSON report path (empty to skip)")
 	)
 	flag.Parse()
+	if *concurrency > 0 {
+		total := *joins
+		if total <= 0 {
+			total = *concurrency * 25
+		}
+		if err := runThroughput(os.Stdout, *concurrency, total, *baseline, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *faults {
 		if err := runFaults(os.Stdout, *n, *seed, *reportPath); err != nil {
 			log.Fatal(err)

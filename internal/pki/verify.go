@@ -20,9 +20,18 @@ type TrustStore struct {
 	roots map[string]ed25519.PublicKey
 	crls  map[string]*RevocationList
 
+	// cache memoizes successful Verify/VerifyChain results keyed by
+	// issuer + signature; see cache.go for the invalidation contract.
+	cache verifyCache
+
 	// MaxChainDepth bounds delegation-chain resolution; 0 means the
 	// default of 4 hops.
 	MaxChainDepth int
+
+	// DisableCache turns the verification cache off (every call does
+	// the full signature work). For A/B benchmarks and paranoid
+	// deployments; see cmd/benchjoin -baseline.
+	DisableCache bool
 }
 
 // NewTrustStore builds a store trusting the given authorities as roots.
@@ -37,8 +46,11 @@ func NewTrustStore(roots ...*Authority) *TrustStore {
 	return ts
 }
 
-// AddRoot registers a directly trusted issuer key.
+// AddRoot registers a directly trusted issuer key. Changing the anchor
+// set invalidates the verification cache: a cached chain may become
+// reachable through (or orphaned by) the new root.
 func (ts *TrustStore) AddRoot(name string, pub ed25519.PublicKey) {
+	defer ts.cache.invalidate()
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	ts.roots[name] = append(ed25519.PublicKey(nil), pub...)
@@ -64,7 +76,9 @@ func (ts *TrustStore) KeyFor(issuer string) (ed25519.PublicKey, bool) {
 }
 
 // AddCRL installs a revocation list after verifying its signature
-// against the trusted key of its issuer.
+// against the trusted key of its issuer. Installing a CRL invalidates
+// the verification cache (revocation is an input to every cached
+// result; the hit path also re-checks IsRevoked defensively).
 func (ts *TrustStore) AddCRL(crl *RevocationList) error {
 	key, ok := ts.KeyFor(crl.Issuer)
 	if !ok {
@@ -73,6 +87,7 @@ func (ts *TrustStore) AddCRL(crl *RevocationList) error {
 	if err := crl.Verify(key); err != nil {
 		return fmt.Errorf("pki: CRL from %s: %w", crl.Issuer, err)
 	}
+	defer ts.cache.invalidate()
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	ts.crls[crl.Issuer] = crl
@@ -89,13 +104,20 @@ func (ts *TrustStore) IsRevoked(c *xtnl.Credential) bool {
 
 // Verify checks the credential at time now: it must be signed by a
 // directly trusted issuer, inside its validity window, and absent from
-// the issuer's CRL.
+// the issuer's CRL. Successful results are memoized (see cache.go).
 func (ts *TrustStore) Verify(c *xtnl.Credential, now time.Time) error {
+	if _, ok := ts.cachedVerify(c, now); ok {
+		return nil
+	}
 	key, ok := ts.KeyFor(c.Issuer)
 	if !ok {
 		return fmt.Errorf("%w: %q (credential %s)", ErrUnknownIssuer, c.Issuer, c.ID)
 	}
-	return ts.verifyWithKey(c, key, now)
+	if err := ts.verifyWithKey(c, key, now); err != nil {
+		return err
+	}
+	ts.rememberVerify(c, nil)
+	return nil
 }
 
 func (ts *TrustStore) verifyWithKey(c *xtnl.Credential, key ed25519.PublicKey, now time.Time) error {
@@ -120,13 +142,20 @@ func (ts *TrustStore) verifyWithKey(c *xtnl.Credential, key ed25519.PublicKey, n
 // to build a chain up to a trusted root. It returns the chain of
 // delegation credentials used (empty when the issuer is a root).
 func (ts *TrustStore) VerifyChain(c *xtnl.Credential, pool []*xtnl.Credential, now time.Time) ([]*xtnl.Credential, error) {
+	if chain, ok := ts.cachedVerify(c, now); ok {
+		return chain, nil
+	}
 	maxDepth := ts.MaxChainDepth
 	if maxDepth == 0 {
 		maxDepth = 4
 	}
 	// Fast path: direct trust.
 	if key, ok := ts.KeyFor(c.Issuer); ok {
-		return nil, ts.verifyWithKey(c, key, now)
+		if err := ts.verifyWithKey(c, key, now); err != nil {
+			return nil, err
+		}
+		ts.rememberVerify(c, nil)
+		return nil, nil
 	}
 	// Search the pool for a delegation credential naming c.Issuer whose
 	// own issuer is trusted (directly or recursively).
@@ -187,6 +216,7 @@ func (ts *TrustStore) VerifyChain(c *xtnl.Credential, pool []*xtnl.Credential, n
 	if err := ts.verifyWithKey(c, key, now); err != nil {
 		return nil, err
 	}
+	ts.rememberVerify(c, chain)
 	return chain, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"trustvo/internal/xmldom"
 	"trustvo/internal/xpath"
@@ -79,7 +80,19 @@ type Store struct {
 	// the replay counter when the store is instrumented.
 	replayedFrames int
 	metrics        storeMetrics
+
+	// gen counts committed mutations (Put/Delete), letting callers cache
+	// derived views (e.g. a party loaded from the store) and revalidate
+	// with a single atomic load instead of re-reading every document.
+	// WAL replay during Open does not bump it: generation 0 plus N
+	// replayed frames is still one consistent snapshot.
+	gen atomic.Uint64
 }
+
+// Generation returns the store's mutation counter. It changes on every
+// successful Put or Delete, so two equal readings with the same Store
+// bracket an interval in which no document changed.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // ErrNotFound is returned by Get and Delete for missing records.
 var ErrNotFound = errors.New("store: record not found")
@@ -175,6 +188,7 @@ func (s *Store) Put(kind, key string, doc *xmldom.Node) error {
 	if err := s.applyPut(kind, key, xml); err != nil {
 		return err
 	}
+	s.gen.Add(1)
 	s.metrics.records.Set(int64(len(s.byKey)))
 	return nil
 }
@@ -262,6 +276,7 @@ func (s *Store) Delete(kind, key string) error {
 		}
 	}
 	s.applyDelete(kind, key)
+	s.gen.Add(1)
 	s.metrics.records.Set(int64(len(s.byKey)))
 	return nil
 }

@@ -50,9 +50,22 @@ type wal struct {
 var ErrWALClosed = errors.New("store: WAL closed")
 
 func openWAL(path string) (*wal, []walEntry, error) {
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open WAL: %w", err)
+	}
+	if created {
+		// Durability invariant: a file is only durably *named* once its
+		// parent directory entry is fsynced. Without this, a crash
+		// shortly after creating the store could leave an empty
+		// directory — and every subsequent append would be fsyncing a
+		// file that vanishes on recovery.
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
 	}
 	entries, good, err := replay(f)
 	if err != nil {
@@ -198,6 +211,16 @@ func (w *wal) rewrite(entries []walEntry) error {
 		os.Remove(tmpName)
 		return err
 	}
+	// Durability invariant (do not remove): rename(tmp, wal) only
+	// becomes durable once the parent DIRECTORY is fsynced. The tmp
+	// file's own Sync above persists its *contents*; on ext4/xfs-like
+	// filesystems the directory entry swap lives in the directory
+	// inode, so a crash right after compaction could otherwise recover
+	// to a directory pointing at the unlinked pre-compaction file — or
+	// at nothing — losing the entire log.
+	if err := syncDir(path); err != nil {
+		return err
+	}
 	old := w.f
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
@@ -205,6 +228,26 @@ func (w *wal) rewrite(entries []walEntry) error {
 	}
 	w.f = f
 	return old.Close()
+}
+
+// syncDir fsyncs the directory containing path, making a just-created
+// or just-renamed directory entry durable. Some platforms refuse fsync
+// on directories; those report a PathError we treat as "the platform
+// gives no stronger guarantee" rather than a WAL failure.
+func syncDir(path string) error {
+	d, err := os.Open(filepathDir(path))
+	if err != nil {
+		return fmt.Errorf("store: open WAL dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		var pe *os.PathError
+		if errors.As(err, &pe) {
+			return nil
+		}
+		return fmt.Errorf("store: sync WAL dir: %w", err)
+	}
+	return nil
 }
 
 func (w *wal) sync() error {

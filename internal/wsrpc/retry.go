@@ -3,7 +3,7 @@ package wsrpc
 import (
 	"context"
 	"math/rand"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,11 +26,18 @@ type RetryPolicy struct {
 	// i.e. a delay d is drawn from [0.75d, 1.25d]).
 	Jitter float64
 
-	// Rand supplies jitter randomness; nil uses a private seeded source.
-	// Tests inject a deterministic one.
-	Rand *rand.Rand
+	// Seed, when nonzero, makes the jitter sequence deterministic for
+	// seeded fault-injection tests. A RetryPolicy is shared by every
+	// request a client retries, across goroutines — an earlier revision
+	// kept a *rand.Rand here, which is not goroutine-safe and either
+	// corrupted its state under concurrent joins or (mutex-guarded)
+	// serialized all retrying requests on one lock. Instead each call
+	// derives its value lock-free from Seed and an atomic call counter
+	// (SplitMix64, whose increment 0x9E3779B97F4A7C15 decorrelates
+	// consecutive counter values).
+	Seed uint64
 
-	randMu sync.Mutex
+	calls atomic.Uint64
 }
 
 func (p *RetryPolicy) attempts() int {
@@ -87,13 +94,26 @@ func (p *RetryPolicy) delay(retry int, hint time.Duration) time.Duration {
 	return out
 }
 
+// rand returns the next jitter value in [0, 1). Unseeded policies use
+// the global math/rand source (goroutine-safe); seeded ones walk a
+// lock-free deterministic sequence.
 func (p *RetryPolicy) rand() float64 {
-	if p == nil || p.Rand == nil {
+	if p == nil || p.Seed == 0 {
 		return rand.Float64()
 	}
-	p.randMu.Lock()
-	defer p.randMu.Unlock()
-	return p.Rand.Float64()
+	x := p.Seed + p.calls.Add(1)*0x9E3779B97F4A7C15
+	return float64(splitmix64(x)>>11) / (1 << 53)
+}
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 generator: a cheap,
+// allocation-free bijective mixer good enough for backoff jitter.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // sleepCtx waits for d or until ctx is done, whichever comes first.

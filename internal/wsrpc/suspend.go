@@ -53,23 +53,34 @@ func (s *TNService) SuspendSessions(db *store.Store) (int, error) {
 	if db == nil {
 		return 0, fmt.Errorf("wsrpc: suspend requires a store")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	suspended := 0
-	for id, sess := range s.sessions {
-		if sess.done.Load() {
-			continue
+	for _, sh := range s.shardTable() {
+		// Snapshot the stripe under its lock, then serialize outside it:
+		// suspendDoc takes sess.mu and db.Put hits the WAL, neither of
+		// which belongs inside a stripe critical section. A session the
+		// snapshot caught that a concurrent sweep then expires is still
+		// safe to persist — retire() guarantees the slot was released
+		// exactly once, and the restored copy claims a fresh slot.
+		sh.mu.Lock() //lint:allow nakedlock snapshot per stripe inside a loop; defer would hold the lock across stripes
+		live := make(map[string]*tnSession, len(sh.m))
+		for id, sess := range sh.m {
+			if !sess.done.Load() {
+				live[id] = sess
+			}
 		}
-		doc, ok := sess.suspendDoc(id)
-		if !ok {
-			// e.g. a session created by /tn/start that never saw a
-			// message: nothing to resume
-			continue
+		sh.mu.Unlock()
+		for id, sess := range live {
+			doc, ok := sess.suspendDoc(id)
+			if !ok {
+				// e.g. a session created by /tn/start that never saw a
+				// message: nothing to resume
+				continue
+			}
+			if err := db.Put(KindTNSession, id, doc); err != nil {
+				return suspended, err
+			}
+			suspended++
 		}
-		if err := db.Put(KindTNSession, id, doc); err != nil {
-			return suspended, err
-		}
-		suspended++
 	}
 	if m := s.Metrics; m != nil && suspended > 0 {
 		m.Counter("tn_sessions_suspended_total").Add(int64(suspended))
@@ -100,9 +111,8 @@ func (s *TNService) ResumeSessions(db *store.Store) (int, error) {
 			db.Delete(KindTNSession, id)
 			continue
 		}
-		s.mu.Lock() //lint:allow nakedlock map insert inside a loop; defer would hold the lock across iterations
-		s.sessions[id] = sess
-		s.mu.Unlock()
+		s.shard(id).put(id, sess)
+		s.active.Add(1)
 		if m := s.Metrics; m != nil {
 			m.Counter("tn_sessions_resumed_total").Inc()
 			m.Gauge("tn_sessions_active").Inc()

@@ -67,9 +67,73 @@ type TNService struct {
 	// Debugf, when set, receives one key=value line per negotiation
 	// message handled (session id, operation, message type, duration).
 	Debugf func(format string, args ...any)
+	// Shards is the number of lock stripes the session table is split
+	// into (default 16). Every session id is hashed to one stripe, so
+	// concurrent joins on different stripes never contend on a lock.
+	// Set 1 to recover the single-mutex behaviour (the benchjoin
+	// -baseline configuration). Must be set before the service handles
+	// its first request.
+	Shards int
 
-	mu       sync.Mutex
-	sessions map[string]*tnSession
+	shardOnce sync.Once
+	shards    []*sessionShard
+	// active counts sessions holding a capacity slot: created or resumed,
+	// not yet completed/expired/evicted. The slot is released by retire(),
+	// whose CAS guarantees exactly one release per session however many
+	// paths (completion, sweep, eviction) race for it.
+	active atomic.Int64
+
+	// partyMu guards the memoized partydb.LoadParty result, revalidated
+	// against DB.Generation() so a store write still forces the §6.2
+	// "reload from the database" semantics on the next session.
+	partyMu    sync.Mutex
+	partyGen   uint64
+	partyCache *negotiation.Party
+}
+
+// sessionShard is one lock stripe of the session table.
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[string]*tnSession
+}
+
+// DefaultSessionShards is the stripe count used when Shards is unset,
+// sized for tens of concurrent joiners: with 16 stripes the probability
+// of two of k simultaneous requests colliding on a stripe stays low
+// while the per-stripe sweep cost stays trivial.
+const DefaultSessionShards = 16
+
+// shardTable lazily builds the stripe array, honouring Shards.
+func (s *TNService) shardTable() []*sessionShard {
+	s.shardOnce.Do(func() {
+		n := s.Shards
+		if n <= 0 {
+			n = DefaultSessionShards
+		}
+		s.shards = make([]*sessionShard, n)
+		for i := range s.shards {
+			s.shards[i] = &sessionShard{m: make(map[string]*tnSession)}
+		}
+	})
+	return s.shards
+}
+
+// shard maps a session id to its stripe (FNV-1a over the id).
+func (s *TNService) shard(id string) *sessionShard {
+	shards := s.shardTable()
+	if len(shards) == 1 {
+		return shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return shards[h%uint32(len(shards))]
 }
 
 type tnSession struct {
@@ -78,6 +142,10 @@ type tnSession struct {
 	lastUsed time.Time
 	outcome  *negotiation.Outcome
 	done     atomic.Bool
+	// deactivated records that the session's capacity slot (and its
+	// tn_sessions_active increment) has been released; see
+	// TNService.retire.
+	deactivated atomic.Bool
 
 	// Reply cache (at-most-once exchange): the last envelope sequence
 	// number applied and the exact response it produced. A duplicate
@@ -94,9 +162,8 @@ type tnSession struct {
 // telemetry into a fresh registry.
 func NewTNService(party *negotiation.Party) *TNService {
 	return &TNService{
-		Party:    party,
-		Metrics:  telemetry.NewRegistry(),
-		sessions: make(map[string]*tnSession),
+		Party:   party,
+		Metrics: telemetry.NewRegistry(),
 	}
 }
 
@@ -182,16 +249,13 @@ func (e *capacityError) Error() string {
 	return fmt.Sprintf("wsrpc: %d concurrent negotiations", e.active)
 }
 
-// capacityRetryLocked estimates how long until the oldest live session
-// crosses the half-age eviction threshold. Caller holds s.mu.
-func (s *TNService) capacityRetryLocked() time.Duration {
+// capacityRetry estimates how long until the oldest live session
+// crosses the half-age eviction threshold.
+func (s *TNService) capacityRetry() time.Duration {
 	var oldest time.Time
-	for _, sess := range s.sessions {
-		if sess.done.Load() {
-			continue
-		}
-		if oldest.IsZero() || sess.lastUsed.Before(oldest) {
-			oldest = sess.lastUsed
+	for _, sh := range s.shardTable() {
+		if t := sh.oldestLive(); !t.IsZero() && (oldest.IsZero() || t.Before(oldest)) {
+			oldest = t
 		}
 	}
 	wait := s.maxAge() / 2
@@ -204,6 +268,64 @@ func (s *TNService) capacityRetryLocked() time.Duration {
 	return wait
 }
 
+// put inserts a session into the stripe.
+func (sh *sessionShard) put(id string, sess *tnSession) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[id] = sess
+}
+
+// oldestLive returns the lastUsed time of the shard's oldest unfinished
+// session (zero when it has none).
+func (sh *sessionShard) oldestLive() time.Time {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var oldest time.Time
+	for _, sess := range sh.m {
+		if sess.done.Load() {
+			continue
+		}
+		if oldest.IsZero() || sess.lastUsed.Before(oldest) {
+			oldest = sess.lastUsed
+		}
+	}
+	return oldest
+}
+
+// retire releases sess's capacity slot, reporting whether this caller is
+// the one that retired it. Completion (exchangeHandler), expiry sweeps
+// and capacity eviction can all reach a session concurrently — under the
+// striped table even from different callers at once — and the CAS makes
+// the release (and the tn_sessions_active decrement) happen exactly
+// once, so the gauge can never underflow and a session is never
+// double-retired.
+func (s *TNService) retire(sess *tnSession) bool {
+	if !sess.deactivated.CompareAndSwap(false, true) {
+		return false
+	}
+	s.active.Add(-1)
+	if m := s.Metrics; m != nil {
+		m.Gauge("tn_sessions_active").Dec()
+	}
+	return true
+}
+
+// reserveActive claims one capacity slot, failing when the service is at
+// MaxSessions. CAS instead of a blind Add keeps the bound exact under
+// concurrent joins.
+func (s *TNService) reserveActive() bool {
+	max := int64(s.maxSessions())
+	for {
+		n := s.active.Load()
+		if n >= max {
+			return false
+		}
+		if s.active.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
 func (s *TNService) newSession() (string, error) {
 	var raw [12]byte
 	if _, err := rand.Read(raw[:]); err != nil {
@@ -214,25 +336,23 @@ func (s *TNService) newSession() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked()
-	active := 0
-	for _, sess := range s.sessions {
-		if !sess.done.Load() {
-			active++
+	sh := s.shard(id)
+	// Amortized cleanup: each new session sweeps only its own stripe.
+	// The full-table sweep is reserved for capacity pressure below.
+	s.sweepShard(sh)
+	if !s.reserveActive() {
+		for _, other := range s.shardTable() {
+			s.sweepShard(other)
+		}
+		s.evictForCapacity()
+		if !s.reserveActive() {
+			return "", &capacityError{active: int(s.active.Load()), retryAfter: s.capacityRetry()}
 		}
 	}
-	if active >= s.maxSessions() {
-		active = s.evictForCapacityLocked(active)
-	}
-	if active >= s.maxSessions() {
-		return "", &capacityError{active: active, retryAfter: s.capacityRetryLocked()}
-	}
-	s.sessions[id] = &tnSession{
+	sh.put(id, &tnSession{
 		endpoint: negotiation.NewController(party),
 		lastUsed: time.Now(),
-	}
+	})
 	if m := s.Metrics; m != nil {
 		m.Counter("tn_sessions_created_total").Inc()
 		m.Gauge("tn_sessions_active").Inc()
@@ -247,7 +367,7 @@ func (s *TNService) newSession() (string, error) {
 func (s *TNService) sessionParty() (*negotiation.Party, error) {
 	party := s.Party
 	if s.DB != nil {
-		loaded, err := partydb.LoadParty(s.DB, s.Party)
+		loaded, err := s.loadPartyCached()
 		if err != nil {
 			return nil, fmt.Errorf("wsrpc: load party from store: %w", err)
 		}
@@ -261,77 +381,181 @@ func (s *TNService) sessionParty() (*negotiation.Party, error) {
 	return party, nil
 }
 
-// sweepLocked drops idle sessions — unfinished ones after MaxSessionAge
-// ("expired"), finished ones after the (shorter) DoneRetention
-// ("retired") — and returns how many of each were dropped. Caller holds
-// s.mu.
-func (s *TNService) sweepLocked() (expired, retired int) {
-	now := time.Now()
+// loadPartyCached memoizes partydb.LoadParty across sessions, keyed by
+// the store's generation counter: any Put/Delete bumps the generation
+// and forces a reload, so the paper's per-StartNegotiation database
+// reload semantics are preserved without reparsing every policy and
+// credential document for each of N concurrent joins. Sharing the loaded
+// Party across sessions mirrors the non-DB path, which shares s.Party
+// directly.
+func (s *TNService) loadPartyCached() (*negotiation.Party, error) {
+	gen := s.DB.Generation()
+	s.partyMu.Lock()
+	defer s.partyMu.Unlock()
+	if s.partyCache != nil && s.partyGen == gen {
+		return s.partyCache, nil
+	}
+	loaded, err := partydb.LoadParty(s.DB, s.Party)
+	if err != nil {
+		return nil, err
+	}
+	s.partyGen, s.partyCache = gen, loaded
+	return loaded, nil
+}
+
+// stale reports whether a session has outlived its lifetime: unfinished
+// past MaxSessionAge, finished past the (shorter) DoneRetention.
+func (s *TNService) stale(sess *tnSession, now time.Time) bool {
 	cutoff := now.Add(-s.maxAge())
-	doneCutoff := now.Add(-s.doneRetention())
-	for id, sess := range s.sessions {
-		switch {
-		case sess.done.Load() && (sess.lastUsed.Before(doneCutoff) || sess.lastUsed.Before(cutoff)):
-			delete(s.sessions, id)
-			retired++
-		case !sess.done.Load() && sess.lastUsed.Before(cutoff):
-			delete(s.sessions, id)
-			expired++
+	if sess.done.Load() {
+		return sess.lastUsed.Before(now.Add(-s.doneRetention())) || sess.lastUsed.Before(cutoff)
+	}
+	return sess.lastUsed.Before(cutoff)
+}
+
+// retireStale accounts for one stale session already removed from its
+// stripe, reporting whether it counted as an expiry. An unfinished
+// session can complete concurrently (exchangeHandler holds only sess.mu,
+// never the stripe lock), so accounting routes through retire():
+// whichever of sweep and completion wins the CAS releases the capacity
+// slot — sweep then counts "expired", and the loser's copy is an
+// ordinary "retired" map cleanup of a completed session. This keeps
+// created == completed + expired + evicted exact.
+func (s *TNService) retireStale(sess *tnSession) bool {
+	expired := s.retire(sess)
+	if m := s.Metrics; m != nil {
+		reason := "retired"
+		if expired {
+			reason = "expired"
+		}
+		m.Counter("tn_sessions_swept_total", "reason", reason).Inc()
+	}
+	return expired
+}
+
+// sweepShard drops one stripe's stale sessions and returns how many
+// expired (unfinished past MaxSessionAge) vs. retired (finished past
+// DoneRetention).
+func (s *TNService) sweepShard(sh *sessionShard) (expired, retired int) {
+	now := time.Now()
+	var stale []*tnSession
+	sh.mu.Lock() //lint:allow nakedlock retireStale below must run outside the stripe lock; see its comment
+	for id, sess := range sh.m {
+		if s.stale(sess, now) {
+			delete(sh.m, id)
+			stale = append(stale, sess)
 		}
 	}
-	if m := s.Metrics; m != nil {
-		if expired > 0 {
-			m.Counter("tn_sessions_swept_total", "reason", "expired").Add(int64(expired))
-			m.Gauge("tn_sessions_active").Add(int64(-expired))
-		}
-		if retired > 0 {
-			m.Counter("tn_sessions_swept_total", "reason", "retired").Add(int64(retired))
+	sh.mu.Unlock()
+	// retireStale touches the shared active counter and gauge; running it
+	// after unlocking keeps stripe critical sections map-only.
+	for _, sess := range stale {
+		if s.retireStale(sess) {
+			expired++
+		} else {
+			retired++
 		}
 	}
 	return expired, retired
 }
 
-// evictForCapacityLocked relieves session pressure: when the table is at
+// evictForCapacity relieves session pressure: when the table is at
 // MaxSessions, live sessions idle for more than half of MaxSessionAge
 // are evicted, oldest first, each with a log line — the deployment gets
 // signal instead of silent capacity errors, while fresh negotiations are
-// never sacrificed. Returns the remaining active count. Caller holds
-// s.mu. The half-age floor also means an evicted session cannot be
-// mid-message: handlers refresh lastUsed on lookup.
-func (s *TNService) evictForCapacityLocked(active int) int {
+// never sacrificed. The half-age floor also means an evicted session
+// cannot be mid-message: handlers refresh lastUsed on lookup.
+//
+// The globally-oldest candidate is found by scanning stripes one lock at
+// a time, then re-verified under its own stripe lock before removal — it
+// may have completed, been swept, or been refreshed in between. A failed
+// re-verify just rescans; the candidate that invalidated itself can no
+// longer be returned, so the loop terminates.
+func (s *TNService) evictForCapacity() {
 	idleCutoff := time.Now().Add(-s.maxAge() / 2)
-	for active >= s.maxSessions() {
-		var oldestID string
-		var oldest *tnSession
-		for id, sess := range s.sessions {
-			if sess.done.Load() || !sess.lastUsed.Before(idleCutoff) {
-				continue
-			}
-			if oldest == nil || sess.lastUsed.Before(oldest.lastUsed) {
-				oldestID, oldest = id, sess
-			}
-		}
+	max := int64(s.maxSessions())
+	for s.active.Load() >= max {
+		sh, id, oldest := s.oldestIdle(idleCutoff)
 		if oldest == nil {
-			return active
+			return
 		}
-		delete(s.sessions, oldestID)
-		active--
-		s.logf("wsrpc: evicted live negotiation %s idle=%s under session pressure (%d/%d active)",
-			oldestID, time.Since(oldest.lastUsed).Round(time.Millisecond), active, s.maxSessions())
-		if m := s.Metrics; m != nil {
-			m.Counter("tn_sessions_swept_total", "reason", "evicted").Inc()
-			m.Gauge("tn_sessions_active").Dec()
+		if !sh.remove(id, oldest, idleCutoff) {
+			continue
+		}
+		if s.retire(oldest) {
+			s.logf("wsrpc: evicted live negotiation %s idle=%s under session pressure (%d/%d active)",
+				id, time.Since(oldest.lastUsed).Round(time.Millisecond), s.active.Load(), s.maxSessions())
+			if m := s.Metrics; m != nil {
+				m.Counter("tn_sessions_swept_total", "reason", "evicted").Inc()
+			}
+		} else if m := s.Metrics; m != nil {
+			// Completed between the scan and the removal: an ordinary
+			// retirement, already counted as completed.
+			m.Counter("tn_sessions_swept_total", "reason", "retired").Inc()
 		}
 	}
-	return active
 }
 
+// oldestIdle scans all stripes for the oldest unfinished session idle
+// since before cutoff, returning its stripe, id and session (nil when no
+// stripe has one).
+func (s *TNService) oldestIdle(cutoff time.Time) (*sessionShard, string, *tnSession) {
+	var (
+		bestShard *sessionShard
+		bestID    string
+		best      *tnSession
+		bestUsed  time.Time
+	)
+	for _, sh := range s.shardTable() {
+		sh.mu.Lock() //lint:allow nakedlock per-stripe scan inside a loop; defer would hold the lock across stripes
+		for id, sess := range sh.m {
+			if sess.done.Load() || !sess.lastUsed.Before(cutoff) {
+				continue
+			}
+			if best == nil || sess.lastUsed.Before(bestUsed) {
+				bestShard, bestID, best, bestUsed = sh, id, sess, sess.lastUsed
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return bestShard, bestID, best
+}
+
+// remove deletes id from the stripe iff it still maps to sess and sess
+// is still an eviction candidate (unfinished, idle past cutoff).
+func (sh *sessionShard) remove(id string, sess *tnSession, cutoff time.Time) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.m[id]
+	if !ok || cur != sess || cur.done.Load() || !cur.lastUsed.Before(cutoff) {
+		return false
+	}
+	delete(sh.m, id)
+	return true
+}
+
+// session looks up id, refreshing its idle clock. Expiry is enforced
+// lazily here as well as by the sweeps: amortized per-stripe sweeping
+// means a stale session may still sit in an untouched stripe, and it
+// must read as gone the moment its lifetime is over, not when a sweep
+// happens to visit it.
 func (s *TNService) session(id string) *tnSession {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess := s.sessions[id]
+	sh := s.shard(id)
+	now := time.Now()
+	var stale bool
+	sh.mu.Lock() //lint:allow nakedlock retireStale below must run outside the stripe lock; see its comment
+	sess := sh.m[id]
 	if sess != nil {
-		sess.lastUsed = time.Now()
+		if stale = s.stale(sess, now); stale {
+			delete(sh.m, id)
+		} else {
+			sess.lastUsed = now
+		}
+	}
+	sh.mu.Unlock()
+	if stale {
+		s.retireStale(sess)
+		return nil
 	}
 	return sess
 }
@@ -403,13 +627,18 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 			id, phase, msg.Type, time.Since(start).Round(time.Microsecond), err != nil)
 		if sess.endpoint.Done() && !sess.done.Swap(true) {
 			sess.outcome = sess.endpoint.Outcome()
-			result := "failure"
-			if sess.outcome != nil && sess.outcome.Succeeded {
-				result = "success"
-			}
-			if m := s.Metrics; m != nil {
-				m.Counter("tn_sessions_completed_total", "result", result).Inc()
-				m.Gauge("tn_sessions_active").Dec()
+			// retire() may lose to a concurrent expiry sweep or capacity
+			// eviction that already released this session's slot; the
+			// completed counter follows the same winner so a session is
+			// counted exactly once across completed/expired/evicted.
+			if s.retire(sess) {
+				result := "failure"
+				if sess.outcome != nil && sess.outcome.Succeeded {
+					result = "success"
+				}
+				if m := s.Metrics; m != nil {
+					m.Counter("tn_sessions_completed_total", "result", result).Inc()
+				}
 			}
 		}
 		status, respBody := http.StatusOK, ""
@@ -474,8 +703,12 @@ func boolStr(b bool) string {
 
 // Sessions returns the number of live sessions (monitoring).
 func (s *TNService) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked()
-	return len(s.sessions)
+	n := 0
+	for _, sh := range s.shardTable() {
+		s.sweepShard(sh)
+		sh.mu.Lock() //lint:allow nakedlock per-stripe length inside a loop; defer would hold the lock across stripes
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
 }

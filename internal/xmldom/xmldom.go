@@ -16,12 +16,14 @@
 package xmldom
 
 import (
+	"bytes"
 	"encoding/xml"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeType discriminates the kinds of nodes in a document tree.
@@ -301,20 +303,50 @@ func qname(n xml.Name) string {
 	return "{" + n.Space + "}" + n.Local
 }
 
+// xmlBufPool recycles serialization buffers across XML calls. Encoding
+// is the per-message hot path of the wsrpc envelope plumbing (every
+// request, reply and replay-cache entry serializes a tree), so buffer
+// growth churn is worth avoiding; only the final string copy allocates.
+var xmlBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps the capacity of buffers returned to the pool, so
+// one huge document doesn't pin its buffer for the process lifetime.
+const maxPooledBuf = 1 << 16
+
 // XML serializes the subtree rooted at n in canonical form: attributes
 // sorted by name, text escaped, no added whitespace. The output of XML is
 // what internal/pki signs, so two structurally equal documents always
 // produce identical bytes.
 func (n *Node) XML() string {
-	var b strings.Builder
-	n.writeXML(&b)
-	return b.String()
+	b := xmlBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	n.writeXML(b)
+	s := b.String()
+	if b.Cap() <= maxPooledBuf {
+		xmlBufPool.Put(b)
+	}
+	return s
 }
 
-func (n *Node) writeXML(b *strings.Builder) {
+// sortedAttrs returns the attributes in name order, reusing the node's
+// own slice when it is already sorted (the common case: trees built via
+// SetAttr in order, or parsed from canonical output).
+func (n *Node) sortedAttrs() []Attr {
+	for i := 1; i < len(n.Attrs); i++ {
+		if n.Attrs[i].Name < n.Attrs[i-1].Name {
+			attrs := make([]Attr, len(n.Attrs))
+			copy(attrs, n.Attrs)
+			sort.Slice(attrs, func(a, b int) bool { return attrs[a].Name < attrs[b].Name })
+			return attrs
+		}
+	}
+	return n.Attrs
+}
+
+func (n *Node) writeXML(b *bytes.Buffer) {
 	switch n.Type {
 	case TextNode:
-		b.WriteString(escapeText(n.Data))
+		textEscaper.WriteString(b, n.Data)
 	case CommentNode:
 		b.WriteString("<!--")
 		b.WriteString(n.Data)
@@ -322,14 +354,11 @@ func (n *Node) writeXML(b *strings.Builder) {
 	case ElementNode:
 		b.WriteByte('<')
 		b.WriteString(n.Name)
-		attrs := make([]Attr, len(n.Attrs))
-		copy(attrs, n.Attrs)
-		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
-		for _, a := range attrs {
+		for _, a := range n.sortedAttrs() {
 			b.WriteByte(' ')
 			b.WriteString(a.Name)
 			b.WriteString(`="`)
-			b.WriteString(escapeAttr(a.Value))
+			attrEscaper.WriteString(b, a.Value)
 			b.WriteByte('"')
 		}
 		if len(n.Children) == 0 {
@@ -371,10 +400,7 @@ func (n *Node) writeIndented(b *strings.Builder, depth int) {
 		b.WriteString(ind)
 		b.WriteByte('<')
 		b.WriteString(n.Name)
-		attrs := make([]Attr, len(n.Attrs))
-		copy(attrs, n.Attrs)
-		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
-		for _, a := range attrs {
+		for _, a := range n.sortedAttrs() {
 			b.WriteByte(' ')
 			b.WriteString(a.Name)
 			b.WriteString(`="`)
@@ -414,15 +440,16 @@ func onlyText(n *Node) bool {
 	return len(n.Children) > 0
 }
 
-func escapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
-}
+// Shared escapers: building a strings.Replacer per call allocated on
+// every text and attribute write; Replacer is safe for concurrent use.
+var (
+	textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+)
 
-func escapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
-}
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }
 
 // Equal reports whether two subtrees are structurally identical:
 // same node types, names, attribute sets and (whitespace-trimmed for

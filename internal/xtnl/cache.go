@@ -1,0 +1,46 @@
+package xtnl
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"trustvo/internal/xpath"
+)
+
+// Hot-path memoization for policy evaluation.
+//
+// Term.SatisfiedBy is called for every (term, credential) pair a party
+// considers during negotiation, and before this cache it recompiled the
+// term's XPath conditions and rebuilt the credential's DOM on every
+// call. Both results are pure functions of their source text, so they
+// are memoized process-wide (conditions) and per-profile (DOMs).
+
+// condCacheLimit bounds the compiled-condition memo. Conditions arrive
+// in counterpart policies, so an unbounded map would let an adversary
+// grow memory one unique XPath string at a time; past the limit new
+// conditions are compiled without being retained.
+const condCacheLimit = 4096
+
+var (
+	condCache     sync.Map // condition source -> *xpath.Expr
+	condCacheSize atomic.Int64
+)
+
+// compileCondition returns the compiled form of one XPath condition,
+// memoizing successes. Compiled expressions are immutable, so sharing
+// one across goroutines is safe.
+func compileCondition(src string) (*xpath.Expr, error) {
+	if v, ok := condCache.Load(src); ok {
+		return v.(*xpath.Expr), nil
+	}
+	e, err := xpath.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if condCacheSize.Load() < condCacheLimit {
+		if _, loaded := condCache.LoadOrStore(src, e); !loaded {
+			condCacheSize.Add(1)
+		}
+	}
+	return e, nil
+}

@@ -28,11 +28,12 @@ func (t Term) Wildcard() bool {
 	return t.CredType == "" || strings.HasPrefix(t.CredType, "$")
 }
 
-// CompiledConditions compiles the term's XPath conditions once.
+// CompiledConditions compiles the term's XPath conditions, memoized
+// process-wide by source text (see cache.go).
 func (t Term) CompiledConditions() ([]*xpath.Expr, error) {
 	out := make([]*xpath.Expr, 0, len(t.Conditions))
 	for _, c := range t.Conditions {
-		e, err := xpath.Compile(c)
+		e, err := compileCondition(c)
 		if err != nil {
 			return nil, fmt.Errorf("xtnl: condition %q: %w", c, err)
 		}

@@ -3,8 +3,10 @@ package xtnl
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"trustvo/internal/xmldom"
+	"trustvo/internal/xpath"
 )
 
 // Profile is a party's X-Profile: "All credentials associated with a
@@ -14,6 +16,16 @@ import (
 type Profile struct {
 	Owner string
 	creds []*Credential
+
+	// domMu guards doms, the per-credential parsed-DOM cache consulted
+	// by Satisfying. Policy evaluation runs every term's XPath
+	// conditions against the credential document; rebuilding that
+	// document for each (term, credential) pair dominated the
+	// policy-evaluation phase under concurrent joins. Credentials are
+	// treated as immutable once added (they are signed); Add and Remove
+	// invalidate their cache entries.
+	domMu sync.Mutex
+	doms  map[string]*xmldom.Node
 }
 
 // NewProfile returns an empty profile for owner.
@@ -24,6 +36,9 @@ func NewProfile(owner string) *Profile {
 // Add appends credentials to the profile.
 func (p *Profile) Add(creds ...*Credential) {
 	p.creds = append(p.creds, creds...)
+	for _, c := range creds {
+		p.dropDOM(c.ID)
+	}
 }
 
 // Remove deletes the credential with the given ID, reporting whether it
@@ -32,10 +47,35 @@ func (p *Profile) Remove(id string) bool {
 	for i, c := range p.creds {
 		if c.ID == id {
 			p.creds = append(p.creds[:i], p.creds[i+1:]...)
+			p.dropDOM(id)
 			return true
 		}
 	}
 	return false
+}
+
+// credDOM returns the credential's canonical DOM, cached by ID.
+func (p *Profile) credDOM(c *Credential) *xmldom.Node {
+	if c.ID == "" {
+		return c.DOM()
+	}
+	p.domMu.Lock()
+	defer p.domMu.Unlock()
+	if dom, ok := p.doms[c.ID]; ok {
+		return dom
+	}
+	dom := c.DOM()
+	if p.doms == nil {
+		p.doms = make(map[string]*xmldom.Node)
+	}
+	p.doms[c.ID] = dom
+	return dom
+}
+
+func (p *Profile) dropDOM(id string) {
+	p.domMu.Lock()
+	defer p.domMu.Unlock()
+	delete(p.doms, id)
 }
 
 // All returns the credentials in insertion order.
@@ -67,16 +107,36 @@ func (p *Profile) ByID(id string) *Credential {
 
 // Satisfying returns the credentials that satisfy term, least sensitive
 // first (the disclosure preference of Algorithm 1: the low cluster is
-// consulted before medium before high).
+// consulted before medium before high). Condition evaluation reuses the
+// profile's parsed-DOM cache instead of rebuilding each credential
+// document per term.
 func (p *Profile) Satisfying(term Term) []*Credential {
+	conds, err := term.CompiledConditions()
+	if err != nil {
+		return nil // uncompilable conditions satisfy nothing (as in SatisfiedBy)
+	}
 	var out []*Credential
 	for _, c := range p.creds {
-		if term.SatisfiedBy(c) {
+		if !term.Wildcard() && term.CredType != c.Type {
+			continue
+		}
+		if satisfiesDOM(p.credDOM(c), conds) {
 			out = append(out, c)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Sensitivity < out[j].Sensitivity })
 	return out
+}
+
+// satisfiesDOM evaluates compiled conditions against a prebuilt
+// credential document.
+func satisfiesDOM(dom *xmldom.Node, conds []*xpath.Expr) bool {
+	for _, e := range conds {
+		if !e.Bool(dom) {
+			return false
+		}
+	}
+	return true
 }
 
 // Cluster returns the credentials among cands having exactly the given
