@@ -59,8 +59,19 @@ func main() {
 		joins       = flag.Int("joins", 0, "total joins in throughput mode (default 25 per worker)")
 		baseline    = flag.Bool("baseline", false, "throughput mode: single lock stripe and no verification cache (the before half of the A/B)")
 		out         = flag.String("out", "BENCH_throughput.json", "throughput mode: JSON report path (empty to skip)")
+
+		storeMode = flag.Bool("store", false, "run the durable-write store A/B (group commit vs fsync-every-put, EXT-12) instead of the Fig. 9 timing")
+		writers   = flag.Int("writers", 16, "store mode: concurrent writers")
+		puts      = flag.Int("puts", 3200, "store mode: total puts per durability mode")
+		storeOut  = flag.String("storeout", "BENCH_store.json", "store mode: JSON report path (empty to skip)")
 	)
 	flag.Parse()
+	if *storeMode {
+		if err := runStoreBench(os.Stdout, *writers, *puts, *storeOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *concurrency > 0 {
 		total := *joins
 		if total <= 0 {

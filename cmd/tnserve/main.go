@@ -73,7 +73,10 @@ func main() {
 		svc.Debugf = log.Printf
 	}
 	if *dbPath != "" {
-		db, err := store.Open(*dbPath)
+		// Durable open: the party's credentials and any suspended
+		// negotiations must survive a crash, and group commit keeps the
+		// fsync cost shared across concurrent session writes.
+		db, err := store.OpenDurable(*dbPath)
 		if err != nil {
 			log.Fatal(err)
 		}

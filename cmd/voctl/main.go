@@ -132,7 +132,9 @@ func cmdServe(args []string) error {
 		tk.TN.Debugf = log.Printf
 	}
 	if *dbPath != "" {
-		db, err := store.Open(*dbPath)
+		// Durable open: see cmd/tnserve — acknowledged writes survive a
+		// crash, group commit amortizes the fsyncs.
+		db, err := store.OpenDurable(*dbPath)
 		if err != nil {
 			return err
 		}

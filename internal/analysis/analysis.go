@@ -7,7 +7,8 @@
 // The analyzers encode invariants that earlier PRs established by
 // convention — context propagation through the transport paths, %w error
 // wrapping, telemetry metric naming, explicit wire tags on serialized
-// structs, and defer-paired mutex use — so that a regression fails CI
+// structs, defer-paired mutex use, and checked fsync errors in the
+// storage engine — so that a regression fails CI
 // instead of silently eroding the fault-tolerance and observability
 // story. See DESIGN.md ("Static analysis") for the analyzer↔invariant
 // table and cmd/vetvo for the CLI.
@@ -78,6 +79,7 @@ func Suite() []*Analyzer {
 		metricname(),
 		xmltag(),
 		nakedlock(),
+		syncerr(),
 	}
 }
 

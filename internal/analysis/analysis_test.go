@@ -60,6 +60,7 @@ func TestGolden(t *testing.T) {
 		{"metricname", "metricname/a"},
 		{"xmltag", "xmltag/negotiation"},
 		{"nakedlock", "nakedlock/a"},
+		{"syncerr", "syncerr/a"},
 	}
 	for _, c := range cases {
 		t.Run(c.path, func(t *testing.T) {

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// syncerr flags call sites that discard the error from a Sync method —
+// a niladic method named Sync returning exactly error, the fsync shape
+// of os.File, faultinject.File and the store's own Sync entry points.
+// An fsync is the storage engine's durability point: a swallowed Sync
+// error acknowledges a write the disk may not have, exactly the bug
+// class the crash-torture harness exists to catch. Flagged forms are
+// the bare statement, defer, go, and blank-only assignment. Genuinely
+// best-effort flushes carry //lint:allow syncerr with a reason.
+func syncerr() *Analyzer {
+	a := &Analyzer{
+		Name: "syncerr",
+		Doc:  "the error from a Sync() (fsync) call must be checked, not discarded",
+	}
+	a.Run = func(p *Pass) error {
+		info := p.Pkg.TypesInfo
+		check := func(pos token.Pos, call *ast.CallExpr, how string) {
+			recv, ok := syncErrCall(info, call)
+			if !ok {
+				return
+			}
+			p.Reportf(pos, "%s discards the error from %s.Sync(); a swallowed fsync failure silently breaks durability", how, recv)
+		}
+		for _, file := range p.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						check(n.Pos(), call, "statement")
+					}
+				case *ast.DeferStmt:
+					check(n.Pos(), n.Call, "defer")
+				case *ast.GoStmt:
+					check(n.Pos(), n.Call, "go")
+				case *ast.AssignStmt:
+					if !allBlankExprs(n.Lhs) {
+						return true
+					}
+					for _, rhs := range n.Rhs {
+						if call, ok := rhs.(*ast.CallExpr); ok {
+							check(n.Pos(), call, "blank assignment")
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// syncErrCall matches `expr.Sync()` method calls whose signature is
+// func() error. Package-qualified functions (pkg.Sync) and Sync methods
+// with parameters or a different result shape are not fsync-shaped.
+func syncErrCall(info *types.Info, call *ast.CallExpr) (recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Sync" || len(call.Args) != 0 {
+		return "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	sig, isSig := selection.Type().(*types.Signature)
+	if !isSig || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return "", false
+	}
+	if !types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// allBlankExprs reports whether every expression is the blank identifier.
+func allBlankExprs(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}

@@ -1,0 +1,43 @@
+// Package a is the syncerr golden fixture.
+package a
+
+import "os"
+
+type flushable struct{}
+
+func (flushable) Sync() error { return nil }
+
+type notifier struct{}
+
+// Sync here takes an argument: not an fsync-shaped method.
+func (notifier) Sync(force bool) error { _ = force; return nil }
+
+type voidSync struct{}
+
+// Sync here returns nothing: no error to discard.
+func (voidSync) Sync() {}
+
+func discards(f *os.File, fl flushable) {
+	f.Sync()       // want "statement discards the error from f.Sync\\(\\)"
+	fl.Sync()      // want "statement discards the error from fl.Sync\\(\\)"
+	_ = f.Sync()   // want "blank assignment discards the error from f.Sync\\(\\)"
+	defer f.Sync() // want "defer discards the error from f.Sync\\(\\)"
+	go fl.Sync()   // want "go discards the error from fl.Sync\\(\\)"
+}
+
+func checked(f *os.File, fl flushable) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	err := fl.Sync()
+	return err
+}
+
+func notFsyncShaped(n notifier, v voidSync) {
+	n.Sync(true)
+	v.Sync()
+}
+
+func deliberate(f *os.File) {
+	f.Sync() //lint:allow syncerr best-effort flush on a diagnostics path
+}

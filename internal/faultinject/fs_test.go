@@ -1,0 +1,193 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCrashAtStopsExecution(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	c := NewCrashFS()
+	c.CrashAt = 3 // create=1, write=2, sync=3 <- crash fires here
+
+	f, err := c.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync at crash point: err = %v, want ErrCrashed", err)
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() = false after crash point fired")
+	}
+	// Every operation after the crash fails too, and is not counted.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: err = %v", err)
+	}
+	if err := c.Remove(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove: err = %v", err)
+	}
+	if got := c.Ops(); got != 3 {
+		t.Fatalf("Ops() = %d, want 3 (post-crash ops not counted)", got)
+	}
+	// The crashed sync never executed: the bytes are still volatile and
+	// the adversarial crash image discards them.
+	if err := c.CrashImage(0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("unsynced bytes survived keepTail=0: %q", data)
+	}
+}
+
+func TestCrashImageKeepTail(t *testing.T) {
+	for _, tc := range []struct {
+		keepTail float64
+		want     int64
+	}{
+		{0, 100},   // only the fsynced prefix
+		{0.5, 125}, // half the volatile tail
+		{1, 150},   // write-back finished just in time
+	} {
+		t.Run(fmt.Sprintf("keepTail=%v", tc.keepTail), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "f")
+			c := NewCrashFS()
+			f, err := c.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Write(make([]byte, 100))
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			f.Write(make([]byte, 50))
+			if err := c.CrashImage(tc.keepTail); err != nil {
+				t.Fatal(err)
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size() != tc.want {
+				t.Fatalf("size after crash = %d, want %d", fi.Size(), tc.want)
+			}
+		})
+	}
+}
+
+func TestHookTargetedFault(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCrashFS()
+	boom := errors.New("boom")
+	c.Hook = func(op Op) error {
+		if op.Kind == "rename" {
+			return boom
+		}
+		return nil
+	}
+	f, err := c.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Sync()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, boom) {
+		t.Fatalf("hooked rename: err = %v, want boom", err)
+	}
+	// A hook fault is targeted, not sticky: other operations still work.
+	if err := c.SyncDir(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("syncdir after hook fault: %v", err)
+	}
+	if err := c.Remove(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("remove after hook fault: %v", err)
+	}
+	if c.Crashed() {
+		t.Fatal("hook fault must not set the crashed state")
+	}
+}
+
+func TestRenameCarriesDurability(t *testing.T) {
+	dir := t.TempDir()
+	old, next := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+	c := NewCrashFS()
+	f, err := c.Create(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("synced"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("+tail"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(old, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashImage(0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fsynced prefix follows the rename; the unsynced tail (close does
+	// not flush) is lost.
+	if string(data) != "synced" {
+		t.Fatalf("renamed file after crash = %q, want %q", data, "synced")
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	var fs OSFS
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != path {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(path); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, "b")
+	if err := fs.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(moved)
+	if err != nil || string(data) != "data" {
+		t.Fatalf("read after rename: %q, %v", data, err)
+	}
+	if err := fs.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(moved); !os.IsNotExist(err) {
+		t.Fatalf("file survived Remove: %v", err)
+	}
+}

@@ -11,6 +11,13 @@
 //	credential/<owner>/<credID>   Fig. 6 credential documents
 //	policy/<owner>/<polID>        Fig. 7 policy documents
 //	ontology/<owner>              OWL-sketch ontology documents
+//
+// The package is durability-agnostic — it writes through whatever
+// *store.Store it is given — but the servers (cmd/tnserve, voctl serve)
+// open their stores with store.OpenDurable, so every Save here is on
+// stable storage once it returns. SaveResumeTicket additionally calls
+// Sync itself: a resume ticket is written precisely because the process
+// may die next, so it must not wait in an OS cache.
 package partydb
 
 import (

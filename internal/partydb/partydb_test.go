@@ -158,6 +158,56 @@ func TestPersistsAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestDurableSurvivesUncleanShutdown saves a party and a resume ticket
+// through a durable store and reopens the path WITHOUT closing the
+// first handle — the process-died case. Every acknowledged write must
+// come back: SaveResumeTicket in particular is the crash-recovery
+// hand-off (tnserve persists suspended negotiations through it), so a
+// ticket lost here is a negotiation the next run cannot resume.
+func TestDurableSurvivesUncleanShutdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "party.wal")
+	db, err := store.OpenDurable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := fixtureParty(t)
+	if err := SaveParty(db, p); err != nil {
+		t.Fatal(err)
+	}
+	ticket := &negotiation.ResumeTicket{
+		NegID:    "neg-42",
+		Resource: "DesignPortal",
+		Seq:      3,
+		Expires:  time.Now().Add(time.Hour).UTC().Truncate(time.Second),
+	}
+	if err := SaveResumeTicket(db, "AerospaceCo", ticket); err != nil {
+		t.Fatal(err)
+	}
+	// no db.Close(): recovery must work from what fsync already made
+	// durable, not from a clean shutdown path.
+
+	db2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	re, err := LoadParty(db2, &negotiation.Party{Name: "AerospaceCo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Profile.Len() != 2 || re.Policies.Len() != 1 {
+		t.Fatalf("acked party state lost: %d creds, %d policies", re.Profile.Len(), re.Policies.Len())
+	}
+	tickets, err := LoadResumeTickets(db2, "AerospaceCo", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tickets) != 1 || tickets[0].NegID != "neg-42" || tickets[0].Seq != 3 {
+		t.Fatalf("resume ticket lost or corrupt: %+v", tickets)
+	}
+	db.Close()
+}
+
 func TestLoadOntologyAbsent(t *testing.T) {
 	db := store.New()
 	o, err := LoadOntology(db, "nobody")

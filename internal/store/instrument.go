@@ -6,29 +6,50 @@ import "trustvo/internal/telemetry"
 // Instrument is called, and nil metrics are no-ops, so uninstrumented
 // stores pay nothing beyond a nil check inside each telemetry call.
 type storeMetrics struct {
-	appends       *telemetry.Counter // store_wal_appends_total
-	appendedBytes *telemetry.Counter // store_wal_appended_bytes_total
-	replayed      *telemetry.Counter // store_wal_replayed_frames_total
-	compactions   *telemetry.Counter // store_wal_compactions_total
-	records       *telemetry.Gauge   // store_records
+	appends       *telemetry.Counter   // store_wal_appends_total
+	appendedBytes *telemetry.Counter   // store_wal_appended_bytes_total
+	replayed      *telemetry.Counter   // store_wal_replayed_frames_total
+	compactions   *telemetry.Counter   // store_wal_compactions_total (checkpoints)
+	fsyncs        *telemetry.Counter   // store_fsync_total
+	rotations     *telemetry.Counter   // store_segment_rotations_total
+	batchSize     *telemetry.Histogram // store_commit_batch_size
+	records       *telemetry.Gauge     // store_records
 }
 
-// Instrument registers the store's WAL and record metrics in reg:
-// append counts and byte totals, frames replayed at Open, compactions,
-// and a live-record gauge. The replay count observed when the store was
-// opened is credited immediately; the record gauge is seeded from the
-// current contents. Instrumenting with a nil registry disables
-// collection again.
+// zeroMetrics is the shared all-nil set returned before Instrument.
+var zeroMetrics storeMetrics
+
+// met returns the active metric set (never nil; fields may be nil, which
+// the telemetry calls treat as no-ops). The pointer is atomic because the
+// committer goroutine records metrics outside the store mutex.
+func (s *Store) met() *storeMetrics {
+	if m := s.metrics.Load(); m != nil {
+		return m
+	}
+	return &zeroMetrics
+}
+
+// Instrument registers the store's WAL and record metrics in reg: append
+// counts and byte totals, frames replayed at Open, checkpoints, fsyncs,
+// segment rotations, the group-commit batch-size distribution, and a
+// live-record gauge. The replay count observed when the store was opened
+// is credited immediately; the record gauge is seeded from the current
+// contents. Instrumenting with a nil registry disables collection again.
 func (s *Store) Instrument(reg *telemetry.Registry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.metrics = storeMetrics{
+	m := &storeMetrics{
 		appends:       reg.Counter("store_wal_appends_total"),
 		appendedBytes: reg.Counter("store_wal_appended_bytes_total"),
 		replayed:      reg.Counter("store_wal_replayed_frames_total"),
 		compactions:   reg.Counter("store_wal_compactions_total"),
+		fsyncs:        reg.Counter("store_fsync_total"),
+		rotations:     reg.Counter("store_segment_rotations_total"),
+		batchSize:     reg.Histogram("store_commit_batch_size", telemetry.CountBuckets),
 		records:       reg.Gauge("store_records"),
 	}
-	s.metrics.replayed.Add(int64(s.replayedFrames))
-	s.metrics.records.Set(int64(len(s.byKey)))
+	s.metrics.Store(m)
+	m.replayed.Add(int64(s.replayedFrames))
+	s.mu.RLock() //lint:allow nakedlock single length read to seed the gauge
+	n := len(s.byKey)
+	s.mu.RUnlock()
+	m.records.Set(int64(n))
 }

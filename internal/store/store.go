@@ -13,9 +13,18 @@
 //     root element's "type" attribute (credential/policy lookup by type);
 //   - Query evaluates a compiled XPath predicate over every document of a
 //     kind;
-//   - durability comes from a write-ahead log of length-prefixed,
-//     CRC-checked frames that is replayed on open; a torn tail (partial
-//     last write after a crash) is detected and truncated.
+//   - durability comes from a crash-safe storage engine (v2): a segmented
+//     write-ahead log of CRC-checked frames plus checkpoint snapshots.
+//     Concurrent writers share one fsync per commit batch (group commit,
+//     see commit.go), the log rotates into sealed segments at a size
+//     threshold (segment.go), and Compact is an online checkpoint that
+//     snapshots the live records and deletes only sealed segments
+//     (snapshot.go). Recovery = newest valid snapshot + replay of later
+//     segments; a torn tail (partial last write after a crash) is
+//     detected, truncated and never costs an acknowledged write. The
+//     whole mutation surface runs through internal/faultinject's FS hook
+//     layer so a crash-point torture harness can kill the engine at
+//     every file operation and verify those guarantees.
 package store
 
 import (
@@ -26,7 +35,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"trustvo/internal/faultinject"
 	"trustvo/internal/xmldom"
 	"trustvo/internal/xpath"
 )
@@ -64,6 +75,56 @@ func (r *Record) TypeAttr() string {
 	return doc.AttrOr("type", "")
 }
 
+// Durability selects when a logged write is fsynced.
+type Durability int
+
+const (
+	// DurabilityOS leaves flushing to the OS write-back cache: fastest,
+	// and a crash can lose the write-back window (Open's default, the v1
+	// behavior).
+	DurabilityOS Durability = iota
+	// DurabilityGroup fsyncs once per commit batch: every acknowledged
+	// write is on stable storage, and N concurrent writers share one
+	// flush (OpenDurable's default).
+	DurabilityGroup
+	// DurabilityEveryOp fsyncs after every single op: the v1 OpenDurable
+	// behavior, kept as the group-commit A/B baseline (EXT-12).
+	DurabilityEveryOp
+)
+
+// Options tunes a WAL-backed store opened with OpenWithOptions.
+type Options struct {
+	// Durability is the fsync policy (default DurabilityOS).
+	Durability Durability
+	// MaxBatch caps how many mutations one commit batch may carry
+	// (default 128).
+	MaxBatch int
+	// MaxDelay, when positive, holds a batch open that long waiting for
+	// more writers before fsyncing (DurabilityGroup only). The default 0
+	// coalesces only what queued naturally during the previous flush,
+	// adding no latency.
+	MaxDelay time.Duration
+	// SegmentSize is the rotation threshold for log segments
+	// (default 4 MiB).
+	SegmentSize int64
+	// FS is the filesystem hook layer; nil means the real filesystem.
+	// Torture tests inject a faultinject.CrashFS here.
+	FS faultinject.FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 128
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultinject.OSFS{}
+	}
+	return o
+}
+
 // Store is the document store. All methods are safe for concurrent use.
 type Store struct {
 	mu     sync.RWMutex
@@ -71,15 +132,28 @@ type Store struct {
 	byKind map[string]map[string]*Record // kind -> key -> record
 	byType map[string]map[string][]*Record
 
-	wal  *wal
+	// path is the WAL base path; "" marks a pure in-memory store.
 	path string
-	// syncEveryPut forces an fsync after every logged write (OpenDurable).
-	syncEveryPut bool
+	opts Options
+	fs   faultinject.FS
 
-	// replayedFrames is how many WAL frames Open replayed, credited to
-	// the replay counter when the store is instrumented.
+	// Committer plumbing (see commit.go). commitCh is nil once closed;
+	// closeMu serializes submission against Close. active, poison and
+	// closeErr are owned by the committer goroutine after Open.
+	commitCh chan commitReq
+	closeMu  sync.RWMutex
+	commitWG sync.WaitGroup
+	active   *activeSegment
+	poison   error
+	closeErr error
+
+	// ckptMu serializes checkpoints (Compact).
+	ckptMu sync.Mutex
+
+	// replayedFrames is how many snapshot records plus WAL frames Open
+	// replayed, credited to the replay counter when instrumented.
 	replayedFrames int
-	metrics        storeMetrics
+	metrics        atomic.Pointer[storeMetrics]
 
 	// gen counts committed mutations (Put/Delete), letting callers cache
 	// derived views (e.g. a party loaded from the store) and revalidate
@@ -106,62 +180,131 @@ func New() *Store {
 	}
 }
 
-// OpenDurable is Open with synchronous durability: every Put/Delete is
-// fsynced before returning. Slower, but a crash can lose at most the
-// in-flight write (Open's default risks the OS write-back window).
+// Open creates (or reopens) a WAL-backed store at path. Existing state is
+// recovered (snapshot, then segment replay); a torn final frame is
+// truncated away. Writes are logged but fsync is left to the OS.
+func Open(path string) (*Store, error) {
+	return OpenWithOptions(path, Options{})
+}
+
+// OpenDurable is Open with synchronous durability: every Put/Delete is on
+// stable storage before it returns. Concurrent writers share one fsync
+// per commit batch (group commit), so this no longer costs one flush per
+// write as it did in v1.
 func OpenDurable(path string) (*Store, error) {
-	s, err := Open(path)
-	if err != nil {
+	return OpenWithOptions(path, Options{Durability: DurabilityGroup})
+}
+
+// OpenWithOptions opens a WAL-backed store with explicit tuning.
+func OpenWithOptions(path string, opts Options) (*Store, error) {
+	s := New()
+	s.path = path
+	s.opts = opts.withDefaults()
+	s.fs = s.opts.FS
+	if err := s.recover(); err != nil {
 		return nil, err
 	}
-	s.syncEveryPut = true
+	s.commitCh = make(chan commitReq, 4*s.opts.MaxBatch)
+	s.commitWG.Add(1)
+	go s.committer(s.commitCh)
 	return s, nil
 }
 
-// Open creates (or reopens) a WAL-backed store at path. Existing log
-// contents are replayed; a torn final frame is truncated away.
-func Open(path string) (*Store, error) {
-	s := New()
-	s.path = path
-	w, entries, err := openWAL(path)
-	if err != nil {
-		return nil, err
+// recover rebuilds the in-memory state: newest valid snapshot first,
+// then replay of the legacy v1 file (as segment 0) and every segment at
+// or above the snapshot's cover sequence, ascending. It finishes by
+// creating a fresh active segment above everything seen, so appends
+// never touch a file that might carry a torn tail.
+func (s *Store) recover() error {
+	// A crash mid-checkpoint may leave a half-written snapshot tmp; it
+	// was never published, so it is garbage.
+	if err := os.Remove(snapshotTmpPath(s.path)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: remove stale snapshot tmp: %w", err)
 	}
-	s.wal = w
-	s.replayedFrames = len(entries)
+	snapEntries, coverSeq, err := loadSnapshot(s.path)
+	if err != nil {
+		return err
+	}
+	if err := s.applyReplay(snapEntries, "snapshot"); err != nil {
+		return err
+	}
+	if coverSeq == 0 {
+		legacy, err := replaySegmentFile(s.path)
+		if err != nil {
+			return err
+		}
+		if err := s.applyReplay(legacy, s.path); err != nil {
+			return err
+		}
+	}
+	refs, err := listSegments(s.path)
+	if err != nil {
+		return err
+	}
+	maxSeq := coverSeq
+	for _, ref := range refs {
+		if ref.seq > maxSeq {
+			maxSeq = ref.seq
+		}
+		if ref.seq < coverSeq {
+			continue // summarized by the snapshot; awaiting deletion
+		}
+		entries, err := replaySegmentFile(ref.path)
+		if err != nil {
+			return err
+		}
+		if err := s.applyReplay(entries, ref.path); err != nil {
+			return err
+		}
+	}
+	active, err := createSegment(s.fs, s.path, maxSeq+1)
+	if err != nil {
+		return err
+	}
+	s.active = active
+	return nil
+}
+
+// applyReplay applies recovered entries to the in-memory maps.
+func (s *Store) applyReplay(entries []walEntry, source string) error {
 	for _, e := range entries {
 		switch e.op {
 		case opPut:
-			if err := s.applyPut(e.kind, e.key, e.doc); err != nil {
-				// Documents in the log were validated before being
-				// appended; a parse failure here means on-disk
-				// corruption that crc32 did not catch. Surface it.
-				w.Close()
-				return nil, fmt.Errorf("store: replay %s/%s: %w", e.kind, e.key, err)
+			rec := &Record{Kind: e.kind, Key: e.key, XML: e.doc}
+			if _, err := rec.Doc(); err != nil {
+				// Documents were validated before being logged; a parse
+				// failure here means on-disk corruption that crc32 did
+				// not catch. Surface it.
+				return fmt.Errorf("store: replay %s from %s: %w", composite(e.kind, e.key), source, err)
 			}
+			s.applyRecord(rec)
 		case opDelete:
 			s.applyDelete(e.kind, e.key)
 		}
-	}
-	return s, nil
-}
-
-// Close releases the WAL file handle. The in-memory view stays usable
-// but further writes fail.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal != nil {
-		err := s.wal.Close()
-		s.wal = nil
-		return err
+		s.replayedFrames++
 	}
 	return nil
 }
 
+// Close stops the committer (draining queued writes), seals the active
+// segment and releases its handle. The in-memory view stays readable but
+// further writes fail with ErrWALClosed.
+func (s *Store) Close() error {
+	s.closeMu.Lock() //lint:allow nakedlock must release before commitWG.Wait, or the committer deadlocks
+	ch := s.commitCh
+	s.commitCh = nil
+	s.closeMu.Unlock()
+	if ch == nil {
+		return nil // in-memory, or already closed
+	}
+	close(ch)
+	s.commitWG.Wait()
+	return s.closeErr
+}
+
 func composite(kind, key string) string { return kind + "\x00" + key }
 
-// Put validates, stores and (when WAL-backed) logs a document.
+// Put validates, stores and (when WAL-backed) durably logs a document.
 func (s *Store) Put(kind, key string, doc *xmldom.Node) error {
 	if kind == "" || key == "" {
 		return errors.New("store: kind and key required")
@@ -169,28 +312,25 @@ func (s *Store) Put(kind, key string, doc *xmldom.Node) error {
 	if strings.ContainsRune(kind, 0) || strings.ContainsRune(key, 0) {
 		return errors.New("store: kind and key must not contain NUL")
 	}
-	xml := doc.XML()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal != nil {
-		n, err := s.wal.append(walEntry{op: opPut, kind: kind, key: key, doc: xml})
-		if err != nil {
-			return err
-		}
-		s.metrics.appends.Inc()
-		s.metrics.appendedBytes.Add(int64(n))
-		if s.syncEveryPut {
-			if err := s.wal.sync(); err != nil {
-				return err
-			}
-		}
-	}
-	if err := s.applyPut(kind, key, xml); err != nil {
+	rec := &Record{Kind: kind, Key: key, XML: doc.XML()}
+	if _, err := rec.Doc(); err != nil {
 		return err
 	}
-	s.gen.Add(1)
-	s.metrics.records.Set(int64(len(s.byKey)))
-	return nil
+	if s.path == "" {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.applyRecord(rec)
+		s.gen.Add(1)
+		s.met().records.Set(int64(len(s.byKey)))
+		return nil
+	}
+	res := s.submit(commitReq{
+		kind:  ckPut,
+		entry: walEntry{op: opPut, kind: kind, key: key, doc: rec.XML},
+		rec:   rec,
+		done:  make(chan commitResult, 1),
+	})
+	return res.err
 }
 
 // PutXML stores a pre-serialized document after validating it parses.
@@ -202,32 +342,27 @@ func (s *Store) PutXML(kind, key, xml string) error {
 	return s.Put(kind, key, doc)
 }
 
-// applyPut inserts into the in-memory maps. Caller holds s.mu (write).
-func (s *Store) applyPut(kind, key, xml string) error {
-	rec := &Record{Kind: kind, Key: key, XML: xml}
-	if _, err := rec.Doc(); err != nil {
-		return err
-	}
-	ck := composite(kind, key)
+// applyRecord inserts into the in-memory maps. Caller holds s.mu (write).
+func (s *Store) applyRecord(rec *Record) {
+	ck := composite(rec.Kind, rec.Key)
 	if old, exists := s.byKey[ck]; exists {
 		s.removeFromTypeIndex(old)
 	}
 	s.byKey[ck] = rec
-	km := s.byKind[kind]
+	km := s.byKind[rec.Kind]
 	if km == nil {
 		km = make(map[string]*Record)
-		s.byKind[kind] = km
+		s.byKind[rec.Kind] = km
 	}
-	km[key] = rec
+	km[rec.Key] = rec
 	if ta := rec.TypeAttr(); ta != "" {
-		tm := s.byType[kind]
+		tm := s.byType[rec.Kind]
 		if tm == nil {
 			tm = make(map[string][]*Record)
-			s.byType[kind] = tm
+			s.byType[rec.Kind] = tm
 		}
 		tm[ta] = append(tm[ta], rec)
 	}
-	return nil
 }
 
 func (s *Store) removeFromTypeIndex(rec *Record) {
@@ -255,30 +390,25 @@ func (s *Store) Get(kind, key string) (*Record, error) {
 	return rec, nil
 }
 
-// Delete removes a record, logging the removal when WAL-backed.
+// Delete removes a record, durably logging the removal when WAL-backed.
 func (s *Store) Delete(kind, key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.byKey[composite(kind, key)]; !ok {
-		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
-	}
-	if s.wal != nil {
-		n, err := s.wal.append(walEntry{op: opDelete, kind: kind, key: key})
-		if err != nil {
-			return err
+	if s.path == "" {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.byKey[composite(kind, key)]; !ok {
+			return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
 		}
-		s.metrics.appends.Inc()
-		s.metrics.appendedBytes.Add(int64(n))
-		if s.syncEveryPut {
-			if err := s.wal.sync(); err != nil {
-				return err
-			}
-		}
+		s.applyDelete(kind, key)
+		s.gen.Add(1)
+		s.met().records.Set(int64(len(s.byKey)))
+		return nil
 	}
-	s.applyDelete(kind, key)
-	s.gen.Add(1)
-	s.metrics.records.Set(int64(len(s.byKey)))
-	return nil
+	res := s.submit(commitReq{
+		kind:  ckDelete,
+		entry: walEntry{op: opDelete, kind: kind, key: key},
+		done:  make(chan commitResult, 1),
+	})
+	return res.err
 }
 
 func (s *Store) applyDelete(kind, key string) {
@@ -349,61 +479,89 @@ func (s *Store) QueryString(kind, expr string) ([]*Record, error) {
 	return s.Query(kind, e)
 }
 
-// Compact rewrites the WAL to contain exactly the live records,
-// reclaiming space from overwrites and deletions. No-op for in-memory
+// Compact is the online checkpoint: it rotates the log, writes the live
+// records to a CRC-framed snapshot file (atomically published via
+// rename), and deletes the sealed segments the snapshot covers. Unlike
+// the v1 stop-the-world rewrite, concurrent Puts keep committing into the
+// fresh segment while the snapshot is written. No-op for in-memory
 // stores.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
+	if s.path == "" {
 		return nil
 	}
-	var entries []walEntry
-	kinds := make([]string, 0, len(s.byKind))
-	for k := range s.byKind {
-		kinds = append(kinds, k)
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	res := s.submit(commitReq{kind: ckRotate, done: make(chan commitResult, 1)})
+	if res.err != nil {
+		return res.err
 	}
-	sort.Strings(kinds)
-	for _, kind := range kinds {
-		keys := make([]string, 0, len(s.byKind[kind]))
-		for k := range s.byKind[kind] {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			r := s.byKind[kind][key]
-			entries = append(entries, walEntry{op: opPut, kind: kind, key: key, doc: r.XML})
-		}
-	}
-	if err := s.wal.rewrite(entries); err != nil {
+	if err := writeSnapshot(s.fs, s.path, res.coverSeq, res.entries); err != nil {
 		return err
 	}
-	s.metrics.compactions.Inc()
-	return nil
+	s.met().compactions.Inc()
+	// The snapshot now owns everything below coverSeq: the legacy v1
+	// file and sealed old segments are garbage. A failed delete is
+	// retried by the next checkpoint (recovery skips them by sequence),
+	// but still reported.
+	var firstErr error
+	if err := s.fs.Remove(s.path); err != nil && !os.IsNotExist(err) {
+		firstErr = fmt.Errorf("store: remove legacy WAL: %w", err)
+	}
+	refs, err := listSegments(s.path)
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		if ref.seq >= res.coverSeq {
+			continue
+		}
+		if err := s.fs.Remove(ref.path); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = fmt.Errorf("store: remove sealed segment %d: %w", ref.seq, err)
+		}
+	}
+	return firstErr
 }
 
-// Path returns the WAL path ("" for in-memory stores).
+// Path returns the WAL base path ("" for in-memory stores).
 func (s *Store) Path() string { return s.path }
 
-// Sync forces the WAL to stable storage.
+// Sync forces everything logged so far to stable storage.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
+	if s.path == "" {
 		return nil
 	}
-	return s.wal.sync()
+	res := s.submit(commitReq{kind: ckSync, done: make(chan commitResult, 1)})
+	return res.err
 }
 
-// Destroy closes the store and removes its WAL file. For tests.
+// Destroy closes the store and removes every file it owns. For tests.
 func (s *Store) Destroy() error {
 	if err := s.Close(); err != nil {
 		return err
 	}
-	if s.path != "" {
-		if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+	if s.path == "" {
+		return nil
+	}
+	paths := []string{s.path, snapshotPath(s.path), snapshotTmpPath(s.path)}
+	if refs, err := listSegments(s.path); err == nil {
+		for _, ref := range refs {
+			paths = append(paths, ref.path)
+		}
+	}
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -146,6 +146,39 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	}
 }
 
+// newestSegment returns the path of the highest-numbered segment file.
+func newestSegment(t testing.TB, base string) string {
+	t.Helper()
+	refs, err := listSegments(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("no segments on disk")
+	}
+	return refs[len(refs)-1].path
+}
+
+// diskFootprint sums the sizes of every file the store owns at base.
+func diskFootprint(t testing.TB, base string) int64 {
+	t.Helper()
+	var total int64
+	paths := []string{base, snapshotPath(base)}
+	refs, err := listSegments(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range refs {
+		paths = append(paths, ref.path)
+	}
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
 func TestTornTailRecovery(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "torn.wal")
 	s, err := Open(path)
@@ -156,14 +189,16 @@ func TestTornTailRecovery(t *testing.T) {
 	s.PutXML("k", "good2", `<d n="2"/>`)
 	s.Close()
 
-	// simulate a crash mid-write: append a partial frame
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	// simulate a crash mid-write: append a partial frame to the segment
+	// that was active when the "crash" hit
+	seg := newestSegment(t, path)
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.Write([]byte{'T', 'V', 'P', 0, 3}) // header cut short
 	f.Close()
-	before, _ := os.Stat(path)
+	before, _ := os.Stat(seg)
 
 	re, err := Open(path)
 	if err != nil {
@@ -173,7 +208,7 @@ func TestTornTailRecovery(t *testing.T) {
 		t.Fatalf("count after torn tail = %d", re.Count("k"))
 	}
 	// torn tail was truncated
-	after, _ := os.Stat(path)
+	after, _ := os.Stat(seg)
 	if after.Size() >= before.Size() {
 		t.Fatalf("torn tail not truncated: %d -> %d", before.Size(), after.Size())
 	}
@@ -200,9 +235,10 @@ func TestCorruptedFrameStopsReplay(t *testing.T) {
 	s.Close()
 
 	// flip a byte in the middle of the second frame
-	data, _ := os.ReadFile(path)
+	seg := newestSegment(t, path)
+	data, _ := os.ReadFile(seg)
 	data[len(data)-6] ^= 0xFF
-	os.WriteFile(path, data, 0o644)
+	os.WriteFile(seg, data, 0o644)
 
 	re, err := Open(path)
 	if err != nil {
@@ -221,13 +257,17 @@ func TestCompactShrinksLog(t *testing.T) {
 		s.PutXML("k", "same", fmt.Sprintf(`<d n="%d"/>`, i))
 	}
 	s.Sync()
-	before, _ := os.Stat(path)
+	before := diskFootprint(t, path)
 	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := os.Stat(path)
-	if after.Size() >= before.Size() {
-		t.Fatalf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	after := diskFootprint(t, path)
+	if after >= before {
+		t.Fatalf("compact did not shrink: %d -> %d", before, after)
+	}
+	// the checkpoint deleted the sealed pre-compaction segments
+	if refs, _ := listSegments(path); len(refs) != 1 {
+		t.Fatalf("sealed segments not reclaimed: %d left", len(refs))
 	}
 	// post-compact writes and replay still work
 	s.PutXML("k", "extra", `<d/>`)

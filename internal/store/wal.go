@@ -1,15 +1,14 @@
 package store
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 )
 
-// Write-ahead log framing.
+// Write-ahead log framing, shared by log segments and snapshot bodies.
 //
 // Each frame:
 //
@@ -22,9 +21,11 @@ import (
 //	crc     uint32   CRC-32 (IEEE) over everything above
 //
 // A frame whose bytes run past EOF or whose CRC fails marks the torn
-// tail of the log: replay stops there and the file is truncated to the
-// last good frame, which is the standard crash-recovery contract of a
-// WAL (committed writes survive, the torn write disappears).
+// tail of the log: replay stops there, which is the standard
+// crash-recovery contract of a WAL (committed writes survive, the torn
+// write disappears). Segments are append-only and sealed by rotation, so
+// a tear can only ever sit at the tail of the newest segment that was
+// active when the process died.
 
 type walOp byte
 
@@ -35,6 +36,8 @@ const (
 
 var walMagic = [2]byte{'T', 'V'}
 
+const walHeaderLen = 2 + 1 + 2 + 2 + 4
+
 type walEntry struct {
 	op   walOp
 	kind string
@@ -42,61 +45,19 @@ type walEntry struct {
 	doc  string
 }
 
-type wal struct {
-	f *os.File
-}
-
 // ErrWALClosed is returned for writes after Close.
 var ErrWALClosed = errors.New("store: WAL closed")
 
-func openWAL(path string) (*wal, []walEntry, error) {
-	_, statErr := os.Stat(path)
-	created := os.IsNotExist(statErr)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("store: open WAL: %w", err)
-	}
-	if created {
-		// Durability invariant: a file is only durably *named* once its
-		// parent directory entry is fsynced. Without this, a crash
-		// shortly after creating the store could leave an empty
-		// directory — and every subsequent append would be fsyncing a
-		// file that vanishes on recovery.
-		if err := syncDir(path); err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-	}
-	entries, good, err := replay(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	// Truncate a torn tail so future appends start at a frame boundary.
-	if fi, err := f.Stat(); err == nil && fi.Size() > good {
-		if err := f.Truncate(good); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
-		}
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	return &wal{f: f}, entries, nil
-}
-
-// replay reads frames until EOF or corruption, returning the decoded
-// entries and the offset of the end of the last good frame.
-func replay(f *os.File) ([]walEntry, int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, err
-	}
+// replayFrames decodes frames from r until EOF or the first corrupt or
+// torn frame, returning the decoded entries and the offset of the end of
+// the last good frame.
+func replayFrames(r io.Reader) ([]walEntry, int64, error) {
+	br := bufio.NewReader(r)
 	var entries []walEntry
 	var good int64
-	hdr := make([]byte, 2+1+2+2+4)
+	hdr := make([]byte, walHeaderLen)
 	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			// io.EOF: clean end. ErrUnexpectedEOF: torn header.
 			return entries, good, nil
 		}
@@ -111,7 +72,7 @@ func replay(f *os.File) ([]walEntry, int64, error) {
 			return entries, good, nil
 		}
 		body := make([]byte, int(kindLen)+int(keyLen)+int(docLen)+4)
-		if _, err := io.ReadFull(f, body); err != nil {
+		if _, err := io.ReadFull(br, body); err != nil {
 			return entries, good, nil // torn body
 		}
 		crc := crc32.NewIEEE()
@@ -136,146 +97,27 @@ func replay(f *os.File) ([]walEntry, int64, error) {
 	}
 }
 
-func encodeFrame(e walEntry) ([]byte, error) {
+// appendFrame encodes one frame onto buf and returns the extended slice.
+func appendFrame(buf []byte, e walEntry) ([]byte, error) {
 	if len(e.kind) > 0xFFFF || len(e.key) > 0xFFFF {
 		return nil, errors.New("store: kind or key too long for WAL frame")
 	}
-	hdr := make([]byte, 2+1+2+2+4)
+	start := len(buf)
+	var hdr [walHeaderLen]byte
 	hdr[0], hdr[1] = walMagic[0], walMagic[1]
 	hdr[2] = byte(e.op)
 	binary.BigEndian.PutUint16(hdr[3:5], uint16(len(e.kind)))
 	binary.BigEndian.PutUint16(hdr[5:7], uint16(len(e.key)))
 	binary.BigEndian.PutUint32(hdr[7:11], uint32(len(e.doc)))
-	frame := make([]byte, 0, len(hdr)+len(e.kind)+len(e.key)+len(e.doc)+4)
-	frame = append(frame, hdr...)
-	frame = append(frame, e.kind...)
-	frame = append(frame, e.key...)
-	frame = append(frame, e.doc...)
-	crc := crc32.ChecksumIEEE(frame)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, e.kind...)
+	buf = append(buf, e.key...)
+	buf = append(buf, e.doc...)
+	crc := crc32.ChecksumIEEE(buf[start:])
 	var tail [4]byte
 	binary.BigEndian.PutUint32(tail[:], crc)
-	frame = append(frame, tail[:]...)
-	return frame, nil
+	return append(buf, tail[:]...), nil
 }
 
-// append logs one frame and returns the number of bytes written.
-func (w *wal) append(e walEntry) (int, error) {
-	if w.f == nil {
-		return 0, ErrWALClosed
-	}
-	frame, err := encodeFrame(e)
-	if err != nil {
-		return 0, err
-	}
-	if _, err := w.f.Write(frame); err != nil {
-		return 0, fmt.Errorf("store: WAL append: %w", err)
-	}
-	return len(frame), nil
-}
-
-// rewrite atomically replaces the log contents with the given entries
-// (used by Compact). It writes to a sibling temp file and renames over.
-func (w *wal) rewrite(entries []walEntry) error {
-	if w.f == nil {
-		return ErrWALClosed
-	}
-	path := w.f.Name()
-	tmp, err := os.CreateTemp(filepathDir(path), ".wal-compact-*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	for _, e := range entries {
-		frame, err := encodeFrame(e)
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmpName)
-			return err
-		}
-		if _, err := tmp.Write(frame); err != nil {
-			tmp.Close()
-			os.Remove(tmpName)
-			return err
-		}
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	// Durability invariant (do not remove): rename(tmp, wal) only
-	// becomes durable once the parent DIRECTORY is fsynced. The tmp
-	// file's own Sync above persists its *contents*; on ext4/xfs-like
-	// filesystems the directory entry swap lives in the directory
-	// inode, so a crash right after compaction could otherwise recover
-	// to a directory pointing at the unlinked pre-compaction file — or
-	// at nothing — losing the entire log.
-	if err := syncDir(path); err != nil {
-		return err
-	}
-	old := w.f
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	w.f = f
-	return old.Close()
-}
-
-// syncDir fsyncs the directory containing path, making a just-created
-// or just-renamed directory entry durable. Some platforms refuse fsync
-// on directories; those report a PathError we treat as "the platform
-// gives no stronger guarantee" rather than a WAL failure.
-func syncDir(path string) error {
-	d, err := os.Open(filepathDir(path))
-	if err != nil {
-		return fmt.Errorf("store: open WAL dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		var pe *os.PathError
-		if errors.As(err, &pe) {
-			return nil
-		}
-		return fmt.Errorf("store: sync WAL dir: %w", err)
-	}
-	return nil
-}
-
-func (w *wal) sync() error {
-	if w.f == nil {
-		return ErrWALClosed
-	}
-	return w.f.Sync()
-}
-
-func (w *wal) Close() error {
-	if w.f == nil {
-		return nil
-	}
-	err := w.f.Close()
-	w.f = nil
-	return err
-}
-
-// filepathDir is filepath.Dir without importing path/filepath for one
-// call site... actually import it; kept as a helper for clarity.
-func filepathDir(p string) string {
-	for i := len(p) - 1; i >= 0; i-- {
-		if p[i] == '/' {
-			if i == 0 {
-				return "/"
-			}
-			return p[:i]
-		}
-	}
-	return "."
-}
+// encodeFrame encodes one frame as a fresh slice.
+func encodeFrame(e walEntry) ([]byte, error) { return appendFrame(nil, e) }

@@ -98,7 +98,12 @@ func openEnvelope(root *xmldom.Node) (string, *negotiation.Message, error) {
 }
 
 // openEnvelopeSeq decodes an envelope into (id, seq, message); seq is 0
-// for envelopes from pre-sequence clients.
+// for envelopes from pre-sequence clients (no seq attribute at all).
+//
+// A present-but-malformed seq is rejected with a typed *Error (code
+// "envelope") rather than silently collapsed to 0: seq 0 means "no
+// at-most-once protection", so swallowing the parse error would let a
+// corrupted retry bypass the reply cache and be applied twice.
 func openEnvelopeSeq(root *xmldom.Node) (string, int64, *negotiation.Message, error) {
 	if root.Name != "envelope" {
 		return "", 0, nil, fmt.Errorf("wsrpc: expected <envelope>, got <%s>", root.Name)
@@ -107,7 +112,19 @@ func openEnvelopeSeq(root *xmldom.Node) (string, int64, *negotiation.Message, er
 	if id == "" {
 		return "", 0, nil, fmt.Errorf("wsrpc: envelope without negotiation id")
 	}
-	seq, _ := strconv.ParseInt(root.AttrOr("seq", "0"), 10, 64)
+	var seq int64
+	if raw := root.AttrOr("seq", ""); raw != "" {
+		var err error
+		seq, err = strconv.ParseInt(raw, 10, 64)
+		if err != nil || seq <= 0 {
+			return "", 0, nil, &Error{
+				Op:     "envelope",
+				Status: http.StatusBadRequest,
+				Code:   "envelope",
+				Err:    fmt.Errorf("wsrpc: malformed envelope seq %q", raw),
+			}
+		}
+	}
 	tm := root.Child("tnMessage")
 	if tm == nil {
 		return "", 0, nil, fmt.Errorf("wsrpc: envelope without tnMessage")

@@ -2,6 +2,7 @@ package wsrpc
 
 import (
 	"fmt"
+	"net/http"
 	"strconv"
 	"time"
 
@@ -136,8 +137,36 @@ func (s *TNService) restoreSession(doc *xmldom.Node) (*tnSession, error) {
 		return nil, err
 	}
 	sess := &tnSession{endpoint: ep, lastUsed: time.Now()}
-	sess.lastSeq, _ = strconv.ParseInt(doc.AttrOr("lastSeq", "0"), 10, 64)
-	sess.lastReplyStatus, _ = strconv.Atoi(doc.AttrOr("lastStatus", "0"))
+	// A malformed lastSeq or lastStatus must not be collapsed to 0: seq 0
+	// disables the replay cache, so a corrupt record would silently lose
+	// the session's at-most-once protection. Reject it; the caller logs
+	// and drops the record.
+	if raw := doc.AttrOr("lastSeq", ""); raw != "" {
+		var err error
+		sess.lastSeq, err = strconv.ParseInt(raw, 10, 64)
+		if err != nil || sess.lastSeq < 0 {
+			s.countBadEnvelope()
+			return nil, &Error{
+				Op:     "resume",
+				Status: http.StatusBadRequest,
+				Code:   "envelope",
+				Err:    fmt.Errorf("wsrpc: malformed lastSeq %q in suspended session", raw),
+			}
+		}
+	}
+	if raw := doc.AttrOr("lastStatus", ""); raw != "" {
+		var err error
+		sess.lastReplyStatus, err = strconv.Atoi(raw)
+		if err != nil || sess.lastReplyStatus < 0 {
+			s.countBadEnvelope()
+			return nil, &Error{
+				Op:     "resume",
+				Status: http.StatusBadRequest,
+				Code:   "envelope",
+				Err:    fmt.Errorf("wsrpc: malformed lastStatus %q in suspended session", raw),
+			}
+		}
+	}
 	if lr := doc.Child("lastReply"); lr != nil {
 		sess.lastReply = lr.Text()
 	}

@@ -577,6 +577,14 @@ func phaseOf(t negotiation.MsgType) phaseKind {
 	}
 }
 
+// countBadEnvelope records a rejected envelope — undecodable schema,
+// malformed sequence number, or a corrupt suspended-session record.
+func (s *TNService) countBadEnvelope() {
+	if m := s.Metrics; m != nil {
+		m.Counter("tn_bad_envelope_total").Inc()
+	}
+}
+
 func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -590,7 +598,13 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 		}
 		id, seq, msg, err := openEnvelopeSeq(body)
 		if err != nil {
-			writeFault(w, http.StatusBadRequest, "schema", err.Error())
+			s.countBadEnvelope()
+			code := "schema"
+			var werr *Error
+			if errors.As(err, &werr) && werr.Code != "" {
+				code = werr.Code
+			}
+			writeFault(w, http.StatusBadRequest, code, err.Error())
 			return
 		}
 		// Terminal messages (success/fail) may land on either operation;

@@ -262,10 +262,14 @@ type (
 	Record = store.Record
 )
 
-// Store constructors.
+// Store constructors. OpenStore leaves fsync to the OS write-back
+// cache; OpenDurableStore puts every acknowledged write on stable
+// storage, with concurrent writers sharing one fsync per commit batch
+// (group commit).
 var (
-	NewStore  = store.New
-	OpenStore = store.Open
+	NewStore         = store.New
+	OpenStore        = store.Open
+	OpenDurableStore = store.OpenDurable
 )
 
 // ---- telemetry ----
