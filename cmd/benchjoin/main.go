@@ -64,8 +64,19 @@ func main() {
 		writers   = flag.Int("writers", 16, "store mode: concurrent writers")
 		puts      = flag.Int("puts", 3200, "store mode: total puts per durability mode")
 		storeOut  = flag.String("storeout", "BENCH_store.json", "store mode: JSON report path (empty to skip)")
+
+		clusterMode   = flag.Bool("cluster", false, "run the sharded-TN scaling + failover benchmark (EXT-13) instead of the Fig. 9 timing")
+		clusterNodes  = flag.Int("nodes", 3, "cluster mode: node count for the scaled half of the A/B")
+		clusterRounds = flag.Int("failovers", 6, "cluster mode: node-kill failover recovery rounds")
+		clusterOut    = flag.String("clusterout", "BENCH_cluster.json", "cluster mode: JSON report path (empty to skip)")
 	)
 	flag.Parse()
+	if *clusterMode {
+		if err := runClusterBench(os.Stdout, *clusterNodes, *concurrency, *joins, *clusterRounds, *clusterOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *storeMode {
 		if err := runStoreBench(os.Stdout, *writers, *puts, *storeOut); err != nil {
 			log.Fatal(err)

@@ -14,6 +14,7 @@
 //	voctl operate -party <dir> -url <base> -operation <op>
 //	voctl reputation -url <base> -member <name>
 //	voctl audit   -url <base>
+//	voctl cluster-status -url <base>[,<base>...]   probe sharded-TN cluster nodes
 //
 // A complete session:
 //
@@ -42,6 +43,7 @@ import (
 	"trustvo/internal/store"
 	"trustvo/internal/vo/registry"
 	"trustvo/internal/wsrpc"
+	"trustvo/internal/xmldom"
 )
 
 func main() {
@@ -73,6 +75,8 @@ func main() {
 		err = cmdReputation(args)
 	case "audit":
 		err = cmdAudit(args)
+	case "cluster-status":
+		err = cmdClusterStatus(args)
 	default:
 		usage()
 	}
@@ -82,8 +86,67 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: voctl <demo|serve|publish|join|members|status|phase|operate|reputation|audit> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: voctl <demo|serve|publish|join|members|status|phase|operate|reputation|audit|cluster-status> [flags]")
 	os.Exit(2)
+}
+
+// cmdClusterStatus probes each node of a sharded TN cluster and prints
+// one line per node: replication role, epoch, and log positions. The
+// lag of a follower is the leader's head minus the follower's applied.
+func cmdClusterStatus(args []string) error {
+	fs := flag.NewFlagSet("cluster-status", flag.ExitOnError)
+	urls := fs.String("url", "http://localhost:8080", "comma-separated node base URLs")
+	fs.Parse(args)
+	client := &http.Client{Timeout: 5 * time.Second}
+	var leaderHead int64 = -1
+	type row struct {
+		base, node, role string
+		epoch            string
+		pos, applied     int64
+	}
+	var rows []row
+	for _, base := range strings.Split(*urls, ",") {
+		base = strings.TrimRight(strings.TrimSpace(base), "/")
+		if base == "" {
+			continue
+		}
+		resp, err := client.Get(base + "/cluster/status")
+		if err != nil {
+			fmt.Printf("%-28s unreachable: %v\n", base, err)
+			continue
+		}
+		root, perr := xmldom.Parse(resp.Body)
+		resp.Body.Close()
+		if perr != nil || resp.StatusCode != http.StatusOK || root.Name != "clusterStatus" {
+			fmt.Printf("%-28s not a cluster node (status %d)\n", base, resp.StatusCode)
+			continue
+		}
+		r := row{
+			base:  base,
+			node:  root.AttrOr("node", "?"),
+			role:  "follower",
+			epoch: root.AttrOr("epoch", "0"),
+		}
+		fmt.Sscanf(root.AttrOr("pos", "0"), "%d", &r.pos)
+		fmt.Sscanf(root.AttrOr("applied", "0"), "%d", &r.applied)
+		if root.AttrOr("leader", "") == "true" {
+			r.role = "leader"
+			leaderHead = r.pos
+		}
+		rows = append(rows, r)
+	}
+	for _, r := range rows {
+		lag := ""
+		if r.role == "follower" && leaderHead >= 0 {
+			lag = fmt.Sprintf(" lag=%d", leaderHead-r.applied)
+		}
+		fmt.Printf("%-28s node=%-8s role=%-8s epoch=%s pos=%d applied=%d%s\n",
+			r.base, r.node, r.role, r.epoch, r.pos, r.applied, lag)
+	}
+	if len(rows) == 0 {
+		return errors.New("no cluster nodes answered")
+	}
+	return nil
 }
 
 func cmdDemo(args []string) error {

@@ -56,6 +56,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{"ctxpropagate", "ctxpropagate/wsrpc"},
 		{"ctxpropagate", "ctxpropagate/mainpkg"},
+		{"ctxpropagate", "ctxpropagate/cluster"},
 		{"errwrap", "errwrap/a"},
 		{"metricname", "metricname/a"},
 		{"xmltag", "xmltag/negotiation"},

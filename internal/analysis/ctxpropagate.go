@@ -25,7 +25,7 @@ func ctxpropagate() *Analyzer {
 	a.Run = func(p *Pass) error {
 		info := p.Pkg.TypesInfo
 		isMain := p.Pkg.Name == "main"
-		netPkg := pkgPathHasSuffix(p.Pkg.Path, "wsrpc") || pkgPathHasSuffix(p.Pkg.Path, "negotiation")
+		netPkg := pkgPathHasSuffix(p.Pkg.Path, "wsrpc") || pkgPathHasSuffix(p.Pkg.Path, "negotiation") || pkgPathHasSuffix(p.Pkg.Path, "cluster")
 		for _, file := range p.Pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch n := n.(type) {

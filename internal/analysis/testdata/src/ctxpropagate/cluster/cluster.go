@@ -1,0 +1,31 @@
+// Package cluster is a golden fixture: its import path ends in
+// /cluster, so the ctxpropagate network-package rules apply — cluster
+// RPCs (forwarding, standby shipping, migration, replication) must
+// thread the caller's context so drains and shutdowns cancel them.
+package cluster
+
+import "context"
+
+// ship is context-aware plumbing standing in for a cluster RPC.
+func ship(ctx context.Context, peer string) error { return ctx.Err() }
+
+// replicate conjures a root context in library code.
+func replicate() error {
+	ctx := context.Background() // want "context.Background is reserved for package main"
+	return ship(ctx, "n2")
+}
+
+// Forward is an exported cluster RPC path with no context parameter.
+func Forward(peer string) error { // want "exported Forward calls context-aware ship but takes no context.Context"
+	return ship(nil, peer)
+}
+
+// Migrate declares a context and never passes it down.
+func Migrate(ctx context.Context, peer string) error { // want "exported Migrate never uses its context parameter"
+	return nil
+}
+
+// Adopt threads its context down; no finding.
+func Adopt(ctx context.Context, peer string) error {
+	return ship(ctx, peer)
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"time"
+
+	"trustvo/internal/xmldom"
+)
+
+// Live session migration: a draining (or rebalancing) node removes its
+// sessions from the service table, wraps each suspended-state document
+// in a signed, expiring session ticket, and posts it to the session's
+// current ring owner, which adopts it. The signature — the shared
+// cluster key standing in for a cluster-internal CA — keeps a forged or
+// replayed-from-backup snapshot from hijacking a negotiation, and the
+// expiry bounds how stale an adopted state can be.
+
+// sessionTicketBytes is the byte string the migration signature covers.
+func sessionTicketBytes(id, notAfter, docXML string) []byte {
+	return []byte("trustvo-session|" + id + "|" + notAfter + "|" + docXML)
+}
+
+// sessionTicket wraps one suspended session in a signed migration
+// ticket.
+func (n *Node) sessionTicket(id string, doc *xmldom.Node) (*xmldom.Node, error) {
+	if n.keys == nil {
+		return nil, fmt.Errorf("cluster: node %s has no migration signing key", n.cfg.Name)
+	}
+	notAfter := time.Now().Add(n.ticketTTL()).UTC().Format(time.RFC3339)
+	sig := n.keys.Sign(sessionTicketBytes(id, notAfter, doc.XML()))
+	t := xmldom.NewElement("sessionTicket").
+		SetAttr("id", id).
+		SetAttr("node", n.cfg.Name).
+		SetAttr("notAfter", notAfter)
+	t.AppendChild(doc)
+	sigEl := xmldom.NewElement("signature")
+	sigEl.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(sig)))
+	t.AppendChild(sigEl)
+	return t, nil
+}
+
+// Drain migrates every live, unfinished session to its current ring
+// owner. Remove the node from the ring first, so "current owner" is a
+// survivor. Sessions with no snapshottable state (no message handled
+// yet) are dropped — their clients restart from /tn/start, losing
+// nothing acked. Returns how many sessions moved; the first send error
+// is reported after all sessions were attempted.
+func (n *Node) Drain(ctx context.Context) (int, error) {
+	return n.drain(ctx, nil)
+}
+
+// MigrateMisowned migrates only sessions the ring no longer assigns to
+// this node — the rebalancing pass every survivor runs after membership
+// changes (a kill, a revival), so sessions follow their arcs.
+func (n *Node) MigrateMisowned(ctx context.Context) (int, error) {
+	return n.drain(ctx, func(id string) bool {
+		owner := n.ring.Owner(id)
+		return owner != "" && owner != n.cfg.Name
+	})
+}
+
+func (n *Node) drain(ctx context.Context, filter func(id string) bool) (int, error) {
+	moved := 0
+	var firstErr error
+	for id, doc := range n.tn.DrainSessions(filter) {
+		if doc == nil {
+			continue // nothing to resume; client restarts from /tn/start
+		}
+		target := n.ring.Owner(id)
+		if target == "" || target == n.cfg.Name {
+			// Still ours (drain without ring removal): put it back.
+			if _, err := n.tn.AdoptSessionDoc(doc); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := n.sendAdopt(ctx, target, id, doc); err != nil {
+			n.logf("cluster: migrating session %s to %s: %v", id, target, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			// Park the snapshot locally as standby state: if the target is
+			// the node adopting this id later, its retry path (or a
+			// subsequent migration pass) can still find it here.
+			n.putStandby(id, doc.XML())
+			continue
+		}
+		moved++
+	}
+	if m := n.metrics; m != nil && moved > 0 {
+		m.Counter("cluster_migrations_total").Add(int64(moved))
+	}
+	return moved, firstErr
+}
+
+// sendAdopt posts one signed session ticket to the target node.
+func (n *Node) sendAdopt(ctx context.Context, target, id string, doc *xmldom.Node) error {
+	base := n.peerURL(target)
+	if base == "" {
+		return fmt.Errorf("cluster: no address for migration target %s", target)
+	}
+	ticket, err := n.sessionTicket(id, doc)
+	if err != nil {
+		return err
+	}
+	_, err = n.transport.Call(ctx, http.MethodPost, base, "/cluster/adopt", "", ticket.XML(), true)
+	return err
+}
+
+// handleAdopt verifies and adopts a migrated session. Expiry is checked
+// before the signature: an expired ticket is a distinct, typed, counted
+// condition (410, not retryable), mirroring the client-side resume
+// ticket rule.
+func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	root, ok := readClusterBody(w, r, "sessionTicket")
+	if !ok {
+		return
+	}
+	id := root.AttrOr("id", "")
+	doc := root.Child("tnSession")
+	sigEl := root.Child("signature")
+	if id == "" || doc == nil || sigEl == nil {
+		writeClusterFault(w, http.StatusBadRequest, "schema", "sessionTicket missing id, session or signature")
+		return
+	}
+	notAfter := root.AttrOr("notAfter", "")
+	exp, err := time.Parse(time.RFC3339, notAfter)
+	if err != nil {
+		writeClusterFault(w, http.StatusBadRequest, "schema", "sessionTicket notAfter: "+err.Error())
+		return
+	}
+	if time.Now().After(exp) {
+		if m := n.metrics; m != nil {
+			m.Counter("tn_ticket_expired_total").Inc()
+		}
+		writeClusterFault(w, http.StatusGone, "ticket-expired", "session ticket expired "+notAfter)
+		return
+	}
+	if n.keys == nil {
+		writeClusterFault(w, http.StatusServiceUnavailable, "no-key", "node has no migration verification key")
+		return
+	}
+	sig, err := base64.StdEncoding.DecodeString(sigEl.Text())
+	if err != nil {
+		writeClusterFault(w, http.StatusBadRequest, "schema", "sessionTicket signature not base64")
+		return
+	}
+	if !ed25519.Verify(n.keys.Public, sessionTicketBytes(id, notAfter, doc.XML()), sig) {
+		writeClusterFault(w, http.StatusForbidden, "ticket-signature", "session ticket signature verification failed")
+		return
+	}
+	if _, err := n.tn.AdoptSessionDoc(doc); err != nil {
+		writeWsrpcError(w, err)
+		return
+	}
+	if m := n.metrics; m != nil {
+		m.Counter("cluster_adoptions_total", "source", "migration").Inc()
+	}
+	writeClusterDOM(w, xmldom.NewElement("adopted").SetAttr("id", id))
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"trustvo/internal/pki"
+	"trustvo/internal/store"
+	"trustvo/internal/telemetry"
+	"trustvo/internal/wsrpc"
+	"trustvo/internal/xmldom"
+)
+
+// Config wires one cluster node.
+type Config struct {
+	// Name is the node's ring identity (must be unique in the cluster).
+	Name string
+	// Ring is the shared membership view. Nodes of one cluster may share
+	// a *Ring in-process (tests) or maintain equal copies (deployments);
+	// routing only needs every node to agree on the member set.
+	Ring *Ring
+	// TN is the local trust-negotiation service; NewNode installs its
+	// cluster hooks (owned-id minting and per-message standby shipping).
+	TN *wsrpc.TNService
+	// Transport carries every cluster RPC (forwarding, standby shipping,
+	// migration, replication) through the hardened client path: per-call
+	// deadlines, retries with backoff, and per-endpoint breakers.
+	Transport *wsrpc.Transport
+	// Metrics receives the node's cluster telemetry (nil disables).
+	Metrics *telemetry.Registry
+	// Keys signs session migration tickets. All nodes of a cluster share
+	// the key pair, standing in for a deployment's cluster-internal CA.
+	Keys *pki.KeyPair
+	// Redirect answers misrouted joins with 307 + the owner's URL instead
+	// of forwarding server-side. Clients following redirects spare the
+	// cluster a proxy hop per message.
+	Redirect bool
+	// SyncRepl gates every store commit acknowledgment on SyncQuorum
+	// follower acknowledgments, so promoting the most advanced survivor
+	// loses no acked write.
+	SyncRepl bool
+	// SyncQuorum is the follower-ack count SyncRepl waits for (default 1).
+	SyncQuorum int
+	// TicketTTL bounds session migration ticket validity (default 2m).
+	TicketTTL time.Duration
+	// StandbyTTL bounds how long an unclaimed standby snapshot is kept
+	// (default 10m, matching the session idle limit's order of magnitude).
+	StandbyTTL time.Duration
+	// MaxReplLog caps the in-memory replication log; followers further
+	// behind than the cap catch up from a store snapshot (default 4096).
+	MaxReplLog int
+	// Capacity bounds concurrently serviced TN messages on this node
+	// (0 = unlimited). With ServiceFloor it forms the benchmark capacity
+	// model; in deployments it is per-node admission control.
+	Capacity int
+	// ServiceFloor is a minimum per-message service time enforced while
+	// holding a capacity slot, making per-node throughput Capacity/Floor
+	// even when the handler itself is faster (benchmark scaling model).
+	ServiceFloor time.Duration
+	// ReplInterval paces the background replication pusher (default 25ms).
+	ReplInterval time.Duration
+	// Logf reports operational events (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Node is one member of a sharded TN cluster: it owns the sessions the
+// ring assigns it, keeps standby snapshots for its predecessors'
+// sessions, and participates in store replication as leader or follower.
+type Node struct {
+	cfg       Config
+	ring      *Ring
+	tn        *wsrpc.TNService
+	transport *wsrpc.Transport
+	metrics   *telemetry.Registry
+	keys      *pki.KeyPair
+
+	mu      sync.Mutex
+	db      *store.Store
+	peers   map[string]string // node name → base URL
+	standby map[string]standbyDoc
+	ships   int // standby inserts since the last expiry sweep
+
+	gate chan struct{} // capacity semaphore (nil = unlimited)
+
+	ctxMu  sync.Mutex
+	runCtx context.Context
+
+	// applyMu serializes follower-side application of replicated entries
+	// and snapshots with the applied-position bookkeeping.
+	applyMu sync.Mutex
+	repl    replState
+}
+
+// standbyDoc is one unclaimed standby session snapshot.
+type standbyDoc struct {
+	xml string
+	at  time.Time
+}
+
+// NewNode builds a node and installs the TN cluster hooks. The
+// replicated store is attached separately (AttachDB) because its
+// OnCommit option must point at the node being constructed:
+//
+//	n := cluster.NewNode(cfg)
+//	db := store.NewWithOptions(store.Options{OnCommit: n.OnCommit})
+//	n.AttachDB(db)
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: node needs a name")
+	}
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("cluster: node %s needs a ring", cfg.Name)
+	}
+	if cfg.TN == nil {
+		return nil, fmt.Errorf("cluster: node %s needs a TN service", cfg.Name)
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = &wsrpc.Transport{}
+	}
+	n := &Node{
+		cfg:       cfg,
+		ring:      cfg.Ring,
+		tn:        cfg.TN,
+		transport: cfg.Transport,
+		metrics:   cfg.Metrics,
+		keys:      cfg.Keys,
+		peers:     make(map[string]string),
+		standby:   make(map[string]standbyDoc),
+	}
+	if cfg.Capacity > 0 {
+		n.gate = make(chan struct{}, cfg.Capacity)
+	}
+	n.repl.followers = make(map[string]uint64)
+	n.repl.sendMu = make(map[string]*sync.Mutex)
+	n.tn.NewSessionID = n.mintOwnedID
+	n.tn.OnSessionUpdate = n.shipStandby
+	return n, nil
+}
+
+// Name returns the node's ring identity.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Ring returns the shared membership ring (for the host process to
+// mutate on membership changes, e.g. removing itself before a drain).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// AttachDB attaches the replicated document store. The store should have
+// been built with Options.OnCommit = n.OnCommit so leader commits enter
+// the replication log.
+func (n *Node) AttachDB(db *store.Store) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.db = db
+}
+
+// DB returns the attached replicated store (nil before AttachDB).
+func (n *Node) DB() *store.Store {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.db
+}
+
+// SetPeer records (or updates) the base URL for a peer node.
+func (n *Node) SetPeer(name, baseURL string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[name] = baseURL
+}
+
+// peerURL resolves a node name to its base URL ("" when unknown).
+func (n *Node) peerURL(name string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peers[name]
+}
+
+// Start launches the node's background replication pusher; ctx cancels
+// it. Cluster-initiated RPCs (sync replication pushes from commit hooks)
+// also run under this context. Call before serving traffic.
+func (n *Node) Start(ctx context.Context) {
+	n.ctxMu.Lock() //lint:allow nakedlock short set; replication loop launch below runs unlocked
+	n.runCtx = ctx
+	n.ctxMu.Unlock()
+	go n.replLoop(ctx)
+}
+
+// runContext returns the Start context (nil before Start).
+func (n *Node) runContext() context.Context {
+	n.ctxMu.Lock()
+	defer n.ctxMu.Unlock()
+	return n.runCtx
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+func (n *Node) ticketTTL() time.Duration {
+	if n.cfg.TicketTTL > 0 {
+		return n.cfg.TicketTTL
+	}
+	return 2 * time.Minute
+}
+
+func (n *Node) standbyTTL() time.Duration {
+	if n.cfg.StandbyTTL > 0 {
+		return n.cfg.StandbyTTL
+	}
+	return 10 * time.Minute
+}
+
+func (n *Node) maxReplLog() int {
+	if n.cfg.MaxReplLog > 0 {
+		return n.cfg.MaxReplLog
+	}
+	return 4096
+}
+
+func (n *Node) syncQuorum() int {
+	if n.cfg.SyncQuorum > 0 {
+		return n.cfg.SyncQuorum
+	}
+	return 1
+}
+
+func (n *Node) replInterval() time.Duration {
+	if n.cfg.ReplInterval > 0 {
+		return n.cfg.ReplInterval
+	}
+	return 25 * time.Millisecond
+}
+
+// mintOwnedID draws random session ids until one lands on this node's
+// ring arc, so a session's messages are served where it started without
+// a forwarding hop. With k nodes a draw hits the local arc with
+// probability ~1/k; 128 draws make failure astronomically unlikely.
+func (n *Node) mintOwnedID() (string, error) {
+	for i := 0; i < 128; i++ {
+		var raw [12]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return "", err
+		}
+		id := hex.EncodeToString(raw[:])
+		owner := n.ring.Owner(id)
+		if owner == "" || owner == n.cfg.Name {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("cluster: node %s could not mint an owned session id in 128 draws", n.cfg.Name)
+}
+
+// shipStandby is the TNService OnSessionUpdate hook: after each handled
+// message — before the reply is released — the session's suspended state
+// ships to its ring successor. An error here withholds the reply, so a
+// client holding reply k implies the standby holds state ≥ k: the
+// invariant that makes failover adoption lossless for acked traffic.
+func (n *Node) shipStandby(ctx context.Context, id string, doc *xmldom.Node) error {
+	target := n.ring.Successor(id)
+	if target == "" || target == n.cfg.Name {
+		return nil // single-node ring: no standby to keep
+	}
+	base := n.peerURL(target)
+	if base == "" {
+		n.countShip("error")
+		return fmt.Errorf("cluster: no address for standby target %s", target)
+	}
+	ship := xmldom.NewElement("standbyShip").SetAttr("id", id)
+	ship.AppendChild(doc)
+	_, err := n.transport.Call(ctx, "POST", base, "/cluster/standby", "", ship.XML(), true)
+	if err != nil {
+		n.countShip("error")
+		return fmt.Errorf("cluster: standby ship of %s to %s: %w", id, target, err)
+	}
+	n.countShip("ok")
+	return nil
+}
+
+func (n *Node) countShip(result string) {
+	if m := n.metrics; m != nil {
+		m.Counter("cluster_standby_ships_total", "result", result).Inc()
+	}
+}
+
+// putStandby stores an unclaimed standby snapshot (last write wins: the
+// shipper serializes per-session under the session lock, so a later
+// write is a later state). Every 256 inserts expired snapshots are
+// swept, bounding the table under churn.
+func (n *Node) putStandby(id, xml string) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.standby[id] = standbyDoc{xml: xml, at: now}
+	n.ships++
+	if n.ships%256 == 0 {
+		cutoff := now.Add(-n.standbyTTL())
+		for k, v := range n.standby {
+			if v.at.Before(cutoff) {
+				delete(n.standby, k)
+			}
+		}
+	}
+}
+
+// takeStandby removes and parses the standby snapshot for id, if one is
+// held and still fresh.
+func (n *Node) takeStandby(id string) (*xmldom.Node, bool) {
+	n.mu.Lock() //lint:allow nakedlock XML parse below must run outside the lock
+	d, ok := n.standby[id]
+	if ok {
+		delete(n.standby, id)
+	}
+	n.mu.Unlock()
+	if !ok || time.Since(d.at) > n.standbyTTL() {
+		return nil, false
+	}
+	doc, err := xmldom.ParseString(d.xml)
+	if err != nil {
+		n.logf("cluster: dropping unparseable standby snapshot %s: %v", id, err)
+		return nil, false
+	}
+	return doc, true
+}
+
+// StandbyCount reports held, unclaimed standby snapshots (monitoring).
+func (n *Node) StandbyCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.standby)
+}

@@ -1,0 +1,586 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trustvo/internal/store"
+	"trustvo/internal/wsrpc"
+	"trustvo/internal/xmldom"
+)
+
+// Store replication: the leader ships committed WAL entries — in the
+// store's own CRC-framed segment encoding — to every follower, each of
+// which applies a strict prefix of the leader's log. Positions are
+// global log offsets that survive leader changes because promotion
+// always picks the most advanced reachable survivor: its applied prefix
+// is a superset of every other follower's, so numbering simply continues
+// where the old leader's log left off. Epochs fence deposed leaders; a
+// follower too far behind the leader's trimmed in-memory log catches up
+// from a full store snapshot instead.
+
+// replState is one node's view of the replicated log.
+type replState struct {
+	leader atomic.Bool
+	epoch  atomic.Uint64
+
+	mu sync.Mutex
+	// base is the global position of log[0]; base+len(log) is the head.
+	base uint64
+	log  []store.Entry
+	// applied is the length of the global log prefix applied to the
+	// local store (leader: always the head).
+	applied   uint64
+	followers map[string]uint64
+	sendMu    map[string]*sync.Mutex
+}
+
+func (r *replState) head() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.base + uint64(len(r.log))
+}
+
+func (r *replState) appliedPos() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+func (r *replState) followerPos(name string) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pos, ok := r.followers[name]
+	return pos, ok
+}
+
+func (r *replState) setFollower(name string, pos uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.followers[name] = pos
+}
+
+// forget drops a follower's cached position so the next push reprobes it
+// — the recovery path for followers that restarted with an empty store.
+func (r *replState) forget(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.followers, name)
+}
+
+// sendLock returns the per-follower mutex serializing pushes, so the
+// background pusher and sync-commit pushes never interleave one
+// follower's stream.
+func (r *replState) sendLock(name string) *sync.Mutex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mu, ok := r.sendMu[name]
+	if !ok {
+		mu = &sync.Mutex{}
+		r.sendMu[name] = mu
+	}
+	return mu
+}
+
+// window copies log entries covering [pos, head). A nil slice with
+// ok=false means pos has been trimmed out of the log and the follower
+// needs a snapshot.
+func (r *replState) window(pos, head uint64) ([]store.Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pos < r.base {
+		return nil, false
+	}
+	lo := pos - r.base
+	hi := head - r.base
+	if hi > uint64(len(r.log)) {
+		hi = uint64(len(r.log))
+	}
+	if lo >= hi {
+		return []store.Entry{}, true
+	}
+	return append([]store.Entry(nil), r.log[lo:hi]...), true
+}
+
+// IsLeader reports whether this node currently leads store replication.
+func (n *Node) IsLeader() bool { return n.repl.leader.Load() }
+
+// Epoch returns the node's replication epoch.
+func (n *Node) Epoch() uint64 { return n.repl.epoch.Load() }
+
+// Head returns the global log head (leader) / applied prefix (follower).
+func (n *Node) Head() uint64 {
+	if n.repl.leader.Load() {
+		return n.repl.head()
+	}
+	return n.repl.appliedPos()
+}
+
+// Applied returns the applied prefix length of the local store.
+func (n *Node) Applied() uint64 { return n.repl.appliedPos() }
+
+// Promote makes this node the replication leader under a fresh epoch.
+// Call it on the most advanced reachable survivor after a leader death:
+// because followers apply strict prefixes and sync commits required a
+// follower ack, the max-applied survivor holds every acked write. The
+// log restarts at the local applied position; follower positions are
+// reprobed lazily on the first push.
+func (n *Node) Promote() {
+	r := &n.repl
+	r.mu.Lock() //lint:allow nakedlock metrics below must run outside the repl lock
+	r.epoch.Add(1)
+	r.leader.Store(true)
+	r.base = r.applied
+	r.log = nil
+	r.followers = make(map[string]uint64)
+	r.mu.Unlock()
+	if m := n.metrics; m != nil {
+		m.Counter("cluster_promotions_total").Inc()
+		m.Gauge("cluster_is_leader").Set(1)
+	}
+	n.logf("cluster: node %s promoted to leader, epoch %d", n.cfg.Name, r.epoch.Load())
+}
+
+// stepDown demotes a deposed leader, adopting newEpoch when it is ahead.
+func (n *Node) stepDown(newEpoch uint64) {
+	r := &n.repl
+	for {
+		cur := r.epoch.Load()
+		if newEpoch <= cur || r.epoch.CompareAndSwap(cur, newEpoch) {
+			break
+		}
+	}
+	if r.leader.CompareAndSwap(true, false) {
+		if m := n.metrics; m != nil {
+			m.Gauge("cluster_is_leader").Set(0)
+		}
+		n.logf("cluster: node %s deposed, epoch now %d", n.cfg.Name, r.epoch.Load())
+	}
+}
+
+// OnCommit is the store commit hook: install it as Options.OnCommit on
+// the node's replicated store. On a follower it is a no-op (entries
+// arriving via replication are already counted by the applied position).
+// On the leader it appends the committed entries to the replication log
+// and — in sync mode — withholds the writer's acknowledgment until a
+// follower quorum holds them, so a leader can die the instant after an
+// ack without losing the write.
+//
+//lint:allow ctxpropagate store commit-hook signature; sync pushes run under the Start context
+func (n *Node) OnCommit(entries []store.Entry) error {
+	r := &n.repl
+	if !r.leader.Load() {
+		return nil
+	}
+	r.mu.Lock() //lint:allow nakedlock quorum wait below must run outside the repl lock
+	r.log = append(r.log, entries...)
+	if max := n.maxReplLog(); len(r.log) > max {
+		drop := len(r.log) - max
+		r.base += uint64(drop)
+		r.log = append([]store.Entry(nil), r.log[drop:]...)
+	}
+	r.applied = r.base + uint64(len(r.log))
+	head := r.applied
+	r.mu.Unlock()
+	if m := n.metrics; m != nil {
+		m.Counter("cluster_repl_entries_total").Add(int64(len(entries)))
+	}
+	if !n.cfg.SyncRepl {
+		return nil
+	}
+	ctx := n.runContext()
+	if ctx == nil {
+		return fmt.Errorf("cluster: node %s not started; cannot replicate synchronously", n.cfg.Name)
+	}
+	return n.pushQuorum(ctx, head)
+}
+
+// replPeers lists current ring members (other than self) with known
+// addresses — the replication targets.
+func (n *Node) replPeers() []string {
+	var out []string
+	for _, name := range n.ring.Nodes() {
+		if name == n.cfg.Name {
+			continue
+		}
+		if n.peerURL(name) != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// pushQuorum pushes the log through head to every follower and fails
+// unless at least SyncQuorum of them confirmed.
+func (n *Node) pushQuorum(ctx context.Context, head uint64) error {
+	peers := n.replPeers()
+	acks := 0
+	var lastErr error
+	for _, p := range peers {
+		if err := n.replicateTo(ctx, p, head); err != nil {
+			lastErr = err
+			continue
+		}
+		acks++
+	}
+	n.updateLagGauge(head)
+	if q := n.syncQuorum(); acks < q {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no followers registered")
+		}
+		return fmt.Errorf("cluster: sync replication quorum not met (%d/%d acks): %w", acks, n.syncQuorum(), lastErr)
+	}
+	return nil
+}
+
+// replLoop is the background pusher: on the leader it periodically
+// drives every follower to the current head, which is the entire
+// replication path in async mode and the revived-follower catch-up path
+// in sync mode. It also refreshes the replication lag gauge.
+func (n *Node) replLoop(ctx context.Context) {
+	t := time.NewTicker(n.replInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if !n.repl.leader.Load() {
+			continue
+		}
+		head := n.repl.head()
+		for _, p := range n.replPeers() {
+			if pos, ok := n.repl.followerPos(p); ok && pos >= head {
+				continue
+			}
+			if err := n.replicateTo(ctx, p, head); err != nil {
+				n.logf("cluster: background replication to %s: %v", p, err)
+			}
+		}
+		n.updateLagGauge(head)
+	}
+}
+
+// updateLagGauge publishes head minus the slowest known follower.
+func (n *Node) updateLagGauge(head uint64) {
+	m := n.metrics
+	if m == nil {
+		return
+	}
+	r := &n.repl
+	r.mu.Lock() //lint:allow nakedlock gauge write below must run outside the repl lock
+	lag := uint64(0)
+	for _, pos := range r.followers {
+		if pos < head && head-pos > lag {
+			lag = head - pos
+		}
+	}
+	r.mu.Unlock()
+	m.Gauge("cluster_repl_lag").Set(int64(lag))
+}
+
+// replicateTo drives one follower from its last known position to head:
+// probe the position when unknown, then ship log windows (or a full
+// snapshot once the follower is behind the trimmed log) until it
+// confirms the head. The follower's reply always carries its applied
+// position, so a torn frame on the wire — the follower applies the good
+// prefix and reports short — simply makes the next window start earlier;
+// duplicate frames are skipped by position on the follower.
+func (n *Node) replicateTo(ctx context.Context, peer string, head uint64) error {
+	lock := n.repl.sendLock(peer)
+	lock.Lock()
+	defer lock.Unlock()
+	r := &n.repl
+	pos, known := r.followerPos(peer)
+	if !known {
+		st, err := n.peerStatus(ctx, peer)
+		if err != nil {
+			return err
+		}
+		if st.epoch > r.epoch.Load() {
+			n.stepDown(st.epoch)
+			return fmt.Errorf("cluster: deposed by epoch %d at %s", st.epoch, peer)
+		}
+		pos = st.applied
+		r.setFollower(peer, pos)
+	}
+	stalls := 0
+	for pos < head {
+		var (
+			applied uint64
+			err     error
+		)
+		if entries, ok := r.window(pos, head); !ok {
+			applied, err = n.sendCatchup(ctx, peer)
+		} else {
+			applied, err = n.sendEntries(ctx, peer, pos, entries)
+		}
+		if err != nil {
+			r.forget(peer)
+			return err
+		}
+		if applied <= pos {
+			// No forward progress: a gap reply (follower behind where we
+			// thought) makes progress on the next pass by lowering pos, but
+			// repeated stalls mean the stream is wedged.
+			if stalls++; stalls >= 3 && applied == pos {
+				r.forget(peer)
+				return fmt.Errorf("cluster: replication to %s stalled at position %d", peer, applied)
+			}
+		} else {
+			stalls = 0
+		}
+		pos = applied
+		r.setFollower(peer, pos)
+	}
+	return nil
+}
+
+// peerStatusInfo is a parsed /cluster/status reply.
+type peerStatusInfo struct {
+	node    string
+	epoch   uint64
+	leader  bool
+	pos     uint64
+	applied uint64
+}
+
+// PeerStatus probes a peer's replication state over the wire.
+func (n *Node) PeerStatus(ctx context.Context, peer string) (epoch, applied uint64, leader bool, err error) {
+	st, err := n.peerStatus(ctx, peer)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return st.epoch, st.applied, st.leader, nil
+}
+
+func (n *Node) peerStatus(ctx context.Context, peer string) (peerStatusInfo, error) {
+	base := n.peerURL(peer)
+	if base == "" {
+		return peerStatusInfo{}, fmt.Errorf("cluster: no address for peer %s", peer)
+	}
+	root, err := n.transport.Call(ctx, http.MethodGet, base, "/cluster/status", "", "", true)
+	if err != nil {
+		return peerStatusInfo{}, err
+	}
+	if root.Name != "clusterStatus" {
+		return peerStatusInfo{}, fmt.Errorf("cluster: unexpected status response <%s>", root.Name)
+	}
+	return peerStatusInfo{
+		node:    root.AttrOr("node", ""),
+		epoch:   parseU64(root.AttrOr("epoch", "0")),
+		leader:  root.AttrOr("leader", "") == "true",
+		pos:     parseU64(root.AttrOr("pos", "0")),
+		applied: parseU64(root.AttrOr("applied", "0")),
+	}, nil
+}
+
+func parseU64(s string) uint64 {
+	v, _ := strconv.ParseUint(s, 10, 64)
+	return v
+}
+
+// sendEntries ships one log window; returns the follower's applied
+// position.
+func (n *Node) sendEntries(ctx context.Context, peer string, from uint64, entries []store.Entry) (uint64, error) {
+	base := n.peerURL(peer)
+	if base == "" {
+		return 0, fmt.Errorf("cluster: no address for peer %s", peer)
+	}
+	payload, err := store.EncodeEntries(entries)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: encode replication window: %w", err)
+	}
+	req := xmldom.NewElement("replicate").
+		SetAttr("epoch", strconv.FormatUint(n.repl.epoch.Load(), 10)).
+		SetAttr("from", strconv.FormatUint(from, 10)).
+		SetAttr("count", strconv.Itoa(len(entries)))
+	req.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(payload)))
+	root, err := n.transport.Call(ctx, http.MethodPost, base, "/cluster/replicate", "", req.XML(), true)
+	if err != nil {
+		n.noteReplicateError(err)
+		return 0, err
+	}
+	return parseReplicated(root)
+}
+
+// sendCatchup ships a full store snapshot, for followers behind the
+// trimmed log. The head position is captured before the snapshot is
+// read: entries committed in between are in the snapshot too, and
+// resending them later is harmless (applies are idempotent by position
+// and content).
+func (n *Node) sendCatchup(ctx context.Context, peer string) (uint64, error) {
+	base := n.peerURL(peer)
+	if base == "" {
+		return 0, fmt.Errorf("cluster: no address for peer %s", peer)
+	}
+	db := n.DB()
+	if db == nil {
+		return 0, fmt.Errorf("cluster: node %s has no store to snapshot", n.cfg.Name)
+	}
+	head := n.repl.head()
+	payload, err := store.EncodeEntries(db.SnapshotEntries())
+	if err != nil {
+		return 0, fmt.Errorf("cluster: encode snapshot: %w", err)
+	}
+	req := xmldom.NewElement("catchup").
+		SetAttr("epoch", strconv.FormatUint(n.repl.epoch.Load(), 10)).
+		SetAttr("pos", strconv.FormatUint(head, 10))
+	req.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(payload)))
+	root, err := n.transport.Call(ctx, http.MethodPost, base, "/cluster/catchup", "", req.XML(), true)
+	if err != nil {
+		n.noteReplicateError(err)
+		return 0, err
+	}
+	if m := n.metrics; m != nil {
+		m.Counter("cluster_repl_catchups_total").Inc()
+	}
+	return parseReplicated(root)
+}
+
+// noteReplicateError steps the leader down when a follower fenced us off
+// with a stale-epoch fault.
+func (n *Node) noteReplicateError(err error) {
+	var werr *wsrpc.Error
+	if errors.As(err, &werr) && werr.Code == "stale-epoch" {
+		// The follower knows a higher epoch but the fault doesn't carry it;
+		// epoch adoption happens on the next status probe.
+		n.stepDown(n.repl.epoch.Load())
+	}
+}
+
+func parseReplicated(root *xmldom.Node) (uint64, error) {
+	if root.Name != "replicated" {
+		return 0, fmt.Errorf("cluster: unexpected replication response <%s>", root.Name)
+	}
+	return parseU64(root.AttrOr("applied", "0")), nil
+}
+
+// --- follower side ---
+
+// checkEpoch applies the fencing rule to an incoming replication epoch:
+// lower than ours → reject (a deposed leader must not write); higher →
+// adopt it and step down if we were leader. Equal epochs from another
+// leader are a split brain the deterministic promotion rule never
+// produces; refuse them too.
+func (n *Node) checkEpoch(epoch uint64) error {
+	r := &n.repl
+	for {
+		cur := r.epoch.Load()
+		if epoch < cur {
+			return fmt.Errorf("cluster: stale epoch %d (current %d)", epoch, cur)
+		}
+		if epoch == cur {
+			if r.leader.Load() {
+				return fmt.Errorf("cluster: conflicting leader at epoch %d", epoch)
+			}
+			return nil
+		}
+		if r.epoch.CompareAndSwap(cur, epoch) {
+			if r.leader.CompareAndSwap(true, false) {
+				if m := n.metrics; m != nil {
+					m.Gauge("cluster_is_leader").Set(0)
+				}
+				n.logf("cluster: node %s deposed by replication epoch %d", n.cfg.Name, epoch)
+			}
+			return nil
+		}
+	}
+}
+
+// applyEntriesAt applies a replicated window starting at global position
+// from, returning the new applied position. Entries already applied
+// (duplicates of an earlier delivery) are skipped by position; a gap —
+// from beyond our applied prefix — applies nothing and reports where we
+// are, so the sender rewinds.
+func (n *Node) applyEntriesAt(from uint64, entries []store.Entry) (uint64, error) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	r := &n.repl
+	r.mu.Lock() //lint:allow nakedlock position snapshot; store apply below runs outside the repl lock
+	applied := r.applied
+	r.mu.Unlock()
+	if from > applied {
+		return applied, nil
+	}
+	skip := applied - from
+	if skip >= uint64(len(entries)) {
+		return applied, nil // pure duplicate
+	}
+	db := n.DB()
+	if db == nil {
+		return applied, fmt.Errorf("cluster: node %s has no store attached", n.cfg.Name)
+	}
+	if err := db.ApplyEntries(entries[skip:]); err != nil {
+		return applied, err
+	}
+	newPos := from + uint64(len(entries))
+	r.mu.Lock() //lint:allow nakedlock short position advance; no early return before Unlock
+	if newPos > r.applied {
+		r.applied = newPos
+	}
+	applied = r.applied
+	r.mu.Unlock()
+	return applied, nil
+}
+
+// applySnapshotAt reconciles the local store to a full snapshot standing
+// at global position pos: snapshot entries are applied and local records
+// absent from the snapshot are deleted, so a revived follower with stale
+// or divergent state converges to the leader's exact content.
+func (n *Node) applySnapshotAt(pos uint64, entries []store.Entry) (uint64, error) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	db := n.DB()
+	if db == nil {
+		return 0, fmt.Errorf("cluster: node %s has no store attached", n.cfg.Name)
+	}
+	want := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.Op == store.OpPut {
+			want[e.Kind+"\x00"+e.Key] = true
+		}
+	}
+	for _, kind := range db.Kinds() {
+		for _, key := range db.Keys(kind) {
+			if !want[kind+"\x00"+key] {
+				if err := db.Delete(kind, key); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	if err := db.ApplyEntries(entries); err != nil {
+		return 0, err
+	}
+	r := &n.repl
+	r.mu.Lock() //lint:allow nakedlock short position advance; no early return before Unlock
+	if pos > r.applied {
+		r.applied = pos
+	}
+	applied := r.applied
+	r.mu.Unlock()
+	return applied, nil
+}
+
+// decodePayload decodes the base64 CRC-framed entry stream of a
+// replication request body. Decoding is torn-tail tolerant — exactly the
+// store's WAL recovery rule — so a truncated frame yields the good
+// prefix and the sender retransmits the rest.
+func decodePayload(text string) ([]store.Entry, error) {
+	raw, err := base64.StdEncoding.DecodeString(text)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replication payload not base64: %w", err)
+	}
+	entries, _ := store.DecodeFrames(bytes.NewReader(raw))
+	return entries, nil
+}

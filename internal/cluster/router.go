@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/wsrpc"
+	"trustvo/internal/xmldom"
+)
+
+// maxClusterBody bounds cluster RPC bodies. Replication snapshots carry
+// a whole store, so the bound is far above the TN envelope limit.
+const maxClusterBody = 64 << 20
+
+// Register mounts the node's routed TN operations and its cluster RPCs
+// on mux. The TN routes wrap the service's own handlers with ring
+// routing (forward or redirect misrouted sessions), failover adoption,
+// and the capacity gate.
+func (n *Node) Register(mux *http.ServeMux) {
+	inner := http.NewServeMux()
+	n.tn.Register(inner)
+	mux.HandleFunc("/tn/start", func(w http.ResponseWriter, r *http.Request) {
+		// Start is always local: the id minter only issues ids this node
+		// owns, so the session is born routed.
+		n.gateServe(inner, w, r)
+	})
+	mux.HandleFunc("/tn/policyExchange", n.routeExchange(inner, "/tn/policyExchange"))
+	mux.HandleFunc("/tn/credentialExchange", n.routeExchange(inner, "/tn/credentialExchange"))
+	mux.HandleFunc("/tn/status", n.routeStatus(inner))
+	mux.HandleFunc("/cluster/standby", n.handleStandby)
+	mux.HandleFunc("/cluster/adopt", n.handleAdopt)
+	mux.HandleFunc("/cluster/replicate", n.handleReplicate)
+	mux.HandleFunc("/cluster/catchup", n.handleCatchup)
+	mux.HandleFunc("/cluster/status", n.handleClusterStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	if n.metrics != nil {
+		mux.Handle("/metrics", n.metrics.Handler())
+	}
+}
+
+// gateServe runs a local TN handler under the node's capacity model:
+// acquire a slot (honest 503 backpressure when the request dies waiting)
+// and hold it for at least ServiceFloor.
+func (n *Node) gateServe(h http.Handler, w http.ResponseWriter, r *http.Request) {
+	if n.gate != nil {
+		select {
+		case n.gate <- struct{}{}:
+			defer func() { <-n.gate }()
+		case <-r.Context().Done():
+			w.Header().Set("Retry-After", "1")
+			writeClusterFault(w, http.StatusServiceUnavailable, "capacity", "node at capacity")
+			return
+		}
+	}
+	start := time.Now()
+	h.ServeHTTP(w, r)
+	if floor := n.cfg.ServiceFloor; floor > 0 {
+		if rem := floor - time.Since(start); rem > 0 {
+			select {
+			case <-time.After(rem):
+			case <-r.Context().Done():
+			}
+		}
+	}
+}
+
+// routeExchange routes one TN exchange operation by the envelope's
+// session id: the ring owner serves it (adopting standby state or
+// materializing a fresh session when failover moved the id here), other
+// owners get the request forwarded or the client redirected.
+func (n *Node) routeExchange(inner http.Handler, path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxClusterBody))
+		if err != nil {
+			writeClusterFault(w, http.StatusBadRequest, "parse", err.Error())
+			return
+		}
+		id, msgType := peekEnvelope(raw)
+		if id != "" {
+			owner := n.ring.Owner(id)
+			if owner != "" && owner != n.cfg.Name {
+				n.forwardOrRedirect(w, r, owner, path, r.URL.RawQuery, raw)
+				return
+			}
+			if !n.tn.HasSession(id) {
+				if !n.materializeSession(w, r, id, msgType) {
+					return
+				}
+			}
+		}
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(raw))
+		r2.ContentLength = int64(len(raw))
+		n.gateServe(inner, w, r2)
+	}
+}
+
+// materializeSession makes an owned-but-absent session serveable:
+// adopt the standby snapshot when one is held locally or by the ring
+// successor (the designated standby holder — a revived owner finds
+// sessions that moved nowhere during its outage there); otherwise a
+// first message ("request") gets a fresh endpoint — /tn/start assigns an
+// id and nothing more, so nothing is lost when the starting node died
+// before any exchange. Anything else is answered with a retryable 503:
+// by the acked-implies-shipped invariant the standby copy exists
+// somewhere and migration or a later ship will surface it. Reports
+// whether the request should proceed to the local service.
+func (n *Node) materializeSession(w http.ResponseWriter, r *http.Request, id, msgType string) bool {
+	doc, ok := n.takeStandby(id)
+	if !ok {
+		doc, ok = n.fetchStandby(r.Context(), id)
+	}
+	if ok {
+		if _, err := n.tn.AdoptSessionDoc(doc); err != nil {
+			writeWsrpcError(w, err)
+			return false
+		}
+		if m := n.metrics; m != nil {
+			m.Counter("cluster_adoptions_total", "source", "standby").Inc()
+		}
+		n.logf("cluster: node %s adopted session %s from standby", n.cfg.Name, id)
+		return true
+	}
+	if msgType == negotiation.MsgRequest.String() {
+		if err := n.tn.EnsureSession(id); err != nil {
+			writeWsrpcError(w, err)
+			return false
+		}
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeClusterFault(w, http.StatusServiceUnavailable, "session-unavailable",
+		"session "+id+" not yet available on this node")
+	return false
+}
+
+// routeStatus routes GET /tn/status by its negotiation query parameter.
+func (n *Node) routeStatus(inner http.Handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("negotiation")
+		if id != "" {
+			owner := n.ring.Owner(id)
+			if owner != "" && owner != n.cfg.Name {
+				n.forwardOrRedirect(w, r, owner, "/tn/status", r.URL.RawQuery, nil)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}
+}
+
+// forwardOrRedirect hands a misrouted request to its owner: server-side
+// proxying through the hardened transport by default, or a 307 redirect
+// when the node is configured to push the hop back to the client (the
+// client re-POSTs the identical body, and the at-most-once envelope
+// sequence makes the extra delivery safe either way).
+func (n *Node) forwardOrRedirect(w http.ResponseWriter, r *http.Request, owner, path, rawQuery string, body []byte) {
+	base := n.peerURL(owner)
+	if base == "" {
+		w.Header().Set("Retry-After", "1")
+		writeClusterFault(w, http.StatusServiceUnavailable, "no-route", "no address for session owner "+owner)
+		return
+	}
+	target := base + path
+	if rawQuery != "" {
+		target += "?" + rawQuery
+	}
+	if n.cfg.Redirect {
+		if m := n.metrics; m != nil {
+			m.Counter("cluster_redirects_total", "route", path).Inc()
+		}
+		http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+		return
+	}
+	if m := n.metrics; m != nil {
+		m.Counter("cluster_forwards_total", "route", path).Inc()
+	}
+	query := ""
+	if rawQuery != "" {
+		query = "?" + rawQuery
+	}
+	root, err := n.transport.Call(r.Context(), r.Method, base, path, query, string(body), true)
+	if err != nil {
+		writeWsrpcError(w, err)
+		return
+	}
+	writeClusterDOM(w, root)
+}
+
+// --- cluster RPC handlers ---
+
+// fetchStandby asks the ring successor — the designated standby holder
+// — for its snapshot of session id. The miss path (404) is cheap and
+// non-retried.
+func (n *Node) fetchStandby(ctx context.Context, id string) (*xmldom.Node, bool) {
+	succ := n.ring.Successor(id)
+	if succ == "" || succ == n.cfg.Name {
+		return nil, false
+	}
+	base := n.peerURL(succ)
+	if base == "" {
+		return nil, false
+	}
+	root, err := n.transport.Call(ctx, http.MethodGet, base, "/cluster/standby", "?negotiation="+id, "", true)
+	if err != nil {
+		return nil, false
+	}
+	doc := root.Child("tnSession")
+	if doc == nil {
+		return nil, false
+	}
+	return doc, true
+}
+
+// handleStandby accepts a predecessor's per-message session snapshot
+// (POST), and surrenders a held snapshot to the session's owner (GET) —
+// the recovery path for a revived owner whose sessions saw no traffic
+// while it was down.
+func (n *Node) handleStandby(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		id := r.URL.Query().Get("negotiation")
+		n.mu.Lock() //lint:allow nakedlock response write below must run outside the lock
+		d, held := n.standby[id]
+		if held {
+			delete(n.standby, id)
+		}
+		n.mu.Unlock()
+		if id == "" || !held {
+			writeClusterFault(w, http.StatusNotFound, "standby", "no standby snapshot for "+id)
+			return
+		}
+		ship := xmldom.NewElement("standbyShip").SetAttr("id", id)
+		doc, err := xmldom.ParseString(d.xml)
+		if err != nil {
+			writeClusterFault(w, http.StatusInternalServerError, "standby", err.Error())
+			return
+		}
+		ship.AppendChild(doc)
+		writeClusterDOM(w, ship)
+		return
+	}
+	root, ok := readClusterBody(w, r, "standbyShip")
+	if !ok {
+		return
+	}
+	doc := root.Child("tnSession")
+	if doc == nil {
+		writeClusterFault(w, http.StatusBadRequest, "schema", "standbyShip without <tnSession>")
+		return
+	}
+	id := root.AttrOr("id", doc.AttrOr("id", ""))
+	if id == "" {
+		writeClusterFault(w, http.StatusBadRequest, "schema", "standbyShip without session id")
+		return
+	}
+	n.putStandby(id, doc.XML())
+	writeClusterDOM(w, xmldom.NewElement("standbyAck").SetAttr("id", id))
+}
+
+// handleReplicate applies one window of the leader's log.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	root, ok := readClusterBody(w, r, "replicate")
+	if !ok {
+		return
+	}
+	if err := n.checkEpoch(parseU64(root.AttrOr("epoch", "0"))); err != nil {
+		writeClusterFault(w, http.StatusConflict, "stale-epoch", err.Error())
+		return
+	}
+	entries, err := decodePayload(root.Text())
+	if err != nil {
+		writeClusterFault(w, http.StatusBadRequest, "payload", err.Error())
+		return
+	}
+	applied, err := n.applyEntriesAt(parseU64(root.AttrOr("from", "0")), entries)
+	if err != nil {
+		writeClusterFault(w, http.StatusInternalServerError, "apply", err.Error())
+		return
+	}
+	writeClusterDOM(w, replicatedDOM(applied, n.repl.epoch.Load()))
+}
+
+// handleCatchup reconciles the local store to a leader snapshot.
+func (n *Node) handleCatchup(w http.ResponseWriter, r *http.Request) {
+	root, ok := readClusterBody(w, r, "catchup")
+	if !ok {
+		return
+	}
+	if err := n.checkEpoch(parseU64(root.AttrOr("epoch", "0"))); err != nil {
+		writeClusterFault(w, http.StatusConflict, "stale-epoch", err.Error())
+		return
+	}
+	entries, err := decodePayload(root.Text())
+	if err != nil {
+		writeClusterFault(w, http.StatusBadRequest, "payload", err.Error())
+		return
+	}
+	applied, err := n.applySnapshotAt(parseU64(root.AttrOr("pos", "0")), entries)
+	if err != nil {
+		writeClusterFault(w, http.StatusInternalServerError, "apply", err.Error())
+		return
+	}
+	writeClusterDOM(w, replicatedDOM(applied, n.repl.epoch.Load()))
+}
+
+// handleClusterStatus reports the node's replication state.
+func (n *Node) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	writeClusterDOM(w, xmldom.NewElement("clusterStatus").
+		SetAttr("node", n.cfg.Name).
+		SetAttr("epoch", strconv.FormatUint(n.repl.epoch.Load(), 10)).
+		SetAttr("leader", boolAttr(n.repl.leader.Load())).
+		SetAttr("pos", strconv.FormatUint(n.Head(), 10)).
+		SetAttr("applied", strconv.FormatUint(n.repl.appliedPos(), 10)))
+}
+
+func replicatedDOM(applied, epoch uint64) *xmldom.Node {
+	return xmldom.NewElement("replicated").
+		SetAttr("applied", strconv.FormatUint(applied, 10)).
+		SetAttr("epoch", strconv.FormatUint(epoch, 10))
+}
+
+func boolAttr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// peekEnvelope extracts the session id and message type from a TN
+// exchange envelope without consuming it; malformed bodies return empty
+// values and fall through to the service's own error handling.
+func peekEnvelope(raw []byte) (id, msgType string) {
+	root, err := xmldom.Parse(bytes.NewReader(raw))
+	if err != nil || root.Name != "envelope" {
+		return "", ""
+	}
+	id = root.AttrOr("negotiation", "")
+	if msg := root.Child("tnMessage"); msg != nil {
+		msgType = msg.AttrOr("type", "")
+	}
+	return id, msgType
+}
+
+// readClusterBody parses and shape-checks a POSTed cluster RPC body,
+// writing the fault itself when the request is unusable.
+func readClusterBody(w http.ResponseWriter, r *http.Request, want string) (*xmldom.Node, bool) {
+	if r.Method != http.MethodPost {
+		writeClusterFault(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return nil, false
+	}
+	root, err := xmldom.Parse(io.LimitReader(r.Body, maxClusterBody))
+	if err != nil {
+		writeClusterFault(w, http.StatusBadRequest, "parse", err.Error())
+		return nil, false
+	}
+	if root.Name != want {
+		writeClusterFault(w, http.StatusBadRequest, "schema", "expected <"+want+">, got <"+root.Name+">")
+		return nil, false
+	}
+	return root, true
+}
+
+// writeClusterFault emits a wsrpc <fault> with the given status.
+func writeClusterFault(w http.ResponseWriter, status int, code, detail string) {
+	w.Header().Set("Content-Type", wsrpc.ContentType)
+	w.WriteHeader(status)
+	io.WriteString(w, (&wsrpc.Fault{Code: code, Detail: detail}).DOM().XML())
+}
+
+// writeClusterDOM emits an XML document with status 200.
+func writeClusterDOM(w http.ResponseWriter, doc *xmldom.Node) {
+	w.Header().Set("Content-Type", wsrpc.ContentType)
+	io.WriteString(w, doc.XML())
+}
+
+// writeWsrpcError relays a typed transport or service error to the
+// client, preserving status, fault code and retry hints so the caller's
+// retry/suspend machinery classifies the failure exactly as a direct hit
+// would. Untyped errors become a retryable 502.
+func writeWsrpcError(w http.ResponseWriter, err error) {
+	var werr *wsrpc.Error
+	if errors.As(err, &werr) {
+		if werr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(werr.RetryAfter/time.Second)))
+		} else if werr.Temporary {
+			w.Header().Set("Retry-After", "1")
+		}
+		status := werr.Status
+		if status == 0 {
+			status = http.StatusBadGateway
+		}
+		code := werr.Code
+		if code == "" {
+			code = "forward"
+		}
+		writeClusterFault(w, status, code, err.Error())
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeClusterFault(w, http.StatusBadGateway, "forward", err.Error())
+}

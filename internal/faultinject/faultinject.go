@@ -52,13 +52,14 @@ type Stats struct {
 	Delays      atomic.Int64
 	Duplicates  atomic.Int64
 	Truncations atomic.Int64
+	Partitioned atomic.Int64 // dropped at a Net partition boundary
 }
 
 // String summarizes the counters.
 func (s *Stats) String() string {
-	return fmt.Sprintf("requests=%d drop_pre=%d drop_post=%d delay=%d dup=%d trunc=%d",
+	return fmt.Sprintf("requests=%d drop_pre=%d drop_post=%d delay=%d dup=%d trunc=%d partition=%d",
 		s.Requests.Load(), s.DropsPre.Load(), s.DropsPost.Load(),
-		s.Delays.Load(), s.Duplicates.Load(), s.Truncations.Load())
+		s.Delays.Load(), s.Duplicates.Load(), s.Truncations.Load(), s.Partitioned.Load())
 }
 
 // DroppedError is the transport error surfaced for an injected drop.
@@ -79,6 +80,14 @@ type Transport struct {
 	Metrics *telemetry.Registry
 	// Stats counts injected faults.
 	Stats Stats
+	// Net, when set together with LocalEndpoint, consults the shared
+	// network-condition board before every request: requests crossing an
+	// active partition fail at the connection level, and slow links add
+	// latency toward their destination.
+	Net *Net
+	// LocalEndpoint names this transport's side of Net's partitions
+	// (host:port of the node the transport belongs to).
+	LocalEndpoint string
 
 	cfg Config
 	mu  sync.Mutex
@@ -150,6 +159,17 @@ func (t *Transport) count(kind string, c *atomic.Int64) {
 // RoundTrip implements http.RoundTripper.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.Stats.Requests.Add(1)
+	if t.Net.Blocks(t.LocalEndpoint, req.URL.Host) {
+		t.count("partition", &t.Stats.Partitioned)
+		return nil, &DroppedError{Where: "partition"}
+	}
+	if d := t.Net.DelayTo(req.URL.Host); d > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+	}
 	d := t.decide()
 
 	// Buffer the body so the request can be replayed for duplication.

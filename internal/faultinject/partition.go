@@ -1,0 +1,128 @@
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// Net is a shared, mutable network-condition board for a set of
+// in-process endpoints: partitions (all traffic between two endpoint
+// sets fails at the connection level) and slow links (added latency
+// toward a destination — the slow-follower chaos mode). One Net is
+// shared by every Transport in a simulated cluster; each Transport
+// names its own side with LocalEndpoint, so the board can tell which
+// flows cross the cut.
+//
+// Endpoints are host:port strings; URL schemes and trailing slashes are
+// tolerated and stripped, so "http://127.0.0.1:8080/" and
+// "127.0.0.1:8080" name the same endpoint.
+type Net struct {
+	mu    sync.Mutex
+	a, b  map[string]bool
+	until time.Time // zero = until Heal
+	slow  map[string]time.Duration
+
+	// Splits counts partitions installed (telemetry for harnesses).
+	splits int
+}
+
+// NewNet returns a board with no conditions installed.
+func NewNet() *Net {
+	return &Net{slow: make(map[string]time.Duration)}
+}
+
+func endpointKey(s string) string {
+	s = strings.TrimPrefix(s, "https://")
+	s = strings.TrimPrefix(s, "http://")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func endpointSet(eps []string) map[string]bool {
+	m := make(map[string]bool, len(eps))
+	for _, e := range eps {
+		m[endpointKey(e)] = true
+	}
+	return m
+}
+
+// Split installs a partition: every request from an endpoint in a to
+// one in b (or vice versa) fails until Heal is called.
+func (n *Net) Split(a, b []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.a, n.b = endpointSet(a), endpointSet(b)
+	n.until = time.Time{}
+	n.splits++
+}
+
+// SplitFor installs a partition that heals itself after window — the
+// "fail all traffic between two sets for a window" mode. A later Split,
+// SplitFor or Heal overrides it.
+func (n *Net) SplitFor(a, b []string, window time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.a, n.b = endpointSet(a), endpointSet(b)
+	n.until = time.Now().Add(window)
+	n.splits++
+}
+
+// Heal removes any partition (slow links are untouched).
+func (n *Net) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.a, n.b = nil, nil
+	n.until = time.Time{}
+}
+
+// Splits returns how many partitions have been installed on this board.
+func (n *Net) Splits() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.splits
+}
+
+// Blocks reports whether a request from -> to crosses an active
+// partition boundary.
+func (n *Net) Blocks(from, to string) bool {
+	if n == nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.a == nil {
+		return false
+	}
+	if !n.until.IsZero() && time.Now().After(n.until) {
+		n.a, n.b = nil, nil // window elapsed: self-heal
+		return false
+	}
+	f, t := endpointKey(from), endpointKey(to)
+	return (n.a[f] && n.b[t]) || (n.b[f] && n.a[t])
+}
+
+// SetDelay adds fixed latency to every request toward endpoint (0
+// removes it). This is the slow-follower mode: a replication target
+// that is alive but lagging.
+func (n *Net) SetDelay(endpoint string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.slow, endpointKey(endpoint))
+		return
+	}
+	n.slow[endpointKey(endpoint)] = d
+}
+
+// DelayTo returns the installed latency toward endpoint.
+func (n *Net) DelayTo(endpoint string) time.Duration {
+	if n == nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.slow[endpointKey(endpoint)]
+}

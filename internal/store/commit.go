@@ -258,9 +258,29 @@ func (s *Store) flushGroup(group []commitReq) {
 	}
 	m.records.Set(int64(len(s.byKey)))
 	s.mu.Unlock()
-	for _, r := range accepted {
-		r.done <- commitResult{}
+	// The replication gate: the batch is durable and applied locally;
+	// OnCommit decides whether the writers may treat it as acknowledged.
+	// A hook failure is NOT poison — the local log is intact — but every
+	// writer in the batch sees the error instead of a nil ack.
+	var hookErr error
+	if s.opts.OnCommit != nil {
+		entries := make([]Entry, len(accepted))
+		for i, r := range accepted {
+			entries[i] = exportEntry(r.entry)
+		}
+		hookErr = s.opts.OnCommit(entries)
 	}
+	for _, r := range accepted {
+		r.done <- commitResult{err: hookErr}
+	}
+}
+
+// commitHook invokes the OnCommit gate for the in-memory write path.
+func (s *Store) commitHook(entries []Entry) error {
+	if hook := s.opts.OnCommit; hook != nil {
+		return hook(entries)
+	}
+	return nil
 }
 
 // rotate seals the active segment and switches appends to the next one.

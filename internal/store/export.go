@@ -1,0 +1,124 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Exported WAL-frame surface for replication (internal/cluster).
+//
+// The segmented log's CRC-checked frames double as a replication wire
+// format: a leader streams the frames its commit path produced, and a
+// follower decodes them with the same torn-tail tolerance recovery uses
+// — a transfer cut mid-frame yields the good prefix, and the sender
+// resumes from the receiver's applied position. Snapshot catch-up
+// reuses the same frames (SnapshotEntries is the live record set as
+// put-frames, exactly what checkpoint snapshots store).
+
+// OpPut and OpDelete are the exported Entry operation codes.
+const (
+	OpPut    = byte(opPut)
+	OpDelete = byte(opDelete)
+)
+
+// Entry is one exported WAL mutation.
+type Entry struct {
+	// Op is OpPut or OpDelete.
+	Op byte
+	// Kind and Key address the record.
+	Kind string
+	Key  string
+	// Doc is the record XML for puts ("" for deletes).
+	Doc string
+}
+
+func exportEntry(e walEntry) Entry {
+	return Entry{Op: byte(e.op), Kind: e.kind, Key: e.key, Doc: e.doc}
+}
+
+func importEntry(e Entry) walEntry {
+	return walEntry{op: walOp(e.Op), kind: e.Kind, key: e.Key, doc: e.Doc}
+}
+
+// EncodeEntries renders entries as a run of CRC-framed WAL bytes.
+func EncodeEntries(entries []Entry) ([]byte, error) {
+	var buf []byte
+	for _, e := range entries {
+		var err error
+		if buf, err = appendFrame(buf, importEntry(e)); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeFrames decodes WAL frames from r until EOF or the first torn or
+// corrupt frame, returning the decoded entries and how many bytes of
+// good frames were consumed. A truncated transfer is not an error — the
+// caller sees the valid prefix, the same contract crash recovery gives
+// a torn segment tail.
+func DecodeFrames(r io.Reader) ([]Entry, int64) {
+	raw, good, _ := replayFrames(r)
+	out := make([]Entry, len(raw))
+	for i, e := range raw {
+		out[i] = exportEntry(e)
+	}
+	return out, good
+}
+
+// SnapshotEntries returns every live record as a put entry in sorted
+// (kind, key) order — a consistent full-state image suitable for
+// follower catch-up.
+func (s *Store) SnapshotEntries() []Entry {
+	raw := s.liveEntries()
+	out := make([]Entry, len(raw))
+	for i, e := range raw {
+		out[i] = exportEntry(e)
+	}
+	return out
+}
+
+// ApplyEntries applies replicated entries through the normal write path,
+// idempotently: a put overwrites any existing record and a delete of a
+// missing record is a no-op, so re-delivered frames converge instead of
+// erroring.
+func (s *Store) ApplyEntries(entries []Entry) error {
+	for _, e := range entries {
+		switch e.Op {
+		case OpPut:
+			if err := s.PutXML(e.Kind, e.Key, e.Doc); err != nil {
+				return err
+			}
+		case OpDelete:
+			if err := s.Delete(e.Kind, e.Key); err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+		default:
+			return fmt.Errorf("store: unknown replicated op %q", e.Op)
+		}
+	}
+	return nil
+}
+
+// Keys returns the keys of a kind, sorted (reconciliation scans).
+func (s *Store) Keys(kind string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedKeys(s.byKind[kind])
+}
+
+// Kinds returns every kind holding at least one record, sorted.
+func (s *Store) Kinds() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	kinds := make([]string, 0, len(s.byKind))
+	for kind, km := range s.byKind {
+		if len(km) > 0 {
+			kinds = append(kinds, kind)
+		}
+	}
+	sort.Strings(kinds)
+	return kinds
+}

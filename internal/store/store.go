@@ -110,6 +110,16 @@ type Options struct {
 	// FS is the filesystem hook layer; nil means the real filesystem.
 	// Torture tests inject a faultinject.CrashFS here.
 	FS faultinject.FS
+	// OnCommit, when set, observes every committed mutation batch in log
+	// order, after the batch is durably written (per the durability
+	// policy) and applied to the in-memory view, but before the writers
+	// are acknowledged. A non-nil return is handed to every writer in
+	// the batch — their Put/Delete returns the error — WITHOUT poisoning
+	// the log: the local write stands, but the caller must not treat it
+	// as acknowledged. This is the synchronous-replication gate of
+	// internal/cluster ("acked implies replicated"); replay during Open
+	// does not invoke it.
+	OnCommit func(entries []Entry) error
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +188,15 @@ func New() *Store {
 		byKind: make(map[string]map[string]*Record),
 		byType: make(map[string]map[string][]*Record),
 	}
+}
+
+// NewWithOptions creates an in-memory store honouring the subset of
+// Options that applies without a WAL (currently OnCommit). Cluster
+// tests replicate from memory-backed leaders through this.
+func NewWithOptions(opts Options) *Store {
+	s := New()
+	s.opts = opts
+	return s
 }
 
 // Open creates (or reopens) a WAL-backed store at path. Existing state is
@@ -317,12 +336,12 @@ func (s *Store) Put(kind, key string, doc *xmldom.Node) error {
 		return err
 	}
 	if s.path == "" {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		s.mu.Lock() //lint:allow nakedlock commitHook below must run outside the lock (it may do I/O)
 		s.applyRecord(rec)
 		s.gen.Add(1)
 		s.met().records.Set(int64(len(s.byKey)))
-		return nil
+		s.mu.Unlock()
+		return s.commitHook([]Entry{{Op: OpPut, Kind: kind, Key: key, Doc: rec.XML}})
 	}
 	res := s.submit(commitReq{
 		kind:  ckPut,
@@ -393,15 +412,16 @@ func (s *Store) Get(kind, key string) (*Record, error) {
 // Delete removes a record, durably logging the removal when WAL-backed.
 func (s *Store) Delete(kind, key string) error {
 	if s.path == "" {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		s.mu.Lock() //lint:allow nakedlock commitHook below must run outside the lock (it may do I/O)
 		if _, ok := s.byKey[composite(kind, key)]; !ok {
+			s.mu.Unlock()
 			return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
 		}
 		s.applyDelete(kind, key)
 		s.gen.Add(1)
 		s.met().records.Set(int64(len(s.byKey)))
-		return nil
+		s.mu.Unlock()
+		return s.commitHook([]Entry{{Op: OpDelete, Kind: kind, Key: key}})
 	}
 	res := s.submit(commitReq{
 		kind:  ckDelete,

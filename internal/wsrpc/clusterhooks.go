@@ -1,0 +1,140 @@
+package wsrpc
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"trustvo/internal/negotiation"
+	"trustvo/internal/xmldom"
+)
+
+// Cluster-facing session-table operations. internal/cluster routes
+// sessions across nodes by hashing their ids onto a ring; these methods
+// are the service-side primitives failover and migration build on:
+// adopt a shipped session, materialize an externally-assigned id, drain
+// sessions off a node, and answer ownership probes.
+
+// HasSession reports whether id maps to a live session, without
+// refreshing its idle clock.
+func (s *TNService) HasSession(id string) bool {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[id] != nil
+}
+
+// AdoptSessionDoc restores one suspended-session document (the
+// <tnSession> produced by the suspend/standby path) into the live table
+// under its embedded id, claiming a capacity slot. When a live session
+// already holds the id the adoption is skipped — the live copy is at
+// least as fresh as any shipped snapshot, so a duplicate or stale
+// delivery must not clobber it.
+func (s *TNService) AdoptSessionDoc(doc *xmldom.Node) (string, error) {
+	id := doc.AttrOr("id", "")
+	if id == "" {
+		return "", &Error{
+			Op:     "adopt",
+			Status: http.StatusBadRequest,
+			Code:   "schema",
+			Err:    fmt.Errorf("wsrpc: session document without id"),
+		}
+	}
+	sess, err := s.restoreSession(doc)
+	if err != nil {
+		return "", err
+	}
+	sh := s.shard(id)
+	sh.mu.Lock() //lint:allow nakedlock metrics below must run outside the stripe lock
+	if _, exists := sh.m[id]; exists {
+		sh.mu.Unlock()
+		return id, nil
+	}
+	sh.m[id] = sess
+	sh.mu.Unlock()
+	s.active.Add(1)
+	if m := s.Metrics; m != nil {
+		m.Counter("tn_sessions_adopted_total").Inc()
+		m.Gauge("tn_sessions_active").Inc()
+	}
+	return id, nil
+}
+
+// EnsureSession materializes a fresh session under an externally
+// assigned id when none exists (idempotent). The cluster router uses
+// this when the first message of a negotiation arrives for an id whose
+// /tn/start was served by a node that died before any state shipped:
+// start assigns an id and nothing more, so a fresh endpoint loses
+// nothing.
+func (s *TNService) EnsureSession(id string) error {
+	if s.HasSession(id) {
+		return nil
+	}
+	party, err := s.sessionParty()
+	if err != nil {
+		return err
+	}
+	sh := s.shard(id)
+	s.sweepShard(sh)
+	if !s.reserveActive() {
+		for _, other := range s.shardTable() {
+			s.sweepShard(other)
+		}
+		s.evictForCapacity()
+		if !s.reserveActive() {
+			return &capacityError{active: int(s.active.Load()), retryAfter: s.capacityRetry()}
+		}
+	}
+	sh.mu.Lock() //lint:allow nakedlock slot release on the exists path must run outside the stripe lock
+	if _, exists := sh.m[id]; exists {
+		sh.mu.Unlock()
+		s.active.Add(-1) // lost the race: the winner holds the slot
+		return nil
+	}
+	sh.m[id] = &tnSession{
+		endpoint: negotiation.NewController(party),
+		lastUsed: time.Now(),
+	}
+	sh.mu.Unlock()
+	if m := s.Metrics; m != nil {
+		m.Counter("tn_sessions_created_total").Inc()
+		m.Gauge("tn_sessions_active").Inc()
+	}
+	return nil
+}
+
+// DrainSessions snapshots and removes live, unfinished sessions,
+// returning their suspended-state documents keyed by id. A nil filter
+// drains everything; otherwise only ids the filter accepts move.
+// Sessions with nothing to snapshot (no message processed yet) are
+// dropped from the table but returned with a nil document, so the
+// caller can still count them. Each removed session's capacity slot is
+// released.
+func (s *TNService) DrainSessions(filter func(id string) bool) map[string]*xmldom.Node {
+	out := make(map[string]*xmldom.Node)
+	for _, sh := range s.shardTable() {
+		sh.mu.Lock() //lint:allow nakedlock snapshot per stripe inside a loop; defer would hold the lock across stripes
+		drained := make(map[string]*tnSession)
+		for id, sess := range sh.m {
+			if sess.done.Load() {
+				continue
+			}
+			if filter != nil && !filter(id) {
+				continue
+			}
+			drained[id] = sess
+			delete(sh.m, id)
+		}
+		sh.mu.Unlock()
+		for id, sess := range drained {
+			s.retire(sess)
+			doc, ok := sess.suspendDoc(id)
+			if !ok {
+				out[id] = nil
+				continue
+			}
+			out[id] = doc
+		}
+	}
+	return out
+}

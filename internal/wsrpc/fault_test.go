@@ -183,14 +183,18 @@ func TestJoinSuspendsAndResumes(t *testing.T) {
 	}
 }
 
-// TestExpiredResumeTicketRejected pins the ticket TTL contract.
+// TestExpiredResumeTicketRejected pins the ticket TTL contract: the
+// rejection is the typed, counted 410 — distinguishable by a caller and
+// visible in telemetry — and still matches the sentinel error.
 func TestExpiredResumeTicketRejected(t *testing.T) {
 	f := newWSFixture(t)
 	f.publishMember(t)
+	reg := telemetry.NewRegistry()
 	gate := &gateTransport{after: 3}
 	f.member.Transport = &Transport{
-		HTTP:  &http.Client{Transport: gate},
-		Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		HTTP:    &http.Client{Transport: gate},
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		Metrics: reg,
 	}
 	f.member.ResumeTTL = time.Nanosecond
 	_, _, err := f.member.Join(bg, "DesignWebPortal")
@@ -200,8 +204,90 @@ func TestExpiredResumeTicketRejected(t *testing.T) {
 	}
 	gate.open.Store(true)
 	time.Sleep(time.Millisecond)
-	if _, _, err := f.member.ResumeJoin(bg, se.Ticket); !errors.Is(err, negotiation.ErrBadResumeTicket) {
+	_, _, err = f.member.ResumeJoin(bg, se.Ticket)
+	if !errors.Is(err, negotiation.ErrBadResumeTicket) {
 		t.Fatalf("expired ticket accepted: %v", err)
+	}
+	var we *Error
+	if !errors.As(err, &we) {
+		t.Fatalf("expiry not a typed *Error: %v", err)
+	}
+	if we.Status != http.StatusGone || we.Code != "ticket-expired" {
+		t.Fatalf("expiry error = status %d code %q, want 410 ticket-expired", we.Status, we.Code)
+	}
+	if we.Temporary {
+		t.Fatal("ticket expiry marked temporary; it must not be retried")
+	}
+	if got := reg.Counter("tn_ticket_expired_total").Value(); got != 1 {
+		t.Fatalf("tn_ticket_expired_total = %d, want 1", got)
+	}
+}
+
+// splitTransport triggers a one-shot network partition after `after`
+// requests have passed through, simulating a link that goes down
+// mid-negotiation rather than before it.
+type splitTransport struct {
+	inner http.RoundTripper
+	after int64
+	n     atomic.Int64
+	split func()
+}
+
+func (s *splitTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if s.n.Add(1) == s.after {
+		s.split()
+	}
+	return s.inner.RoundTrip(r)
+}
+
+// TestJoinThroughPartitionWindow cuts the member off from the toolkit
+// at the partition board mid-join: the fault transport refuses the
+// partitioned requests (counted), and the join converges through
+// retries or a suspend/resume round once the window closes.
+func TestJoinThroughPartitionWindow(t *testing.T) {
+	f := newWSFixture(t)
+	f.publishMember(t)
+	reg := telemetry.NewRegistry()
+	net := faultinject.NewNet()
+	serverEP := f.srv.Listener.Addr().String()
+
+	ft := faultinject.New(faultinject.Config{}, nil)
+	ft.Net = net
+	ft.LocalEndpoint = "member-client"
+	ft.Metrics = reg
+	f.member.Transport = &Transport{
+		HTTP: &http.Client{Transport: &splitTransport{
+			inner: ft,
+			after: 3, // partition lands mid-negotiation, after the handshake started
+			split: func() {
+				net.SplitFor([]string{"member-client"}, []string{serverEP}, 25*time.Millisecond)
+			},
+		}},
+		Retry:           faultRetry(),
+		BreakerCooldown: 20 * time.Millisecond,
+		Metrics:         reg,
+	}
+
+	der, out, err := f.member.Join(bg, "DesignWebPortal")
+	for resumed := 0; err != nil; resumed++ {
+		var se *SuspendedError
+		if !errors.As(err, &se) {
+			t.Fatalf("join failed unrecoverably: %v", err)
+		}
+		if resumed >= 10 {
+			t.Fatalf("join did not converge after %d resumes: %v", resumed, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		der, out, err = f.member.ResumeJoin(bg, se.Ticket)
+	}
+	if !out.Succeeded || len(der) == 0 {
+		t.Fatalf("join through partition: %+v", out)
+	}
+	if got := ft.Stats.Partitioned.Load(); got == 0 {
+		t.Fatal("partition window injected no refusals")
+	}
+	if got := net.Splits(); got != 1 {
+		t.Fatalf("net recorded %d splits, want 1", got)
 	}
 }
 

@@ -29,6 +29,13 @@ const KindTNSession = "tnsession"
 func (sess *tnSession) suspendDoc(id string) (doc *xmldom.Node, ok bool) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	return sess.suspendDocLocked(id)
+}
+
+// suspendDocLocked is suspendDoc for callers already holding sess.mu
+// (the per-message standby ship runs inside the exchange handler's
+// critical section).
+func (sess *tnSession) suspendDocLocked(id string) (doc *xmldom.Node, ok bool) {
 	state, err := sess.endpoint.SnapshotDOM()
 	if err != nil {
 		return nil, false

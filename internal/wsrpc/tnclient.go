@@ -183,10 +183,27 @@ func (c *TNClient) verifyTicket(t *negotiation.ResumeTicket) error {
 	if t == nil {
 		return fmt.Errorf("wsrpc: nil resume ticket")
 	}
-	if c.Party.Keys != nil {
-		return t.Verify(c.Party.Keys.Public, time.Now())
+	now := time.Now()
+	// Explicit not-after check, before signature verification: an
+	// expired ticket is a distinct, typed condition (410 Gone, not
+	// retryable) rather than a generic verification failure, and it is
+	// counted — a fleet resuming from stale tickets after an outage
+	// shows up in telemetry instead of as silent generic errors.
+	if now.After(t.Expires) {
+		if tr := c.transport(); tr.Metrics != nil {
+			tr.Metrics.Counter("tn_ticket_expired_total").Inc()
+		}
+		return &Error{
+			Op:     "resume",
+			Status: http.StatusGone,
+			Code:   "ticket-expired",
+			Err:    fmt.Errorf("%w: expired %s", negotiation.ErrBadResumeTicket, t.Expires.Format(time.RFC3339)),
+		}
 	}
-	return t.Verify(nil, time.Now())
+	if c.Party.Keys != nil {
+		return t.Verify(c.Party.Keys.Public, now)
+	}
+	return t.Verify(nil, now)
 }
 
 // drive is the shared request loop: send msg, feed the reply to the

@@ -1,6 +1,7 @@
 package wsrpc
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -74,6 +75,19 @@ type TNService struct {
 	// -baseline configuration). Must be set before the service handles
 	// its first request.
 	Shards int
+	// NewSessionID, when set, mints session ids in place of the default
+	// 12 random bytes. internal/cluster installs a minter that draws ids
+	// the local node owns on the hash ring, so a session's messages land
+	// where it started without forwarding.
+	NewSessionID func() (string, error)
+	// OnSessionUpdate, when set, receives each session's suspended-state
+	// document after a message is handled (reply cache included) and
+	// BEFORE the reply is released to the client. An error withholds the
+	// reply and fails the exchange with a retryable 503, so a client
+	// holding reply k implies the hook accepted state k — the invariant
+	// cluster standby shipping needs for zero lost acked sessions. The
+	// context is the request's.
+	OnSessionUpdate func(ctx context.Context, id string, doc *xmldom.Node) error
 
 	shardOnce sync.Once
 	shards    []*sessionShard
@@ -326,12 +340,24 @@ func (s *TNService) reserveActive() bool {
 	}
 }
 
-func (s *TNService) newSession() (string, error) {
+// mintSessionID draws a fresh session id, via the NewSessionID hook
+// when installed.
+func (s *TNService) mintSessionID() (string, error) {
+	if s.NewSessionID != nil {
+		return s.NewSessionID()
+	}
 	var raw [12]byte
 	if _, err := rand.Read(raw[:]); err != nil {
 		return "", err
 	}
-	id := hex.EncodeToString(raw[:])
+	return hex.EncodeToString(raw[:]), nil
+}
+
+func (s *TNService) newSession() (string, error) {
+	id, err := s.mintSessionID()
+	if err != nil {
+		return "", err
+	}
 	party, err := s.sessionParty()
 	if err != nil {
 		return "", err
@@ -624,6 +650,13 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 		if seq > 0 && seq == sess.lastSeq {
 			// Duplicate delivery (client retry after a lost response, or a
 			// duplicated message): replay the cached response unchanged.
+			// The replay must clear the standby gate too — the retry may
+			// exist precisely because the first ship attempt failed and
+			// withheld the reply.
+			if err := s.shipSessionUpdate(r.Context(), id, sess); err != nil {
+				writeShipFault(w, err)
+				return
+			}
 			if m := s.Metrics; m != nil {
 				m.Counter("tn_replays_total").Inc()
 			}
@@ -669,8 +702,41 @@ func (s *TNService) exchangeHandler(phase phaseKind) http.HandlerFunc {
 		if seq > 0 {
 			sess.lastSeq, sess.lastReplyStatus, sess.lastReply = seq, status, respBody
 		}
+		// Standby gate: the updated state (endpoint tree + reply cache)
+		// must be accepted by the hook before the reply leaves. On
+		// failure the client retries the same sequence number and lands
+		// on the replay path above, which re-attempts the ship.
+		if err := s.shipSessionUpdate(r.Context(), id, sess); err != nil {
+			writeShipFault(w, err)
+			return
+		}
 		writeRaw(w, status, respBody)
 	}
+}
+
+// shipSessionUpdate pushes the session's suspended-state document
+// through the OnSessionUpdate hook (caller holds sess.mu). Sessions
+// with nothing to snapshot — no message processed yet, or already
+// finished — ship nothing: a finished negotiation's outcome is in the
+// client's hands, so its loss costs no acked state.
+func (s *TNService) shipSessionUpdate(ctx context.Context, id string, sess *tnSession) error {
+	ship := s.OnSessionUpdate
+	if ship == nil {
+		return nil
+	}
+	doc, ok := sess.suspendDocLocked(id)
+	if !ok {
+		return nil
+	}
+	return ship(ctx, id, doc)
+}
+
+// writeShipFault reports a failed standby ship as honest backpressure:
+// retryable, with the reply withheld so the acked-implies-shipped
+// invariant holds.
+func writeShipFault(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeFault(w, http.StatusServiceUnavailable, "standby", err.Error())
 }
 
 // writeRaw emits a pre-serialized XML response (the replay path must be

@@ -83,6 +83,14 @@ func (t *Transport) count(name string, labels ...string) {
 	}
 }
 
+// Call exposes the hardened call path to sibling packages — the cluster
+// layer routes forwarding, standby shipping, migration and replication
+// RPCs through it so every cross-node hop gets the same deadlines,
+// retries and breaker as client traffic. Semantics are those of call.
+func (t *Transport) Call(ctx context.Context, method, base, route, query, body string, idempotent bool) (*xmldom.Node, error) {
+	return t.call(ctx, method, base, route, query, body, idempotent)
+}
+
 // call performs one logical request: POST body (or GET when body is "")
 // to base+route, with retries when idempotent. It returns the parsed XML
 // root of a 2xx response; every failure is a *Error.
