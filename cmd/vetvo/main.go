@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/vetvo [-json] [-only a,b] [-skip a,b] [packages]
+//	go run ./cmd/vetvo [-json|-sarif|-annotate] [-only a,b] [-skip a,b] [-budget 60s] [packages]
 //
 // With no package arguments (or "./..."), the whole module is
 // analyzed; otherwise findings are limited to packages whose import
@@ -13,7 +13,15 @@
 // Deliberate exceptions are annotated in source with
 // `//lint:allow <analyzer> reason`.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+// Output modes: text (default), -json (the Finding array), -sarif
+// (SARIF 2.1.0 for code-scanning upload and CI annotation), -annotate
+// (GitHub Actions ::error workflow commands, one per finding). The
+// wall-clock for the whole run is always reported on stderr; -budget
+// fails the run when it exceeds the given duration, keeping the CI
+// gate honest about analysis cost.
+//
+// Exit status: 0 clean, 1 findings or budget exceeded, 2 usage or load
+// errors.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"trustvo/internal/analysis"
 )
@@ -35,12 +44,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("vetvo", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	annotate := fs.Bool("annotate", false, "emit findings as GitHub Actions ::error commands")
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := fs.String("skip", "", "comma-separated analyzers to skip")
+	budget := fs.Duration("budget", 0, "fail if the whole run exceeds this wall-clock duration (0 = no budget)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	start := time.Now()
 	suite, err := analysis.Select(analysis.Suite(), splitList(*only), splitList(*skip))
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -76,7 +89,8 @@ func run(args []string, stdout, stderr *os.File) int {
 			findings[i].File = rel
 		}
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -86,7 +100,21 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifLog(suite, findings)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *annotate:
+		for _, f := range findings {
+			// GitHub workflow command; the runner turns these into PR
+			// annotations at the finding's file and line.
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=vetvo/%s::%s\n",
+				f.File, f.Line, f.Col, f.Analyzer, escapeWorkflowData(f.Message))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
@@ -94,10 +122,63 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "vetvo: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
 		}
 	}
+
+	elapsed := time.Since(start).Round(time.Millisecond)
+	fmt.Fprintf(stderr, "vetvo: %d analyzer(s) over %d package(s) in %s\n", len(suite), len(pkgs), elapsed)
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "vetvo: wall-clock %s exceeded budget %s\n", elapsed, *budget)
+		return 1
+	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// sarifLog renders findings as a minimal SARIF 2.1.0 log: one run, one
+// rule per analyzer, one result per finding.
+func sarifLog(suite []*analysis.Analyzer, findings []analysis.Finding) map[string]any {
+	rules := make([]map[string]any, 0, len(suite))
+	for _, a := range suite {
+		rules = append(rules, map[string]any{
+			"id":               a.Name,
+			"shortDescription": map[string]any{"text": a.Doc},
+		})
+	}
+	results := make([]map[string]any, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, map[string]any{
+			"ruleId":  f.Analyzer,
+			"level":   "error",
+			"message": map[string]any{"text": f.Message},
+			"locations": []map[string]any{{
+				"physicalLocation": map[string]any{
+					"artifactLocation": map[string]any{"uri": filepath.ToSlash(f.File)},
+					"region":           map[string]any{"startLine": f.Line, "startColumn": f.Col},
+				},
+			}},
+		})
+	}
+	return map[string]any{
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{"driver": map[string]any{
+				"name":           "vetvo",
+				"informationUri": "https://example.invalid/trustvo/cmd/vetvo",
+				"rules":          rules,
+			}},
+			"results": results,
+		}},
+	}
+}
+
+// escapeWorkflowData escapes finding text for a workflow command value.
+func escapeWorkflowData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // filterPackages narrows pkgs to the requested patterns. Patterns are

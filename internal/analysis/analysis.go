@@ -45,10 +45,15 @@ func (f Finding) String() string {
 // sorted package-path order; an analyzer may keep state across calls
 // (metricname does, for module-wide name uniqueness), which is why
 // Suite returns fresh instances rather than sharing globals.
+//
+// RunModule, when set, is invoked once with every loaded package and a
+// shared interprocedural Module (call graph + per-function summaries)
+// after all per-package runs. An analyzer sets Run, RunModule, or both.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one package through one analyzer.
@@ -71,7 +76,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries the whole module through one interprocedural
+// analyzer: every loaded package plus the shared call graph and summary
+// layer, built once and reused by all module analyzers in a run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Module   *Module
+	report   func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Suite returns fresh instances of every analyzer, in reporting order.
+// The first six are per-package syntactic checks from PR 3; the last
+// four ride the interprocedural Module layer (call graph + summaries).
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		ctxpropagate(),
@@ -80,6 +110,10 @@ func Suite() []*Analyzer {
 		xmltag(),
 		nakedlock(),
 		syncerr(),
+		lockorder(),
+		goroleak(),
+		credtaint(),
+		atomicmix(),
 	}
 }
 
@@ -120,14 +154,18 @@ func Select(suite []*Analyzer, only, skip []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run executes each analyzer over each package and returns the
-// surviving findings sorted by position. Findings suppressed by a
-// lint:allow directive on their line (or the line above) are dropped.
+// Run executes each analyzer over each package — then each module
+// analyzer once over all packages together — and returns the surviving
+// findings sorted by position. Findings suppressed by a lint:allow
+// directive on their line (or the line above) are dropped.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		allow := allowIndex(pkg)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -141,6 +179,38 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	var moduleAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		}
+	}
+	if len(moduleAnalyzers) > 0 && len(pkgs) > 0 {
+		mod := NewModule(pkgs)
+		allow := make(allowDirectives)
+		for _, pkg := range pkgs {
+			for file, lines := range allowIndex(pkg) {
+				allow[file] = lines
+			}
+		}
+		for _, a := range moduleAnalyzers {
+			pass := &ModulePass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				Module:   mod,
+				report: func(f Finding) {
+					if allow.suppressed(f) {
+						return
+					}
+					findings = append(findings, f)
+				},
+			}
+			if err := a.RunModule(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
 			}
 		}
 	}

@@ -52,20 +52,25 @@ func only(t *testing.T, name string) []*analysis.Analyzer {
 func TestGolden(t *testing.T) {
 	cases := []struct {
 		analyzer string
-		path     string
+		paths    []string
 	}{
-		{"ctxpropagate", "ctxpropagate/wsrpc"},
-		{"ctxpropagate", "ctxpropagate/mainpkg"},
-		{"ctxpropagate", "ctxpropagate/cluster"},
-		{"errwrap", "errwrap/a"},
-		{"metricname", "metricname/a"},
-		{"xmltag", "xmltag/negotiation"},
-		{"nakedlock", "nakedlock/a"},
-		{"syncerr", "syncerr/a"},
+		{"ctxpropagate", []string{"ctxpropagate/wsrpc"}},
+		{"ctxpropagate", []string{"ctxpropagate/mainpkg"}},
+		{"ctxpropagate", []string{"ctxpropagate/cluster"}},
+		{"errwrap", []string{"errwrap/a"}},
+		{"metricname", []string{"metricname/a"}},
+		{"xmltag", []string{"xmltag/negotiation"}},
+		{"nakedlock", []string{"nakedlock/a"}},
+		{"nakedlock", []string{"nakedlock/clustershape"}},
+		{"syncerr", []string{"syncerr/a"}},
+		{"lockorder", []string{"lockorder/a", "lockorder/b"}},
+		{"goroleak", []string{"goroleak/a"}},
+		{"credtaint", []string{"credtaint/a"}},
+		{"atomicmix", []string{"atomicmix/a"}},
 	}
 	for _, c := range cases {
-		t.Run(c.path, func(t *testing.T) {
-			analysis.RunGolden(t, testLoader(t), c.path, only(t, c.analyzer)...)
+		t.Run(c.paths[0], func(t *testing.T) {
+			analysis.RunGoldenPkgs(t, testLoader(t), c.paths, only(t, c.analyzer)...)
 		})
 	}
 }

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicmix flags fields (and package variables) that are accessed both
+// through sync/atomic package functions (atomic.LoadInt64(&x.f, …)) and
+// by plain reads/writes elsewhere in the module: the plain access races
+// the atomic one and the race detector only catches it when both sides
+// execute under test. Typed atomics (atomic.Int64 et al.) are immune by
+// construction and are the preferred fix; deliberate cold-path plain
+// access (e.g. a constructor before publication) carries a lint:allow.
+// Module-wide because the atomic side and the plain side are usually in
+// different files or packages.
+func atomicmix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "a field accessed via sync/atomic must not also be read/written directly",
+	}
+	a.RunModule = func(p *ModulePass) error {
+		atomicSites := make(map[*types.Var][]token.Pos) // var → atomic access sites
+		atomicIdents := make(map[*ast.Ident]bool)       // idents inside atomic call args
+		for _, pkg := range p.Pkgs {
+			for _, file := range pkg.Files {
+				collectAtomicUses(pkg, file, atomicSites, atomicIdents)
+			}
+		}
+		if len(atomicSites) == 0 {
+			return nil
+		}
+		for v := range atomicSites {
+			sort.Slice(atomicSites[v], func(i, j int) bool { return atomicSites[v][i] < atomicSites[v][j] })
+		}
+		for _, pkg := range p.Pkgs {
+			for _, file := range pkg.Files {
+				reportPlainUses(p, pkg, file, atomicSites, atomicIdents)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// collectAtomicUses records variables whose address is passed to a
+// sync/atomic package function, and every ident involved so those
+// sites are not re-reported as plain uses.
+func collectAtomicUses(pkg *Package, file *ast.File, sites map[*types.Var][]token.Pos, idents map[*ast.Ident]bool) {
+	info := pkg.TypesInfo
+	ast.Inspect(file, func(an ast.Node) bool {
+		call, ok := an.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // typed atomics (atomic.Int64 methods) are safe
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return true
+		}
+		var id *ast.Ident
+		switch target := ast.Unparen(addr.X).(type) {
+		case *ast.Ident:
+			id = target
+		case *ast.SelectorExpr:
+			id = target.Sel
+		default:
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		sites[v] = append(sites[v], call.Pos())
+		idents[id] = true
+		return true
+	})
+}
+
+// reportPlainUses flags every non-atomic mention of an atomically
+// accessed variable, skipping composite-literal keys (field names, not
+// accesses).
+func reportPlainUses(p *ModulePass, pkg *Package, file *ast.File, sites map[*types.Var][]token.Pos, atomicIdents map[*ast.Ident]bool) {
+	info := pkg.TypesInfo
+	litKeys := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(an ast.Node) bool {
+		if cl, ok := an.(*ast.CompositeLit); ok {
+			for _, el := range cl.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						litKeys[key] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(an ast.Node) bool {
+		id, ok := an.(*ast.Ident)
+		if !ok || atomicIdents[id] || litKeys[id] {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		poss, tracked := sites[v]
+		if !tracked {
+			return true
+		}
+		where := pkg.Fset.Position(poss[0])
+		p.Reportf(id.Pos(), "%s is accessed with sync/atomic (e.g. %s:%d) but read/written directly here; use the atomic API (or a typed atomic) everywhere", v.Name(), shortPath(where.Filename), where.Line)
+		return true
+	})
+}
+
+// shortPath trims a path to its last two segments for findings.
+func shortPath(path string) string {
+	slash := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return path[i+1:]
+			}
+		}
+	}
+	return path
+}

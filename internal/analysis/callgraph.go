@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// The call graph is the interprocedural backbone: one node per function
+// body loaded anywhere in the module (declared functions and methods,
+// plus synthetic nodes for function literals), with call resolution
+// covering direct calls, method calls, method values bound to locals,
+// function-typed struct fields and package variables (hook patterns like
+// TNService.OnSessionUpdate), and interface dispatch approximated by the
+// type set of all loaded named types. Calls into packages outside the
+// loader roots (the stdlib) have no node and resolve to nothing — the
+// summary layer models the few stdlib effects that matter (sync, time,
+// crypto) directly.
+
+// FuncNode is one function body in the call graph. Exactly one of Fn
+// (a declared function or method, always its generic Origin) and Lit
+// (a function literal) is set.
+type FuncNode struct {
+	Fn   *types.Func
+	Lit  *ast.FuncLit
+	Pkg  *Package
+	Body *ast.BlockStmt
+
+	name string
+	pos  token.Pos
+}
+
+// Name returns a stable display name: pkg.Func, pkg.Type.Method, or
+// pkg.func@file:line for literals.
+func (n *FuncNode) Name() string { return n.name }
+
+// Pos returns the position of the function's declaration or literal.
+func (n *FuncNode) Pos() token.Pos { return n.pos }
+
+func (n *FuncNode) String() string { return n.name }
+
+// CallGraph indexes every function body in the loaded packages and
+// resolves call expressions to their possible targets.
+type CallGraph struct {
+	// Nodes lists every function body in deterministic (position) order.
+	Nodes []*FuncNode
+
+	funcs map[*types.Func]*FuncNode   // declared (Origin) → node
+	lits  map[*ast.FuncLit]*FuncNode  // literal → node
+	named []*types.Named              // all loaded named types, for dispatch
+	impls map[*types.Func][]*FuncNode // interface method → implementations
+	// fieldFuncs maps function-typed struct fields and package-level
+	// variables to the function values ever assigned to them anywhere in
+	// the module — how hook calls (s.OnCommit(...)) get targets.
+	fieldFuncs map[types.Object][]*FuncNode
+	// calls caches each node's resolved outgoing call targets (filled by
+	// the summary builder, which walks every body exactly once).
+	calls map[*FuncNode][]*FuncNode
+}
+
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		funcs:      make(map[*types.Func]*FuncNode),
+		lits:       make(map[*ast.FuncLit]*FuncNode),
+		impls:      make(map[*types.Func][]*FuncNode),
+		fieldFuncs: make(map[types.Object][]*FuncNode),
+		calls:      make(map[*FuncNode][]*FuncNode),
+	}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					g.named = append(g.named, named)
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			g.indexFile(pkg, file)
+		}
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		a := g.Nodes[i].Pkg.Fset.Position(g.Nodes[i].pos)
+		b := g.Nodes[j].Pkg.Fset.Position(g.Nodes[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			g.indexFuncValues(pkg, file)
+		}
+	}
+	return g
+}
+
+// indexFile creates nodes for every function declaration and literal.
+func (g *CallGraph) indexFile(pkg *Package, file *ast.File) {
+	ast.Inspect(file, func(an ast.Node) bool {
+		switch n := an.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return true
+			}
+			fn, ok := pkg.TypesInfo.Defs[n.Name].(*types.Func)
+			if !ok {
+				return true
+			}
+			node := &FuncNode{Fn: fn, Pkg: pkg, Body: n.Body, name: funcDisplayName(fn), pos: n.Pos()}
+			g.funcs[fn.Origin()] = node
+			g.Nodes = append(g.Nodes, node)
+		case *ast.FuncLit:
+			pos := pkg.Fset.Position(n.Pos())
+			name := fmt.Sprintf("%s.func@%s:%d", pkg.Name, filepath.Base(pos.Filename), pos.Line)
+			node := &FuncNode{Lit: n, Pkg: pkg, Body: n.Body, name: name, pos: n.Pos()}
+			g.lits[n] = node
+			g.Nodes = append(g.Nodes, node)
+		}
+		return true
+	})
+}
+
+// indexFuncValues records function values assigned to struct fields and
+// package-level variables, in assignments, composite literals, and var
+// declarations — the module's callback/hook wiring.
+func (g *CallGraph) indexFuncValues(pkg *Package, file *ast.File) {
+	info := pkg.TypesInfo
+	record := func(obj types.Object, rhs ast.Expr) {
+		v, ok := obj.(*types.Var)
+		if !ok || (!v.IsField() && v.Parent() != pkg.Types.Scope()) {
+			return
+		}
+		for _, t := range g.staticValueTargets(pkg, rhs) {
+			g.fieldFuncs[v] = appendUnique(g.fieldFuncs[v], t)
+		}
+	}
+	ast.Inspect(file, func(an ast.Node) bool {
+		switch n := an.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					record(info.Uses[l], n.Rhs[i])
+				case *ast.SelectorExpr:
+					record(info.Uses[l.Sel], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				record(info.Defs[name], n.Values[i])
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				record(info.Uses[key], kv.Value)
+			}
+		}
+		return true
+	})
+}
+
+// staticValueTargets resolves an expression used as a function value —
+// a function name, a method value, or a literal — to graph nodes.
+func (g *CallGraph) staticValueTargets(pkg *Package, expr ast.Expr) []*FuncNode {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		if n := g.lits[e]; n != nil {
+			return []*FuncNode{n}
+		}
+	case *ast.Ident:
+		if fn, ok := pkg.TypesInfo.Uses[e].(*types.Func); ok {
+			return g.declared(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			if iface := ifaceOfRecv(fn); iface != nil {
+				return g.implementers(fn, iface)
+			}
+			return g.declared(fn)
+		}
+	}
+	return nil
+}
+
+// resolveCall returns the possible callee bodies of a call expression.
+// locals carries the enclosing function's tracked function-value
+// bindings (f := x.Method; f()); nil is fine.
+func (g *CallGraph) resolveCall(pkg *Package, call *ast.CallExpr, locals map[types.Object][]*FuncNode) []*FuncNode {
+	info := pkg.TypesInfo
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		if n := g.lits[fun]; n != nil {
+			return []*FuncNode{n}
+		}
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			return g.declared(obj)
+		case *types.Var:
+			if ts := locals[obj]; ts != nil {
+				return ts
+			}
+			return g.fieldFuncs[obj]
+		}
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			if iface := ifaceOfRecv(obj); iface != nil {
+				return g.implementers(obj, iface)
+			}
+			return g.declared(obj)
+		case *types.Var:
+			return g.fieldFuncs[obj]
+		}
+	}
+	return nil
+}
+
+func (g *CallGraph) declared(fn *types.Func) []*FuncNode {
+	if n := g.funcs[fn.Origin()]; n != nil {
+		return []*FuncNode{n}
+	}
+	return nil
+}
+
+// ifaceOfRecv returns the interface a method call dispatches through:
+// the receiver's interface type, or a type parameter's constraint
+// interface (so calls inside generic functions dispatch over the
+// constraint's type set). Nil for concrete methods and plain functions.
+func ifaceOfRecv(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if tp, ok := t.(*types.TypeParam); ok {
+		if iface, ok := tp.Constraint().Underlying().(*types.Interface); ok {
+			return iface
+		}
+		return nil
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		return iface
+	}
+	return nil
+}
+
+// implementers approximates dynamic dispatch by the loaded type set:
+// every named non-interface type (or its pointer) implementing the
+// interface contributes its method of the same name.
+func (g *CallGraph) implementers(m *types.Func, iface *types.Interface) []*FuncNode {
+	if cached, ok := g.impls[m.Origin()]; ok {
+		return cached
+	}
+	var out []*FuncNode
+	for _, named := range g.named {
+		if types.IsInterface(named) || named.TypeParams().Len() > 0 {
+			continue
+		}
+		var impl types.Type
+		switch {
+		case implementsIface(named, iface):
+			impl = named
+		case implementsIface(types.NewPointer(named), iface):
+			impl = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if n := g.funcs[fn.Origin()]; n != nil {
+				out = appendUnique(out, n)
+			}
+		}
+	}
+	g.impls[m.Origin()] = out
+	return out
+}
+
+func implementsIface(v types.Type, iface *types.Interface) bool {
+	if iface.IsMethodSet() {
+		return types.Implements(v, iface)
+	}
+	return types.Satisfies(v, iface)
+}
+
+// NodeByName finds a node by its display name (test hook; nil when
+// absent or ambiguous names shadow each other — first position wins).
+func (g *CallGraph) NodeByName(name string) *FuncNode {
+	for _, n := range g.Nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// NodeOf returns the node for a declared function (its generic Origin).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return g.funcs[fn.Origin()]
+}
+
+// Calls returns a node's resolved outgoing call targets (calls, defers,
+// and go statements alike), deduplicated, in first-call order.
+func (g *CallGraph) Calls(n *FuncNode) []*FuncNode {
+	return g.calls[n]
+}
+
+func (g *CallGraph) addCall(from *FuncNode, targets []*FuncNode) {
+	for _, t := range targets {
+		g.calls[from] = appendUnique(g.calls[from], t)
+	}
+}
+
+func appendUnique(list []*FuncNode, n *FuncNode) []*FuncNode {
+	for _, have := range list {
+		if have == n {
+			return list
+		}
+	}
+	return append(list, n)
+}
+
+// funcDisplayName renders pkg.Func or pkg.Type.Method.
+func funcDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			name = t.Obj().Name() + "." + name
+		case *types.TypeParam:
+			name = t.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,90 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"trustvo/internal/analysis"
+)
+
+// loadModule builds the interprocedural module over one fixture package.
+func loadModule(t *testing.T, path string) *analysis.Module {
+	t.Helper()
+	pkg, err := testLoader(t).Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.NewModule([]*analysis.Package{pkg})
+}
+
+// callNames returns the display names of a node's resolved callees.
+func callNames(m *analysis.Module, name string) map[string]bool {
+	g := m.Graph()
+	n := g.NodeByName(name)
+	if n == nil {
+		return nil
+	}
+	out := make(map[string]bool)
+	for _, c := range g.Calls(n) {
+		out[c.Name()] = true
+	}
+	return out
+}
+
+func wantCalls(t *testing.T, m *analysis.Module, caller string, want ...string) {
+	t.Helper()
+	got := callNames(m, caller)
+	if got == nil {
+		t.Fatalf("%s: no call-graph node", caller)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("%s: missing callee %s (got %v)", caller, w, got)
+		}
+	}
+}
+
+func TestCallGraphDynamicDispatch(t *testing.T) {
+	m := loadModule(t, "callgraph/a")
+
+	// Interface dispatch resolves to every implementation's method.
+	wantCalls(t, m, "a.Dispatch", "a.Fast.Run", "a.Slow.Run")
+
+	// Generic constraint dispatch behaves like the constraint interface.
+	wantCalls(t, m, "a.Generic", "a.Fast.Run", "a.Slow.Run")
+
+	// A method value bound to a local still reaches the method.
+	wantCalls(t, m, "a.MethodValue", "a.Fast.Run")
+
+	// A func-valued hook field resolves to what was installed into it.
+	wantCalls(t, m, "a.Fire", "a.tick")
+}
+
+func TestSummaryLockFacts(t *testing.T) {
+	m := loadModule(t, "callgraph/a")
+	n := m.Graph().NodeByName("a.Fast.Run")
+	if n == nil {
+		t.Fatal("a.Fast.Run: no call-graph node")
+	}
+	sum := m.Summary(n)
+	if sum == nil {
+		t.Fatal("a.Fast.Run: no summary")
+	}
+	var acquired, released []string
+	for _, op := range sum.Ops {
+		switch op.Kind {
+		case analysis.OpAcquire:
+			acquired = append(acquired, op.Lock)
+		case analysis.OpRelease:
+			released = append(released, op.Lock)
+			if !op.Deferred {
+				t.Errorf("a.Fast.Run: release of %s not recognized as deferred", op.Lock)
+			}
+		}
+	}
+	if len(acquired) != 1 || acquired[0] != "a.Fast.mu" {
+		t.Errorf("acquired = %v, want [a.Fast.mu]", acquired)
+	}
+	if len(released) != 1 || released[0] != "a.Fast.mu" {
+		t.Errorf("released = %v, want [a.Fast.mu]", released)
+	}
+}

@@ -15,13 +15,26 @@ import (
 // regexps on one line expect multiple findings there.
 func RunGolden(t testing.TB, l *Loader, importPath string, analyzers ...*Analyzer) {
 	t.Helper()
-	pkg, err := l.Load(importPath)
-	if err != nil {
-		t.Fatalf("load %s: %v", importPath, err)
+	RunGoldenPkgs(t, l, []string{importPath}, analyzers...)
+}
+
+// RunGoldenPkgs is RunGolden over several packages analyzed together —
+// the golden harness for the interprocedural analyzers, whose findings
+// in one package may be witnessed by code in another. Want comments are
+// collected from every listed package.
+func RunGoldenPkgs(t testing.TB, l *Loader, importPaths []string, analyzers ...*Analyzer) {
+	t.Helper()
+	var pkgs []*Package
+	for _, path := range importPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	findings, err := Run([]*Package{pkg}, analyzers)
+	findings, err := Run(pkgs, analyzers)
 	if err != nil {
-		t.Fatalf("run %s: %v", importPath, err)
+		t.Fatalf("run %v: %v", importPaths, err)
 	}
 	type want struct {
 		re      *regexp.Regexp
@@ -29,22 +42,24 @@ func RunGolden(t testing.TB, l *Loader, importPath string, analyzers ...*Analyze
 		matched bool
 	}
 	wants := make(map[string][]*want) // "file:line" → expectations
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				rest, ok := strings.CutPrefix(text, "want ")
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				for _, raw := range quotedStrings(t, rest) {
-					re, err := regexp.Compile(raw)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
 					}
-					wants[key] = append(wants[key], &want{re: re, raw: raw})
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, raw := range quotedStrings(t, rest) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+						}
+						wants[key] = append(wants[key], &want{re: re, raw: raw})
+					}
 				}
 			}
 		}

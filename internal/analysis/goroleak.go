@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// goroleak flags concurrency resources started without a reachable
+// stop/cancel path:
+//
+//   - `go f(...)` where f (transitively) parks in a `for { }` loop with
+//     no return, break, select, or channel receive — nothing can ever
+//     stop that goroutine;
+//   - time.NewTicker/NewTimer results that are never stopped: no
+//     Stop/Reset in the creating function and, for tickers stored into
+//     a struct field, no Stop on that field anywhere in the module;
+//   - time.Tick, which leaks its ticker by design; and
+//   - time.After racing other select cases — when the other case wins,
+//     the timer burns memory until it fires; a NewTimer with defer Stop
+//     releases it immediately (see wsrpc's sleepCtx for the pattern).
+func goroleak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc:  "goroutines, tickers, and timers must have a reachable stop/cancel path",
+	}
+	a.RunModule = func(p *ModulePass) error {
+		m := p.Module
+		for _, n := range m.graph.Nodes {
+			sum := m.sums[n]
+			for _, op := range sum.Ops {
+				if op.Kind != OpSpawn {
+					continue
+				}
+				for _, t := range op.Targets {
+					if chain, pos := m.foreverChain(t, nil); pos != 0 {
+						p.Reportf(op.Pos, "goroutine runs %s, which loops forever with no return, select, or channel receive — it can never be stopped", chain)
+						break
+					}
+				}
+			}
+			for _, site := range sum.Timers {
+				switch site.Kind {
+				case "Tick":
+					p.Reportf(site.Pos, "time.Tick leaks its ticker; use time.NewTicker with defer Stop")
+				case "After":
+					if site.InSelect && site.Cases > 1 {
+						p.Reportf(site.Pos, "time.After in a select with competing cases leaks the timer until it fires; use time.NewTimer with defer Stop")
+					}
+				case "NewTicker", "NewTimer":
+					if site.Stopped || site.Escapes {
+						continue
+					}
+					if site.FieldVar != nil && m.stoppedFields[site.FieldVar] {
+						continue
+					}
+					where := "no Stop in this function"
+					if site.FieldVar != nil {
+						where = fmt.Sprintf("stored to field %s, which is never stopped", site.FieldVar.Name())
+					}
+					p.Reportf(site.Pos, "time.%s result is never stopped (%s); the ticker leaks", site.Kind, where)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// foreverChain reports whether node (or any function it calls,
+// transitively) contains an unstoppable infinite loop, returning the
+// call-chain description and the loop position.
+func (m *Module) foreverChain(n *FuncNode, visited map[*FuncNode]bool) (string, token.Pos) {
+	if visited[n] {
+		return "", 0
+	}
+	if visited == nil {
+		visited = make(map[*FuncNode]bool)
+	}
+	visited[n] = true
+	sum := m.sums[n]
+	if sum == nil {
+		return "", 0
+	}
+	if sum.ForeverLoop != 0 {
+		return n.Name(), sum.ForeverLoop
+	}
+	for _, op := range sum.Ops {
+		if op.Kind != OpCall {
+			continue
+		}
+		for _, t := range op.Targets {
+			if chain, pos := m.foreverChain(t, visited); pos != 0 {
+				return n.Name() + " -> " + chain, pos
+			}
+		}
+	}
+	return "", 0
+}

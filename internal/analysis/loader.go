@@ -9,8 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -30,12 +33,18 @@ type Package struct {
 // stdlib-only driver reaches net/http and friends without export data.
 //
 // Loader implements types.Importer, so loaded packages can import each
-// other and the stdlib freely; results are cached per path.
+// other and the stdlib freely; results are cached per path. The loader
+// is safe for the concurrent use LoadModule makes of it: the package
+// cache is mutex-guarded and the stdlib source importer — which is not
+// concurrency-safe — is serialized behind its own lock.
 type Loader struct {
 	Fset *token.FileSet
 
-	roots   []loaderRoot
-	std     types.Importer
+	roots []loaderRoot
+	std   types.Importer
+	stdMu sync.Mutex // the source importer mutates shared state per Import
+
+	mu      sync.Mutex
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -94,6 +103,8 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
@@ -102,19 +113,60 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // analyzers enforce invariants on shipping code, and _test.go files may
 // import packages outside the roots.
 func (l *Loader) Load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
+	if pkg, ok := l.cached(path); ok {
 		return pkg, nil
 	}
-	if l.loading[path] {
+	if !l.beginLoad(path) {
 		return nil, fmt.Errorf("analysis: import cycle through %s", path)
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	defer l.endLoad(path)
 
 	dir, ok := l.dirFor(path)
 	if !ok {
 		return nil, fmt.Errorf("analysis: %s is outside every loader root", path)
 	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(path, dir, files)
+}
+
+// cached returns the loaded package for path, if any.
+func (l *Loader) cached(path string) (*Package, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pkg, ok := l.pkgs[path]
+	return pkg, ok
+}
+
+// beginLoad marks path as in progress; false means a load of path is
+// already on the stack — an import cycle.
+func (l *Loader) beginLoad(path string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.loading[path] {
+		return false
+	}
+	l.loading[path] = true
+	return true
+}
+
+func (l *Loader) endLoad(path string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.loading, path)
+}
+
+// register publishes a checked package into the cache.
+func (l *Loader) register(pkg *Package) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pkgs[pkg.Path] = pkg
+}
+
+// parseDir parses every non-test Go file in dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	names, err := goFileNames(dir)
 	if err != nil {
 		return nil, err
@@ -122,14 +174,22 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	files := make([]*ast.File, 0, len(names))
 	for _, name := range names {
 		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
-		pkg.Files = append(pkg.Files, file)
+		files = append(files, file)
 	}
+	return files, nil
+}
+
+// check type-checks pre-parsed files and registers the result. The
+// loader mutex is NOT held across the check: the checker re-enters the
+// loader through Import for dependencies.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files}
 	pkg.TypesInfo = &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -143,7 +203,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 	}
 	pkg.Types = tpkg
 	pkg.Name = tpkg.Name()
-	l.pkgs[path] = pkg
+	l.register(pkg)
 	return pkg, nil
 }
 
@@ -152,6 +212,13 @@ func (l *Loader) Load(path string) (*Package, error) {
 // it, skipping testdata, vendor, and dot-directories. Packages come
 // back sorted by import path so analyzer state and findings are
 // deterministic.
+//
+// Loading is parallel in three phases: every package's files parse
+// concurrently (the FileSet serializes internally); the module-internal
+// import DAG is read straight off the parsed ASTs; then packages
+// type-check level by level — each level's packages only depend on
+// completed levels, so they check concurrently, re-entering the loader
+// only for cache hits and (serialized) stdlib imports.
 func (l *Loader) LoadModule(prefix string) ([]*Package, error) {
 	var rootDir string
 	for _, r := range l.roots {
@@ -163,6 +230,7 @@ func (l *Loader) LoadModule(prefix string) ([]*Package, error) {
 		return nil, fmt.Errorf("analysis: no root registered for %s", prefix)
 	}
 	var paths []string
+	dirs := make(map[string]string)
 	err := filepath.WalkDir(rootDir, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -185,26 +253,162 @@ func (l *Loader) LoadModule(prefix string) ([]*Package, error) {
 		if err != nil {
 			return err
 		}
-		if rel == "." {
-			paths = append(paths, prefix)
-		} else {
-			paths = append(paths, prefix+"/"+filepath.ToSlash(rel))
+		path := prefix
+		if rel != "." {
+			path = prefix + "/" + filepath.ToSlash(rel)
 		}
+		paths = append(paths, path)
+		dirs[path] = p
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(paths)
+
+	// Phase 1: parse every package concurrently.
+	parsed := make([][]*ast.File, len(paths))
+	errs := make([]error, len(paths))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, p := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, dir string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			parsed[i], errs[i] = l.parseDir(dir)
+		}(i, dirs[p])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", paths[i], err)
+		}
+	}
+
+	// Phase 2: module-internal import DAG from the ASTs, collapsed into
+	// topological levels (level = longest dependency chain below).
+	levels, err := importLevels(paths, parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: type-check level by level, packages within a level in
+	// parallel.
+	index := make(map[string]int, len(paths))
+	for i, p := range paths {
+		index[p] = i
+	}
+	for _, level := range levels {
+		var lwg sync.WaitGroup
+		lerrs := make([]error, len(level))
+		for k, i := range level {
+			lwg.Add(1)
+			sem <- struct{}{}
+			go func(k, i int) {
+				defer lwg.Done()
+				defer func() { <-sem }()
+				path := paths[i]
+				if _, done := l.cached(path); done {
+					return
+				}
+				_, lerrs[k] = l.check(path, dirs[path], parsed[i])
+			}(k, i)
+		}
+		lwg.Wait()
+		for _, err := range lerrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	pkgs := make([]*Package, 0, len(paths))
 	for _, p := range paths {
-		pkg, err := l.Load(p)
+		pkg, err := l.Load(p) // cache hit
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// importLevels groups package indices into dependency levels: packages
+// in level k import module-internal packages only from levels < k. A
+// residual cycle (impossible in valid Go, but cheap to guard) is
+// reported rather than silently dropped.
+func importLevels(paths []string, parsed [][]*ast.File) ([][]int, error) {
+	index := make(map[string]int, len(paths))
+	for i, p := range paths {
+		index[p] = i
+	}
+	deps := make([][]int, len(paths))
+	for i, files := range parsed {
+		seen := make(map[int]bool)
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if j, ok := index[ip]; ok && j != i && !seen[j] {
+					seen[j] = true
+					deps[i] = append(deps[i], j)
+				}
+			}
+		}
+	}
+	level := make([]int, len(paths))
+	for i := range level {
+		level[i] = -1
+	}
+	assigned := 0
+	for assigned < len(paths) {
+		progressed := false
+		for i := range paths {
+			if level[i] >= 0 {
+				continue
+			}
+			max := -1
+			ok := true
+			for _, j := range deps[i] {
+				if level[j] < 0 {
+					ok = false
+					break
+				}
+				if level[j] > max {
+					max = level[j]
+				}
+			}
+			if ok {
+				level[i] = max + 1
+				assigned++
+				progressed = true
+			}
+		}
+		if !progressed {
+			var stuck []string
+			for i, lv := range level {
+				if lv < 0 {
+					stuck = append(stuck, paths[i])
+				}
+			}
+			return nil, fmt.Errorf("analysis: import cycle among %s", strings.Join(stuck, ", "))
+		}
+	}
+	maxLevel := 0
+	for _, lv := range level {
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	out := make([][]int, maxLevel+1)
+	for i, lv := range level {
+		out[lv] = append(out[lv], i)
+	}
+	return out, nil
 }
 
 // goFileNames lists the non-test Go files in dir, sorted.

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the module's global mutex-acquisition-order graph:
+// an edge A→B means some execution path acquires B (directly, or
+// transitively through calls) while holding A. Any cycle in that graph
+// is a potential deadlock — two goroutines entering the cycle from
+// different locks wait on each other forever. The reported witness
+// names the functions and call chains realizing each edge. The check is
+// instance-insensitive (locks are fields, not objects), so A→A
+// self-edges are not reported: striped and per-entry locks of the same
+// field are different instances.
+func lockorder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "no cycle in the global mutex acquisition-order graph (potential deadlock), witnessed by call chains",
+	}
+	a.RunModule = func(p *ModulePass) error {
+		lo := &lockOrder{
+			mod:   p.Module,
+			acq:   make(map[*FuncNode]map[string]acqTrace),
+			edges: make(map[string]map[string]*lockEdge),
+		}
+		lo.transAcquires()
+		lo.buildEdges()
+		for _, c := range lo.cycles() {
+			p.Reportf(c.pos, "%s", c.message)
+		}
+		return nil
+	}
+	return a
+}
+
+// acqTrace records how a function comes to acquire a lock: directly at
+// pos, or via a call at pos into another node.
+type acqTrace struct {
+	pos token.Pos
+	via *FuncNode // nil for a direct acquire
+}
+
+type lockEdge struct {
+	from, to string
+	node     *FuncNode // function realizing the ordering
+	pos      token.Pos // acquire or call position inside node
+	via      *FuncNode // non-nil when `to` is acquired through this callee
+}
+
+type lockOrder struct {
+	mod   *Module
+	acq   map[*FuncNode]map[string]acqTrace
+	edges map[string]map[string]*lockEdge
+}
+
+// transAcquires computes, for every function, the set of locks it may
+// acquire transitively through calls (spawned goroutines excluded:
+// their acquires happen on another stack).
+func (lo *lockOrder) transAcquires() {
+	nodes := lo.mod.graph.Nodes
+	for _, n := range nodes {
+		lo.acq[n] = make(map[string]acqTrace)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			sum := lo.mod.sums[n]
+			for _, op := range sum.Ops {
+				switch op.Kind {
+				case OpAcquire:
+					if _, ok := lo.acq[n][op.Lock]; !ok {
+						lo.acq[n][op.Lock] = acqTrace{pos: op.Pos}
+						changed = true
+					}
+				case OpCall:
+					for _, t := range op.Targets {
+						for lock := range lo.acq[t] {
+							if _, ok := lo.acq[n][lock]; !ok {
+								lo.acq[n][lock] = acqTrace{pos: op.Pos, via: t}
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildEdges scans every op: acquiring (or calling into an acquire of)
+// lock B while holding A adds edge A→B. First witness wins.
+func (lo *lockOrder) buildEdges() {
+	for _, n := range lo.mod.graph.Nodes {
+		sum := lo.mod.sums[n]
+		for _, op := range sum.Ops {
+			switch op.Kind {
+			case OpAcquire:
+				for _, held := range op.Held {
+					lo.addEdge(held, op.Lock, &lockEdge{node: n, pos: op.Pos})
+				}
+			case OpCall:
+				if len(op.Held) == 0 {
+					continue
+				}
+				for _, t := range op.Targets {
+					for lock := range lo.acq[t] {
+						for _, held := range op.Held {
+							lo.addEdge(held, lock, &lockEdge{node: n, pos: op.Pos, via: t})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (lo *lockOrder) addEdge(from, to string, e *lockEdge) {
+	if from == to {
+		return // instance-insensitive: same-field locks are distinct instances
+	}
+	m := lo.edges[from]
+	if m == nil {
+		m = make(map[string]*lockEdge)
+		lo.edges[from] = m
+	}
+	if m[to] == nil {
+		e.from, e.to = from, to
+		m[to] = e
+	}
+}
+
+type lockCycle struct {
+	pos     token.Pos
+	message string
+}
+
+// cycles finds each distinct lock cycle: for every edge a→b, the
+// shortest path b→…→a closes a cycle; cycles are deduplicated by their
+// lock set and reported with the full witness chain.
+func (lo *lockOrder) cycles() []lockCycle {
+	var froms []string
+	for f := range lo.edges {
+		froms = append(froms, f)
+	}
+	sort.Strings(froms)
+	seen := make(map[string]bool)
+	var out []lockCycle
+	for _, a := range froms {
+		var tos []string
+		for t := range lo.edges[a] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, b := range tos {
+			path := lo.shortestPath(b, a)
+			if path == nil {
+				continue
+			}
+			cycle := append([]string{a}, path...) // a, b, …, a
+			key := cycleKey(cycle)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, lo.describe(cycle))
+		}
+	}
+	return out
+}
+
+// shortestPath runs BFS from→to over the edge graph; the returned path
+// includes both endpoints.
+func (lo *lockOrder) shortestPath(from, to string) []string {
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			var path []string
+			for n := to; ; n = prev[n] {
+				path = append([]string{n}, path...)
+				if n == from {
+					return path
+				}
+			}
+		}
+		var nexts []string
+		for n := range lo.edges[cur] {
+			nexts = append(nexts, n)
+		}
+		sort.Strings(nexts)
+		for _, n := range nexts {
+			if _, ok := prev[n]; !ok {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	return nil
+}
+
+func cycleKey(cycle []string) string {
+	set := append([]string(nil), cycle[:len(cycle)-1]...)
+	sort.Strings(set)
+	return strings.Join(set, "|")
+}
+
+// describe renders one cycle with a witness per edge.
+func (lo *lockOrder) describe(cycle []string) lockCycle {
+	var witnesses []string
+	var pos token.Pos
+	for i := 0; i+1 < len(cycle); i++ {
+		e := lo.edges[cycle[i]][cycle[i+1]]
+		if e == nil {
+			continue
+		}
+		if pos == 0 {
+			pos = e.pos
+		}
+		w := fmt.Sprintf("%s holds %s and acquires %s", e.node.Name(), e.from, e.to)
+		if e.via != nil {
+			w += " via " + lo.chain(e.via, e.to)
+		}
+		witnesses = append(witnesses, w)
+	}
+	return lockCycle{
+		pos: pos,
+		message: fmt.Sprintf("lock-order cycle %s (potential deadlock): %s",
+			strings.Join(cycle, " -> "), strings.Join(witnesses, "; ")),
+	}
+}
+
+// chain renders the call chain from a callee down to where lock is
+// actually acquired.
+func (lo *lockOrder) chain(n *FuncNode, lock string) string {
+	names := []string{n.Name()}
+	for depth := 0; depth < 12; depth++ {
+		tr, ok := lo.acq[n][lock]
+		if !ok || tr.via == nil {
+			break
+		}
+		n = tr.via
+		names = append(names, n.Name())
+	}
+	return strings.Join(names, " -> ")
+}

@@ -1,0 +1,50 @@
+// Package a is the atomicmix golden fixture.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	cold int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "hits is accessed with sync/atomic"
+}
+
+func (c *counter) coldSet() {
+	atomic.StoreInt64(&c.cold, 1)
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.cold = 0 //lint:allow atomicmix pre-publication initialization, no concurrent readers yet
+	return c
+}
+
+var total int64
+
+func addTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+func resetTotal() {
+	total = 0 // want "total is accessed with sync/atomic"
+}
+
+// typed atomics cannot be misused this way and are ignored.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) set(x int64) { g.v.Store(x) }
+func (g *gauge) get() int64  { return g.v.Load() }
+
+// composite-literal keys are field names, not accesses.
+func litKey() *counter {
+	return &counter{hits: 0}
+}

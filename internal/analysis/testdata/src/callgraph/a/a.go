@@ -1,0 +1,54 @@
+// Package a is the call-graph driver fixture: interface dispatch,
+// generic constraint dispatch, method values, and func-valued hook
+// fields — the dynamic call shapes the module analyzers must resolve.
+package a
+
+import "sync"
+
+type Runner interface {
+	Run()
+}
+
+type Fast struct{ mu sync.Mutex }
+
+func (f *Fast) Run() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+type Slow struct{}
+
+func (s Slow) Run() {}
+
+// Dispatch calls through the interface: every implementation in the
+// loaded packages is a possible target.
+func Dispatch(r Runner) {
+	r.Run()
+}
+
+// Generic dispatches through a type-parameter constraint.
+func Generic[T Runner](v T) {
+	v.Run()
+}
+
+// MethodValue binds a method to a local and calls the binding.
+func MethodValue(f *Fast) {
+	run := f.Run
+	run()
+}
+
+// hooked carries a func-valued hook field (the TNService pattern).
+type hooked struct {
+	OnUpdate func()
+}
+
+func NewHooked() *hooked {
+	return &hooked{OnUpdate: tick}
+}
+
+func tick() {}
+
+// Fire invokes whatever was installed in the hook field.
+func Fire(h *hooked) {
+	h.OnUpdate()
+}

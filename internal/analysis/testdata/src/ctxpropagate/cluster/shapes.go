@@ -1,0 +1,59 @@
+// Post-cluster shapes: the patterns internal/cluster actually uses —
+// HTTP handler methods, a stored Start context driving background
+// work, contexts threaded through goroutine closures and method
+// values — pinned so the analyzer neither misses them nor cries wolf.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+type node struct {
+	ctxMu  sync.Mutex
+	runCtx context.Context
+}
+
+// Start stores its context for background loops; the parameter is used.
+func (n *node) Start(ctx context.Context) {
+	n.ctxMu.Lock()
+	defer n.ctxMu.Unlock()
+	n.runCtx = ctx
+}
+
+// HandleStandby is an exported handler: it reaches the context through
+// *http.Request, so no context parameter is demanded.
+func (n *node) HandleStandby(w http.ResponseWriter, r *http.Request) {
+	_ = ship(r.Context(), "peer")
+}
+
+// Replay is exported, calls context-aware code, and takes no context —
+// flagged even though the call is inside a spawned closure.
+func (n *node) Replay(peer string) { // want "exported Replay calls context-aware ship but takes no context.Context"
+	go func() {
+		_ = ship(context.TODO(), peer) // want "context.TODO is reserved for package main"
+	}()
+}
+
+// Rebalance threads its context into a goroutine closure: used.
+func (n *node) Rebalance(ctx context.Context, peers []string) {
+	for _, p := range peers {
+		p := p
+		go func() { _ = ship(ctx, p) }()
+	}
+}
+
+// Push passes its context through a method value; still used.
+func (n *node) Push(ctx context.Context, peer string) error {
+	f := ship
+	return f(ctx, peer)
+}
+
+// KickReplication drives background work under the stored Start
+// context by design; the convention is documented with an allow.
+func (n *node) KickReplication(peer string) { //lint:allow ctxpropagate background push runs under the Start context
+	n.ctxMu.Lock()
+	defer n.ctxMu.Unlock()
+	_ = ship(n.runCtx, peer)
+}

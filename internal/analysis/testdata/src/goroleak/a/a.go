@@ -1,0 +1,93 @@
+// Package a is the goroleak golden fixture.
+package a
+
+import "time"
+
+func spin() {
+	for {
+	}
+}
+
+func runner() {
+	spin()
+}
+
+func spawnForever() {
+	go spin() // want "goroutine runs a.spin, which loops forever"
+}
+
+func spawnViaHelper() {
+	go runner() // want "goroutine runs a.runner -> a.spin, which loops forever"
+}
+
+func spawnStoppable(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func tickLeak() {
+	for range time.Tick(time.Second) { // want "time.Tick leaks its ticker"
+	}
+}
+
+func afterRace(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Second): // want "time.After in a select with competing cases leaks the timer"
+	}
+}
+
+// afterSleep is plain sleeping: the timer fires and is collected.
+func afterSleep() {
+	<-time.After(time.Second)
+}
+
+func tickerLeak() {
+	t := time.NewTicker(time.Second) // want "time.NewTicker result is never stopped \\(no Stop in this function\\)"
+	<-t.C
+}
+
+func tickerStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+type poller struct {
+	tick *time.Ticker
+}
+
+func (p *poller) start() {
+	p.tick = time.NewTicker(time.Second) // want "stored to field tick, which is never stopped"
+}
+
+// loop's ticker is stopped by another method: field-level tracking must
+// see the Stop even though it is in a different function.
+type loop struct {
+	tick *time.Ticker
+}
+
+func (l *loop) start() {
+	l.tick = time.NewTicker(time.Second)
+}
+
+func (l *loop) stop() {
+	l.tick.Stop()
+}
+
+// escaping timers are some caller's responsibility.
+func newTicker() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+func allowedTicker() {
+	t := time.NewTicker(time.Second) //lint:allow goroleak runs to process exit by design
+	<-t.C
+}

@@ -1,0 +1,32 @@
+// Package a declares the fixture locks and realizes the MuA→MuB
+// ordering; package b closes the cycles from the other direction.
+package a
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+	MuC sync.Mutex
+	MuD sync.Mutex
+)
+
+func AThenB() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	LockB() // want "lock-order cycle a.MuA -> a.MuB -> a.MuA \\(potential deadlock\\).*a.AThenB holds a.MuA and acquires a.MuB via a.LockB"
+}
+
+func LockB() {
+	MuB.Lock()
+	defer MuB.Unlock()
+}
+
+// ReentrantStripe acquires the same field twice; instance-insensitive
+// analysis must not call a striped/per-entry lock a self-deadlock.
+func ReentrantStripe(stripes []*sync.Mutex, i, j int) {
+	stripes[i].Lock()
+	defer stripes[i].Unlock()
+	stripes[j].Lock()
+	defer stripes[j].Unlock()
+}

@@ -1,0 +1,27 @@
+// Package b takes package a's locks in the opposite order, closing two
+// cross-package cycles: MuA/MuB (reported in package a, where the first
+// witness edge lives) and MuC/MuD (suppressed at its witness below).
+package b
+
+import "lockorder/a"
+
+func BThenA() {
+	a.MuB.Lock()
+	defer a.MuB.Unlock()
+	a.MuA.Lock()
+	defer a.MuA.Unlock()
+}
+
+func CThenD() {
+	a.MuC.Lock()
+	defer a.MuC.Unlock()
+	a.MuD.Lock() //lint:allow lockorder deliberate inversion kept as a suppression fixture
+	defer a.MuD.Unlock()
+}
+
+func DThenC() {
+	a.MuD.Lock()
+	defer a.MuD.Unlock()
+	a.MuC.Lock()
+	defer a.MuC.Unlock()
+}

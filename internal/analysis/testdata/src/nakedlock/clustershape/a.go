@@ -1,0 +1,75 @@
+// Package clustershape pins nakedlock on the shapes internal/cluster
+// actually uses: pointer-alias receivers, locks taken inside select
+// comm clauses and switch cases, and mutex-pointer locals.
+package clustershape
+
+import "sync"
+
+type replState struct {
+	mu  sync.Mutex
+	pos uint64
+}
+
+type node struct {
+	mu   sync.Mutex
+	repl replState
+	work chan uint64
+}
+
+// aliasDefer locks through a pointer alias and defers through the same
+// alias: the textual receivers match, no finding.
+func (n *node) aliasDefer() uint64 {
+	r := &n.repl
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pos
+}
+
+// aliasNaked is a genuinely naked alias lock.
+func (n *node) aliasNaked() uint64 {
+	r := &n.repl
+	r.mu.Lock() // want "r.mu.Lock\\(\\) is not immediately followed by defer r.mu.Unlock\\(\\)"
+	pos := r.pos
+	r.mu.Unlock()
+	return pos
+}
+
+// mutexPointerLocal takes the lock through a *sync.Mutex local.
+func (n *node) mutexPointerLocal() {
+	mu := &n.mu
+	mu.Lock()
+	defer mu.Unlock()
+	n.repl.pos++
+}
+
+// commClauseDefer locks inside a select comm clause; the clause body is
+// a statement list of its own and the defer directly follows.
+func (n *node) commClauseDefer() {
+	select {
+	case p := <-n.work:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.repl.pos = p
+	default:
+	}
+}
+
+// commClauseNaked is the same shape without the defer.
+func (n *node) commClauseNaked() {
+	select {
+	case p := <-n.work:
+		n.mu.Lock() // want "n.mu.Lock\\(\\) is not immediately followed by defer n.mu.Unlock\\(\\)"
+		n.repl.pos = p
+		n.mu.Unlock()
+	default:
+	}
+}
+
+// snapshotAllowed is the deliberate short-critical-section idiom: lock,
+// snapshot, unlock before slow work.
+func (n *node) snapshotAllowed() uint64 {
+	n.mu.Lock() //lint:allow nakedlock snapshot-then-release; slow work below runs unlocked
+	pos := n.repl.pos
+	n.mu.Unlock()
+	return pos
+}

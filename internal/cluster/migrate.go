@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/ed25519"
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -22,6 +23,73 @@ import (
 // sessionTicketBytes is the byte string the migration signature covers.
 func sessionTicketBytes(id, notAfter, docXML string) []byte {
 	return []byte("trustvo-session|" + id + "|" + notAfter + "|" + docXML)
+}
+
+// standbyTicketBytes is the byte string a standby-ship signature
+// covers; the distinct prefix domain-separates it from migration
+// tickets so one can never be replayed as the other.
+func standbyTicketBytes(id, notAfter, docXML string) []byte {
+	return []byte("trustvo-standby|" + id + "|" + notAfter + "|" + docXML)
+}
+
+// Standby rejection taxonomy, mirroring the migration-ticket rules:
+// expiry is a typed, counted 410; a bad signature is a 403.
+var (
+	errStandbyExpired   = errors.New("standby snapshot expired")
+	errStandbySignature = errors.New("standby snapshot signature verification failed")
+)
+
+// signedStandbyShip wraps one session snapshot in a signed, expiring
+// standbyShip document. The expiry matches the standby table TTL: a
+// snapshot too old for the table is also too old to adopt.
+func (n *Node) signedStandbyShip(id string, doc *xmldom.Node) (*xmldom.Node, error) {
+	if n.keys == nil {
+		return nil, fmt.Errorf("cluster: node %s has no standby signing key", n.cfg.Name)
+	}
+	notAfter := time.Now().Add(n.standbyTTL()).UTC().Format(time.RFC3339)
+	sig := n.keys.Sign(standbyTicketBytes(id, notAfter, doc.XML()))
+	ship := xmldom.NewElement("standbyShip").
+		SetAttr("id", id).
+		SetAttr("node", n.cfg.Name).
+		SetAttr("notAfter", notAfter)
+	ship.AppendChild(doc)
+	sigEl := xmldom.NewElement("signature")
+	sigEl.AppendChild(xmldom.NewText(base64.StdEncoding.EncodeToString(sig)))
+	ship.AppendChild(sigEl)
+	return ship, nil
+}
+
+// verifyStandbyShip validates a standbyShip — expiry before signature,
+// the same order handleAdopt enforces for migration tickets — and
+// returns the embedded session document. Every path that turns a
+// standby snapshot into a live session goes through here: the POST
+// ingress, local takeStandby, and the remote fetchStandby.
+func (n *Node) verifyStandbyShip(ship *xmldom.Node) (*xmldom.Node, error) {
+	id := ship.AttrOr("id", "")
+	doc := ship.Child("tnSession")
+	sigEl := ship.Child("signature")
+	if id == "" || doc == nil || sigEl == nil {
+		return nil, fmt.Errorf("cluster: standbyShip missing id, session or signature")
+	}
+	notAfter := ship.AttrOr("notAfter", "")
+	exp, err := time.Parse(time.RFC3339, notAfter)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: standbyShip notAfter: %w", err)
+	}
+	if time.Now().After(exp) {
+		return nil, fmt.Errorf("cluster: %w (notAfter %s)", errStandbyExpired, notAfter)
+	}
+	if n.keys == nil {
+		return nil, fmt.Errorf("cluster: node %s has no standby verification key", n.cfg.Name)
+	}
+	sig, err := base64.StdEncoding.DecodeString(sigEl.Text())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: standbyShip signature not base64: %w", err)
+	}
+	if !ed25519.Verify(n.keys.Public, standbyTicketBytes(id, notAfter, doc.XML()), sig) {
+		return nil, fmt.Errorf("cluster: %w", errStandbySignature)
+	}
+	return doc, nil
 }
 
 // sessionTicket wraps one suspended session in a signed migration
@@ -85,8 +153,13 @@ func (n *Node) drain(ctx context.Context, filter func(id string) bool) (int, err
 			}
 			// Park the snapshot locally as standby state: if the target is
 			// the node adopting this id later, its retry path (or a
-			// subsequent migration pass) can still find it here.
-			n.putStandby(id, doc.XML())
+			// subsequent migration pass) can still find it here. The
+			// standby table only holds signed ships now, so sign it.
+			if ship, serr := n.signedStandbyShip(id, doc); serr == nil {
+				n.putStandby(id, ship.XML())
+			} else {
+				n.logf("cluster: parking standby for %s: %v", id, serr)
+			}
 			continue
 		}
 		moved++

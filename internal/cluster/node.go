@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -270,9 +271,16 @@ func (n *Node) shipStandby(ctx context.Context, id string, doc *xmldom.Node) err
 		n.countShip("error")
 		return fmt.Errorf("cluster: no address for standby target %s", target)
 	}
-	ship := xmldom.NewElement("standbyShip").SetAttr("id", id)
-	ship.AppendChild(doc)
-	_, err := n.transport.Call(ctx, "POST", base, "/cluster/standby", "", ship.XML(), true)
+	// Ships are signed with the cluster key: the receiving node refuses
+	// to hold — and, later, to adopt — a snapshot the cluster did not
+	// vouch for, so a forged POST cannot hijack a negotiation via the
+	// failover path the way it never could via the migration path.
+	ship, err := n.signedStandbyShip(id, doc)
+	if err != nil {
+		n.countShip("error")
+		return fmt.Errorf("cluster: standby ship of %s to %s: %w", id, target, err)
+	}
+	_, err = n.transport.Call(ctx, "POST", base, "/cluster/standby", "", ship.XML(), true)
 	if err != nil {
 		n.countShip("error")
 		return fmt.Errorf("cluster: standby ship of %s to %s: %w", id, target, err)
@@ -307,8 +315,10 @@ func (n *Node) putStandby(id, xml string) {
 	}
 }
 
-// takeStandby removes and parses the standby snapshot for id, if one is
-// held and still fresh.
+// takeStandby removes, re-verifies, and unwraps the standby ship for
+// id, if one is held and still fresh. Verification happens again at
+// the point of use — not just at POST ingress — so the table itself is
+// never trusted: the signature and expiry travel with the snapshot.
 func (n *Node) takeStandby(id string) (*xmldom.Node, bool) {
 	n.mu.Lock() //lint:allow nakedlock XML parse below must run outside the lock
 	d, ok := n.standby[id]
@@ -319,12 +329,32 @@ func (n *Node) takeStandby(id string) (*xmldom.Node, bool) {
 	if !ok || time.Since(d.at) > n.standbyTTL() {
 		return nil, false
 	}
-	doc, err := xmldom.ParseString(d.xml)
+	ship, err := xmldom.ParseString(d.xml)
 	if err != nil {
 		n.logf("cluster: dropping unparseable standby snapshot %s: %v", id, err)
 		return nil, false
 	}
+	doc, err := n.verifyStandbyShip(ship)
+	if err != nil {
+		n.countStandbyReject(err)
+		n.logf("cluster: dropping standby snapshot %s: %v", id, err)
+		return nil, false
+	}
 	return doc, true
+}
+
+// countStandbyReject counts a refused standby snapshot by reason.
+func (n *Node) countStandbyReject(err error) {
+	if m := n.metrics; m != nil {
+		reason := "schema"
+		switch {
+		case errors.Is(err, errStandbyExpired):
+			reason = "expired"
+		case errors.Is(err, errStandbySignature):
+			reason = "signature"
+		}
+		m.Counter("cluster_standby_rejects_total", "reason", reason).Inc()
+	}
 }
 
 // StandbyCount reports held, unclaimed standby snapshots (monitoring).

@@ -64,8 +64,10 @@ func (n *Node) gateServe(h http.Handler, w http.ResponseWriter, r *http.Request)
 	h.ServeHTTP(w, r)
 	if floor := n.cfg.ServiceFloor; floor > 0 {
 		if rem := floor - time.Since(start); rem > 0 {
+			t := time.NewTimer(rem)
+			defer t.Stop()
 			select {
-			case <-time.After(rem):
+			case <-t.C:
 			case <-r.Context().Done():
 			}
 		}
@@ -213,8 +215,10 @@ func (n *Node) fetchStandby(ctx context.Context, id string) (*xmldom.Node, bool)
 	if err != nil {
 		return nil, false
 	}
-	doc := root.Child("tnSession")
-	if doc == nil {
+	doc, err := n.verifyStandbyShip(root)
+	if err != nil {
+		n.countStandbyReject(err)
+		n.logf("cluster: refusing fetched standby snapshot %s: %v", id, err)
 		return nil, false
 	}
 	return doc, true
@@ -227,23 +231,27 @@ func (n *Node) fetchStandby(ctx context.Context, id string) (*xmldom.Node, bool)
 func (n *Node) handleStandby(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodGet {
 		id := r.URL.Query().Get("negotiation")
+		now := time.Now()
 		n.mu.Lock() //lint:allow nakedlock response write below must run outside the lock
 		d, held := n.standby[id]
 		if held {
 			delete(n.standby, id)
 		}
 		n.mu.Unlock()
-		if id == "" || !held {
+		// A snapshot past the table TTL is surrendered to no one: the TTL
+		// bounds how stale an adopted state can be, the same rule
+		// takeStandby applies to the local adoption path.
+		if id == "" || !held || now.Sub(d.at) > n.standbyTTL() {
 			writeClusterFault(w, http.StatusNotFound, "standby", "no standby snapshot for "+id)
 			return
 		}
-		ship := xmldom.NewElement("standbyShip").SetAttr("id", id)
-		doc, err := xmldom.ParseString(d.xml)
+		// The table holds the ship exactly as shipped — signature,
+		// expiry and all — so the requester re-verifies what we stored.
+		ship, err := xmldom.ParseString(d.xml)
 		if err != nil {
 			writeClusterFault(w, http.StatusInternalServerError, "standby", err.Error())
 			return
 		}
-		ship.AppendChild(doc)
 		writeClusterDOM(w, ship)
 		return
 	}
@@ -251,17 +259,20 @@ func (n *Node) handleStandby(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	doc := root.Child("tnSession")
-	if doc == nil {
-		writeClusterFault(w, http.StatusBadRequest, "schema", "standbyShip without <tnSession>")
+	id := root.AttrOr("id", "")
+	if _, err := n.verifyStandbyShip(root); err != nil {
+		n.countStandbyReject(err)
+		status, code := http.StatusBadRequest, "schema"
+		switch {
+		case errors.Is(err, errStandbyExpired):
+			status, code = http.StatusGone, "standby-expired"
+		case errors.Is(err, errStandbySignature):
+			status, code = http.StatusForbidden, "standby-signature"
+		}
+		writeClusterFault(w, status, code, err.Error())
 		return
 	}
-	id := root.AttrOr("id", doc.AttrOr("id", ""))
-	if id == "" {
-		writeClusterFault(w, http.StatusBadRequest, "schema", "standbyShip without session id")
-		return
-	}
-	n.putStandby(id, doc.XML())
+	n.putStandby(id, root.XML())
 	writeClusterDOM(w, xmldom.NewElement("standbyAck").SetAttr("id", id))
 }
 

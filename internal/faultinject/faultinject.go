@@ -11,6 +11,7 @@ package faultinject
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -164,10 +165,8 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, &DroppedError{Where: "partition"}
 	}
 	if d := t.Net.DelayTo(req.URL.Host); d > 0 {
-		select {
-		case <-req.Context().Done():
-			return nil, req.Context().Err()
-		case <-time.After(d):
+		if err := sleepCtx(req.Context(), d); err != nil {
+			return nil, err
 		}
 	}
 	d := t.decide()
@@ -185,10 +184,8 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 
 	if d.delay > 0 {
 		t.count("delay", &t.Stats.Delays)
-		select {
-		case <-req.Context().Done():
-			return nil, req.Context().Err()
-		case <-time.After(d.delay):
+		if err := sleepCtx(req.Context(), d.delay); err != nil {
+			return nil, err
 		}
 	}
 	if d.dropPre {
@@ -221,6 +218,20 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return truncate(resp, d.truncAt)
 	}
 	return resp, nil
+}
+
+// sleepCtx waits d or until ctx is canceled, releasing the timer
+// immediately either way — a canceled request under heavy injected
+// delay must not pin a timer for the rest of the delay window.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 func (t *Transport) send(req *http.Request, body []byte) (*http.Response, error) {

@@ -1,0 +1,35 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Regression test for the timer leak vetvo's goroleak analyzer flagged:
+// an injected delay raced req.Context().Done() with a bare time.After,
+// pinning a timer for the full delay window after cancellation. The
+// delay path now stops its timer and must return the context error
+// promptly.
+func TestInjectedDelayHonorsCancel(t *testing.T) {
+	tr := New(Config{Seed: 1}, nil)
+	tr.Net = NewNet()
+	tr.Net.SetDelay("slow.example", time.Hour)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://slow.example/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = tr.RoundTrip(req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled delay took %v; want prompt return", elapsed)
+	}
+}
