@@ -39,6 +39,7 @@ import (
 	"trustvo/internal/partydb"
 	"trustvo/internal/pki"
 	"trustvo/internal/store"
+	"trustvo/internal/store/cacher"
 	"trustvo/internal/telemetry"
 	"trustvo/internal/wsrpc"
 )
@@ -52,6 +53,12 @@ func main() {
 		dbPath   = flag.String("db", "", "WAL-backed document store for policies and credentials; "+
 			"the party's profile and policies are written to it at startup and every "+
 			"StartNegotiation reloads them from it (the paper's §6.2 DB path)")
+		dbBackend = flag.String("db.backend", store.BackendFSWAL,
+			"storage backend for -db: "+strings.Join(store.BackendKinds(), "|")+
+				" (memory keeps nothing across restarts)")
+		dbCacheTTL = flag.Duration("db.cachettl", cacher.DefaultTTL,
+			"TTL of the read-through party cache over -db; 0 disables the cache "+
+				"(reads then hit the store directly on every reload)")
 		verbose = flag.Bool("v", false, "log one line per negotiation message handled "+
 			"(TRUSTVO_DEBUG=1 does the same)")
 		reportPath = flag.String("report", "", "write a JSON telemetry report to this file on shutdown")
@@ -140,7 +147,7 @@ func main() {
 		// negotiations must survive a crash, and group commit keeps the
 		// fsync cost shared across concurrent session writes. In cluster
 		// mode every commit also feeds the replication log.
-		opts := store.Options{Durability: store.DurabilityGroup}
+		opts := store.Options{Backend: *dbBackend, Durability: store.DurabilityGroup}
 		if node != nil {
 			opts.OnCommit = node.OnCommit
 		}
@@ -160,7 +167,16 @@ func main() {
 			log.Fatal(err)
 		}
 		svc.DB = db
-		log.Printf("policies and credentials stored in %s", *dbPath)
+		if *dbCacheTTL > 0 {
+			// Read-through coalescing cache for the hot party reload:
+			// commits (including replicated applies) invalidate it, so it
+			// only trades backend reads, never freshness.
+			c := cacher.New(db, *dbCacheTTL)
+			c.Instrument(svc.Metrics)
+			svc.PartyReader = c
+		}
+		log.Printf("policies and credentials stored in %s (backend %s, cache ttl %s)",
+			*dbPath, *dbBackend, *dbCacheTTL)
 		// pick up negotiations a previous run suspended on shutdown
 		if n, err := svc.ResumeSessions(db); err != nil {
 			log.Printf("resuming suspended negotiations: %v", err)

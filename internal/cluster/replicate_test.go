@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"trustvo/internal/store"
+	"trustvo/internal/store/cacher"
 	"trustvo/internal/xmldom"
 )
 
@@ -86,9 +87,12 @@ func TestSnapshotCatchupMidStream(t *testing.T) {
 	waitUntil(t, 5*time.Second, "follower catch-up", func() bool {
 		return n2.node.Applied() >= c.get("n1").node.Head()
 	})
-	if got := c.reg.Counter("cluster_repl_catchups_total").Value(); got <= catchupsBefore {
-		t.Fatalf("no snapshot catch-up recorded (counter %d)", got)
-	}
+	// Poll rather than assert once: the follower's applied position (what
+	// the wait above sees) advances inside the leader's catch-up call,
+	// a moment before the leader increments the counter on return.
+	waitUntil(t, 5*time.Second, "snapshot catch-up counter", func() bool {
+		return c.reg.Counter("cluster_repl_catchups_total").Value() > catchupsBefore
+	})
 	if _, err := n2.db.Get("chaos", "stray"); err == nil {
 		t.Fatal("stray record survived snapshot reconcile")
 	}
@@ -220,5 +224,56 @@ func TestDuplicateFramesIdempotent(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("stale epoch accepted: status %d", resp.StatusCode)
+	}
+}
+
+// TestFollowerApplyInvalidatesCache: replicated applies on a follower go
+// through the store's normal write path, so a cacher.Cache layered over
+// the follower's DB must see its entries invalidated by remote commits —
+// a follower serving cached reads never serves a record from before an
+// applied batch.
+func TestFollowerApplyInvalidatesCache(t *testing.T) {
+	c := newTestCluster(t, true, 0) // sync: leader acks imply follower apply
+	defer c.shutdown()
+	c.addNode("n1")
+	c.addNode("n2")
+	c.setLeader("n1")
+
+	followerCache := cacher.New(c.get("n2").db, time.Hour) // TTL out of the picture
+	leaderDB := c.get("n1").db
+
+	if err := leaderDB.PutXML("chaos", "hot", chaosDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := followerCache.Get("chaos", "hot")
+	if err != nil {
+		t.Fatalf("follower cached read: %v", err)
+	}
+	if rec.XML != chaosDoc(1) {
+		t.Fatalf("follower cache = %q", rec.XML)
+	}
+	// Warm hit before the next replicated write.
+	if _, err := followerCache.Get("chaos", "hot"); err != nil {
+		t.Fatal(err)
+	}
+	st := followerCache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("warm-up stats = %+v", st)
+	}
+
+	// Leader overwrite: the sync ack means the follower applied it, and the
+	// apply must have dropped the follower's cached entry.
+	if err := leaderDB.PutXML("chaos", "hot", chaosDoc(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := followerCache.Stats().Invalidations; got == 0 {
+		t.Fatal("replicated apply did not invalidate the follower cache")
+	}
+	rec, err = followerCache.Get("chaos", "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.XML != chaosDoc(2) {
+		t.Fatalf("follower cache served stale record after replicated apply: %q", rec.XML)
 	}
 }

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"trustvo/internal/faultinject"
+)
+
+// dirBackend stores one record file per document under one directory per
+// kind — the directory-per-kind durable backend:
+//
+//	P.d/                         backend root for a store at base path P
+//	P.d/<esc(kind)>/             one directory per document kind
+//	P.d/<esc(kind)>/<esc(key)>.rec    one CRC-framed put frame (wal.go)
+//	P.d/<esc(kind)>/<esc(key)>.rec.tmp   in-flight write (garbage on open)
+//
+// A put writes the frame to the .tmp sibling, fsyncs it, renames it into
+// place and fsyncs the kind directory; a delete unlinks the record and
+// fsyncs the directory. The layout is therefore always compact — there is
+// no log to checkpoint, Rotate/Snapshot only sweep stray tmp files — and
+// an overwrite never exposes a torn record: the old file stays intact
+// until the rename. Group commit coalesces the directory fsyncs: a batch
+// pays one dirsync per touched kind, not one per record.
+//
+// Durability note vs the segmented WAL: record content is fsynced before
+// the rename publishes it, but rename durability itself rides the
+// directory fsync, so a crash between rename and dirsync may surface the
+// in-flight (unacknowledged) record whole. Acknowledged writes — which
+// have completed their dirsync — always survive. File names are
+// url.PathEscape'd for path safety; the frame inside each file is the
+// authoritative (kind, key), so names are only locators.
+type dirBackend struct {
+	dir  string
+	opts Options
+	fs   faultinject.FS
+	met  func() *storeMetrics
+
+	// made caches which kind directories exist. Committer-owned.
+	made map[string]bool
+}
+
+const (
+	dirRootSuffix = ".d"
+	recSuffix     = ".rec"
+	recTmpSuffix  = ".rec.tmp"
+)
+
+func newDirBackend(path string, opts Options, fs faultinject.FS, met func() *storeMetrics) (*dirBackend, error) {
+	if path == "" {
+		return nil, fmt.Errorf("store: %s backend requires a base path", BackendDirKind)
+	}
+	return &dirBackend{dir: path + dirRootSuffix, opts: opts, fs: fs, met: met, made: make(map[string]bool)}, nil
+}
+
+func (b *dirBackend) kindDir(kind string) string {
+	return filepath.Join(b.dir, url.PathEscape(kind))
+}
+
+func (b *dirBackend) recPath(e walEntry) string {
+	return filepath.Join(b.kindDir(e.kind), url.PathEscape(e.key)+recSuffix)
+}
+
+// syncDirOf fsyncs the directory dir (SyncDir flushes the parent of the
+// path it is given).
+func (b *dirBackend) syncDirOf(dir string) error {
+	return b.fs.SyncDir(filepath.Join(dir, "entry"))
+}
+
+// Recover implements Backend: ensure the root exists, drop unpublished
+// tmp files and damaged record files (a torn record can only be the
+// single unacknowledged in-flight write, or OS-durability write-back
+// loss), and apply every valid record. Reading is plain os I/O: recovery
+// happens before any write is acknowledged, so it sits outside the
+// crash-injection surface — but the root creation goes through the FS
+// hooks so torture runs cover it.
+func (b *dirBackend) Recover(apply func(entries []walEntry, source string) error) error {
+	if _, err := os.Stat(b.dir); os.IsNotExist(err) {
+		if err := b.fs.MkdirAll(b.dir); err != nil {
+			return fmt.Errorf("store: create %s root: %w", BackendDirKind, err)
+		}
+		if err := b.syncDirOf(filepath.Dir(b.dir)); err != nil {
+			return fmt.Errorf("store: sync parent of %s root: %w", BackendDirKind, err)
+		}
+		return nil
+	}
+	kinds, err := os.ReadDir(b.dir)
+	if err != nil {
+		return fmt.Errorf("store: list %s root: %w", BackendDirKind, err)
+	}
+	var entries []walEntry
+	for _, kd := range kinds {
+		if !kd.IsDir() {
+			continue
+		}
+		kdPath := filepath.Join(b.dir, kd.Name())
+		b.made[kdPath] = true
+		files, err := os.ReadDir(kdPath)
+		if err != nil {
+			return fmt.Errorf("store: list kind dir %s: %w", kd.Name(), err)
+		}
+		for _, f := range files {
+			p := filepath.Join(kdPath, f.Name())
+			if strings.HasSuffix(f.Name(), recTmpSuffix) {
+				// Unpublished in-flight write from a previous run.
+				if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+					return fmt.Errorf("store: remove stale tmp %s: %w", f.Name(), err)
+				}
+				continue
+			}
+			if !strings.HasSuffix(f.Name(), recSuffix) {
+				continue // not one of ours
+			}
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				return fmt.Errorf("store: read record %s: %w", f.Name(), err)
+			}
+			recs, _, err := replayFrames(bytes.NewReader(raw))
+			if err != nil || len(recs) != 1 || recs[0].op != opPut {
+				// Torn or corrupt: the frame never carried an
+				// acknowledged write (acks follow the fsync+dirsync), so
+				// dropping it is the directory analogue of truncating a
+				// torn WAL tail.
+				if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+					return fmt.Errorf("store: drop damaged record %s: %w", f.Name(), err)
+				}
+				continue
+			}
+			entries = append(entries, recs[0])
+		}
+	}
+	sortEntries(entries)
+	return apply(entries, b.dir)
+}
+
+// Append implements Backend: publish each record (or removal), then pay
+// one directory fsync per touched kind for the whole batch.
+func (b *dirBackend) Append(batch []walEntry) error {
+	durable := b.opts.Durability != DurabilityOS
+	m := b.met()
+	touched := make(map[string]bool, 1)
+	for _, e := range batch {
+		kd := b.kindDir(e.kind)
+		switch e.op {
+		case opPut:
+			if !b.made[kd] {
+				if err := b.fs.MkdirAll(kd); err != nil {
+					return fmt.Errorf("store: create kind dir: %w", err)
+				}
+				if durable {
+					if err := b.syncDirOf(b.dir); err != nil {
+						return fmt.Errorf("store: sync root after kind dir: %w", err)
+					}
+					m.fsyncs.Inc()
+				}
+				b.made[kd] = true
+			}
+			final := b.recPath(e)
+			tmp := filepath.Join(kd, url.PathEscape(e.key)+recTmpSuffix)
+			frame, err := encodeFrame(e)
+			if err != nil {
+				return err
+			}
+			f, err := b.fs.Create(tmp)
+			if err != nil {
+				return fmt.Errorf("store: create record tmp: %w", err)
+			}
+			if _, err := f.Write(frame); err != nil {
+				f.Close()
+				return fmt.Errorf("store: write record: %w", err)
+			}
+			if durable {
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return fmt.Errorf("store: fsync record: %w", err)
+				}
+				m.fsyncs.Inc()
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("store: close record: %w", err)
+			}
+			if err := b.fs.Rename(tmp, final); err != nil {
+				return fmt.Errorf("store: publish record: %w", err)
+			}
+			m.appendedBytes.Add(int64(len(frame)))
+		case opDelete:
+			if err := b.fs.Remove(b.recPath(e)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("store: remove record: %w", err)
+			}
+		}
+		touched[kd] = true
+	}
+	if durable {
+		for kd := range touched {
+			if err := b.syncDirOf(kd); err != nil {
+				return fmt.Errorf("store: sync kind dir: %w", err)
+			}
+			m.fsyncs.Inc()
+		}
+	}
+	return nil
+}
+
+// Sync implements Backend. Every acknowledged append is already as
+// durable as the policy allows (the fsyncs happen inside Append), so
+// there is nothing left to flush; under DurabilityOS the handles are
+// closed and a retroactive flush is impossible — Sync is then only the
+// commit barrier Store.Sync documents.
+func (b *dirBackend) Sync() error { return nil }
+
+// Rotate implements Backend: there is no log unit to seal.
+func (b *dirBackend) Rotate() (uint64, error) { return 0, nil }
+
+// Snapshot implements Backend: the layout is always compact, so a
+// checkpoint only sweeps stray tmp files left by failed publishes.
+func (b *dirBackend) Snapshot(uint64, []walEntry) error {
+	kinds, err := os.ReadDir(b.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: checkpoint sweep: %w", err)
+	}
+	for _, kd := range kinds {
+		if !kd.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(b.dir, kd.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f.Name(), recTmpSuffix) {
+				b.fs.Remove(filepath.Join(b.dir, kd.Name(), f.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// Close implements Backend: no handles survive an Append.
+func (b *dirBackend) Close() error { return nil }
+
+// Destroy implements Backend.
+func (b *dirBackend) Destroy() error { return os.RemoveAll(b.dir) }
+
+// sortEntries orders recovered entries by (kind, key) for deterministic
+// replay.
+func sortEntries(entries []walEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].kind != entries[j].kind {
+			return entries[i].kind < entries[j].kind
+		}
+		return entries[i].key < entries[j].key
+	})
+}

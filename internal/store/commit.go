@@ -7,19 +7,19 @@ import (
 
 // Group commit. All durable mutations funnel through one committer
 // goroutine: writers submit their frame and block; the committer
-// coalesces everything queued into a batch, appends the batch to the
-// active segment with one write, pays ONE fsync for the whole batch, and
-// only then applies the batch to the in-memory maps and releases the
-// writers. N concurrent writers therefore share one disk flush instead
-// of paying one each, while keeping the contract that a nil return from
-// Put/Delete means "on stable storage" (under DurabilityGroup and
-// DurabilityEveryOp).
+// coalesces everything queued into a batch, hands the batch to the
+// Backend as ONE Append (which pays one write and — per policy — one
+// fsync for the whole batch), and only then applies the batch to the
+// in-memory maps and releases the writers. N concurrent writers
+// therefore share one disk flush instead of paying one each, while
+// keeping the contract that a nil return from Put/Delete means "on
+// stable storage" (under DurabilityGroup and DurabilityEveryOp).
 //
-// The committer is also the only goroutine that touches the active
-// segment and the poison state, which removes a whole class of
-// lost-handle bugs: rotation opens the next segment BEFORE abandoning
-// the old one, and any append-path failure poisons the log with a sticky
-// error — later writes fail loudly instead of landing on a dead file.
+// The committer is also the only goroutine that calls into the backend's
+// append path (Append/Sync/Rotate/Close) or touches the poison state,
+// which removes a whole class of lost-handle bugs: any append-path
+// failure poisons the log with a sticky error — later writes fail loudly
+// instead of landing on a dead file.
 
 type commitKind int
 
@@ -39,9 +39,10 @@ type commitReq struct {
 
 type commitResult struct {
 	err error
-	// coverSeq and entries answer a ckRotate: the new active sequence
-	// (first segment NOT summarized by a snapshot taken now) and the
-	// consistent record set as of the rotation point.
+	// coverSeq and entries answer a ckRotate: the backend's checkpoint
+	// token (for the segmented WAL, the first segment NOT summarized by a
+	// snapshot taken now) and the consistent record set as of the
+	// rotation point.
 	coverSeq uint64
 	entries  []walEntry
 }
@@ -139,16 +140,15 @@ func (s *Store) poisonErr() error {
 	return fmt.Errorf("store: WAL poisoned by earlier write failure: %w", s.poison)
 }
 
-// syncActive fsyncs the active segment on demand (Store.Sync).
+// syncActive forces the backend to stable storage on demand (Store.Sync).
 func (s *Store) syncActive() error {
 	if s.poison != nil {
 		return s.poisonErr()
 	}
-	if err := s.active.f.Sync(); err != nil {
+	if err := s.backend.Sync(); err != nil {
 		s.poison = err
 		return s.poisonErr()
 	}
-	s.met().fsyncs.Inc()
 	return nil
 }
 
@@ -168,11 +168,11 @@ func (s *Store) flush(pending []commitReq) {
 	s.flushGroup(pending)
 }
 
-// flushGroup appends the group's frames to the active segment, fsyncs
-// per the durability policy, applies the group to the in-memory maps in
-// log order, and acknowledges each writer. On any write or sync failure
-// the log is poisoned and every unacknowledged writer in the group gets
-// the error — no write is ever silently dropped.
+// flushGroup hands the group's entries to the backend as one Append
+// (which writes and fsyncs per the durability policy), applies the group
+// to the in-memory maps in log order, and acknowledges each writer. On
+// an append failure the log is poisoned and every unacknowledged writer
+// in the group gets the error — no write is ever silently dropped.
 func (s *Store) flushGroup(group []commitReq) {
 	if s.poison != nil {
 		err := s.poisonErr()
@@ -186,7 +186,7 @@ func (s *Store) flushGroup(group []commitReq) {
 	// logging a frame (replay stays an exact record of applied changes).
 	accepted := group[:0:len(group)]
 	overlay := make(map[string]bool, len(group))
-	var buf []byte
+	batch := make([]walEntry, 0, len(group))
 	for _, r := range group {
 		ck := composite(r.entry.kind, r.entry.key)
 		if r.kind == ckDelete {
@@ -204,48 +204,28 @@ func (s *Store) flushGroup(group []commitReq) {
 		} else {
 			overlay[ck] = true
 		}
-		frame, err := appendFrame(buf, r.entry)
-		if err != nil {
+		// Reject what no backend can frame here, per writer, so Append
+		// never fails on one entry and poisons the whole batch.
+		if err := validateEntry(r.entry); err != nil {
 			r.done <- commitResult{err: err}
 			continue
 		}
-		buf = frame
+		batch = append(batch, r.entry)
 		accepted = append(accepted, r)
 	}
 	if len(accepted) == 0 {
 		return
 	}
-	fail := func(err error) {
+	if err := s.backend.Append(batch); err != nil {
 		s.poison = err
 		perr := s.poisonErr()
 		for _, r := range accepted {
 			r.done <- commitResult{err: perr}
 		}
-	}
-	// Rotate before the write when the batch would overflow the segment
-	// (a batch larger than a whole segment goes into one oversized
-	// segment rather than being split).
-	if s.active.size > 0 && s.active.size+int64(len(buf)) > s.opts.SegmentSize {
-		if err := s.rotate(); err != nil {
-			fail(err)
-			return
-		}
-	}
-	if _, err := s.active.f.Write(buf); err != nil {
-		fail(fmt.Errorf("store: WAL append: %w", err))
 		return
 	}
-	s.active.size += int64(len(buf))
 	m := s.met()
 	m.appends.Add(int64(len(accepted)))
-	m.appendedBytes.Add(int64(len(buf)))
-	if s.opts.Durability != DurabilityOS {
-		if err := s.active.f.Sync(); err != nil {
-			fail(fmt.Errorf("store: WAL fsync: %w", err))
-			return
-		}
-		m.fsyncs.Inc()
-	}
 	m.batchSize.Observe(float64(len(accepted)))
 	s.mu.Lock() //lint:allow nakedlock apply loop then ack outside the lock; no early return
 	for _, r := range accepted {
@@ -255,74 +235,50 @@ func (s *Store) flushGroup(group []commitReq) {
 			s.applyDelete(r.entry.kind, r.entry.key)
 		}
 		s.gen.Add(1)
+		s.kindGens[r.entry.kind]++
 	}
 	m.records.Set(int64(len(s.byKey)))
 	s.mu.Unlock()
 	// The replication gate: the batch is durable and applied locally;
 	// OnCommit decides whether the writers may treat it as acknowledged.
 	// A hook failure is NOT poison — the local log is intact — but every
-	// writer in the batch sees the error instead of a nil ack.
-	var hookErr error
-	if s.opts.OnCommit != nil {
-		entries := make([]Entry, len(accepted))
-		for i, r := range accepted {
-			entries[i] = exportEntry(r.entry)
-		}
-		hookErr = s.opts.OnCommit(entries)
+	// writer in the batch sees the error instead of a nil ack. Observers
+	// (cache invalidation) fire regardless: the local view did change.
+	entries := make([]Entry, len(accepted))
+	for i, r := range accepted {
+		entries[i] = exportEntry(r.entry)
 	}
+	hookErr := s.commitHook(entries)
 	for _, r := range accepted {
 		r.done <- commitResult{err: hookErr}
 	}
 }
 
-// commitHook invokes the OnCommit gate for the in-memory write path.
+// commitHook invokes the OnCommit gate and then the non-gating observers
+// for one committed batch (both write paths end here).
 func (s *Store) commitHook(entries []Entry) error {
+	var err error
 	if hook := s.opts.OnCommit; hook != nil {
-		return hook(entries)
+		err = hook(entries)
 	}
-	return nil
+	s.notifyObservers(entries)
+	return err
 }
 
-// rotate seals the active segment and switches appends to the next one.
-// The old handle is kept until the new segment is durably created — if
-// creation fails, appends continue on the still-valid old segment and
-// the error surfaces to the batch (this is the fix for the v1
-// wal.rewrite bug, where a failed swap left the log writing to an
-// unlinked inode while Put kept returning nil).
-func (s *Store) rotate() error {
-	next, err := createSegment(s.fs, s.path, s.active.seq+1)
-	if err != nil {
-		return err
-	}
-	old := s.active.f
-	// Seal the outgoing segment: its bytes must be as durable as the
-	// policy promises before the handle is abandoned.
-	if err := old.Sync(); err != nil {
-		next.f.Close()
-		s.fs.Remove(segmentPath(s.path, next.seq))
-		return fmt.Errorf("store: seal segment %d: %w", s.active.seq, err)
-	}
-	s.active = next
-	s.met().rotations.Inc()
-	if err := old.Close(); err != nil {
-		return fmt.Errorf("store: close sealed segment: %w", err)
-	}
-	return nil
-}
-
-// rotateForCheckpoint rotates and captures the consistent record set at
-// the rotation boundary: everything in segments below the new active
-// sequence is exactly the returned entries, which is what makes the
-// snapshot + later-segment replay recovery exact.
+// rotateForCheckpoint asks the backend to begin a checkpoint and captures
+// the consistent record set at that boundary: everything the checkpoint
+// token covers is exactly the returned entries, which is what makes
+// snapshot + later-log replay recovery exact.
 func (s *Store) rotateForCheckpoint() commitResult {
 	if s.poison != nil {
 		return commitResult{err: s.poisonErr()}
 	}
-	if err := s.rotate(); err != nil {
+	coverSeq, err := s.backend.Rotate()
+	if err != nil {
 		s.poison = err
 		return commitResult{err: s.poisonErr()}
 	}
-	return commitResult{coverSeq: s.active.seq, entries: s.liveEntries()}
+	return commitResult{coverSeq: coverSeq, entries: s.liveEntries()}
 }
 
 // liveEntries captures every live record as a put frame, in sorted
@@ -341,20 +297,18 @@ func (s *Store) liveEntries() []walEntry {
 }
 
 // sealLog runs at shutdown, after the request channel has drained: flush
-// the active segment per policy and release the handle. Errors are
-// reported through Store.Close.
+// the backend per policy and release its handles. Errors are reported
+// through Store.Close.
 func (s *Store) sealLog() {
-	if s.active == nil {
+	if s.backend == nil {
 		return
 	}
 	if s.poison == nil && s.opts.Durability != DurabilityOS {
-		if err := s.active.f.Sync(); err != nil {
+		if err := s.backend.Sync(); err != nil {
 			s.closeErr = fmt.Errorf("store: final WAL fsync: %w", err)
-		} else {
-			s.met().fsyncs.Inc()
 		}
 	}
-	if err := s.active.f.Close(); err != nil && s.closeErr == nil {
+	if err := s.backend.Close(); err != nil && s.closeErr == nil {
 		s.closeErr = fmt.Errorf("store: close WAL: %w", err)
 	}
 }

@@ -13,24 +13,27 @@
 //     root element's "type" attribute (credential/policy lookup by type);
 //   - Query evaluates a compiled XPath predicate over every document of a
 //     kind;
-//   - durability comes from a crash-safe storage engine (v2): a segmented
-//     write-ahead log of CRC-checked frames plus checkpoint snapshots.
-//     Concurrent writers share one fsync per commit batch (group commit,
-//     see commit.go), the log rotates into sealed segments at a size
+//   - durability comes from a pluggable Backend (backend.go) beneath the
+//     group-commit committer (commit.go). The default is the crash-safe
+//     segmented-WAL engine (v2): a log of CRC-checked frames plus
+//     checkpoint snapshots — concurrent writers share one fsync per
+//     commit batch, the log rotates into sealed segments at a size
 //     threshold (segment.go), and Compact is an online checkpoint that
 //     snapshots the live records and deletes only sealed segments
-//     (snapshot.go). Recovery = newest valid snapshot + replay of later
-//     segments; a torn tail (partial last write after a crash) is
-//     detected, truncated and never costs an acknowledged write. The
-//     whole mutation surface runs through internal/faultinject's FS hook
-//     layer so a crash-point torture harness can kill the engine at
-//     every file operation and verify those guarantees.
+//     (snapshot.go); recovery = newest valid snapshot + replay of later
+//     segments, with a torn tail (partial last write after a crash)
+//     detected, truncated and never costing an acknowledged write. The
+//     alternative backends are a directory-per-kind record layout
+//     (backend_dir.go) and a pure in-memory image (tests, benches,
+//     cluster followers). Every durable backend routes its mutation
+//     surface through internal/faultinject's FS hook layer so a
+//     crash-point torture harness can kill the engine at every file
+//     operation and verify those guarantees.
 package store
 
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -75,6 +78,18 @@ func (r *Record) TypeAttr() string {
 	return doc.AttrOr("type", "")
 }
 
+// view returns the caller-facing copy of an indexed record. The read path
+// hands out views instead of the internal record: the XML string stays
+// authoritative (strings are immutable), while the DOM cache is NOT
+// shared — a caller that parses and then mutates its copy's tree cannot
+// corrupt the type index or the next snapshot, which is exactly what
+// happened when Get returned the live record (the aliasing bug this PR
+// fixes). The copy's Doc() re-parses on first use; hot readers should sit
+// behind store/cacher, which amortizes that.
+func (r *Record) view() *Record {
+	return &Record{Kind: r.Kind, Key: r.Key, XML: r.XML}
+}
+
 // Durability selects when a logged write is fsynced.
 type Durability int
 
@@ -94,6 +109,9 @@ const (
 
 // Options tunes a WAL-backed store opened with OpenWithOptions.
 type Options struct {
+	// Backend selects the persistence engine: BackendFSWAL (the default,
+	// also chosen by ""), BackendDirKind or BackendMemory. See backend.go.
+	Backend string
 	// Durability is the fsync policy (default DurabilityOS).
 	Durability Durability
 	// MaxBatch caps how many mutations one commit batch may carry
@@ -142,23 +160,38 @@ type Store struct {
 	byKind map[string]map[string]*Record // kind -> key -> record
 	byType map[string]map[string][]*Record
 
-	// path is the WAL base path; "" marks a pure in-memory store.
+	// kindGens counts committed mutations per kind (guarded by mu), so a
+	// caller caching a view derived from some kinds can revalidate without
+	// being thrashed by writes to unrelated kinds. See KindGeneration.
+	kindGens map[string]uint64
+
+	// path is the backend base path ("" for stores built with New).
 	path string
 	opts Options
 	fs   faultinject.FS
 
+	// backend is the persistence engine; nil marks a pure in-memory store
+	// built with New/NewWithOptions (no committer).
+	backend      Backend
+	hasCommitter bool
+
 	// Committer plumbing (see commit.go). commitCh is nil once closed;
-	// closeMu serializes submission against Close. active, poison and
-	// closeErr are owned by the committer goroutine after Open.
+	// closeMu serializes submission against Close. poison and closeErr
+	// are owned by the committer goroutine after Open.
 	commitCh chan commitReq
 	closeMu  sync.RWMutex
 	commitWG sync.WaitGroup
-	active   *activeSegment
 	poison   error
 	closeErr error
 
-	// ckptMu serializes checkpoints (Compact).
+	// ckptMu serializes checkpoints (Compact) and fences Destroy against
+	// an in-flight snapshot write.
 	ckptMu sync.Mutex
+
+	// observers are non-gating commit listeners (see Observe); obsMu
+	// guards registration.
+	obsMu     sync.RWMutex
+	observers []func(entries []Entry)
 
 	// replayedFrames is how many snapshot records plus WAL frames Open
 	// replayed, credited to the replay counter when instrumented.
@@ -178,15 +211,57 @@ type Store struct {
 // bracket an interval in which no document changed.
 func (s *Store) Generation() uint64 { return s.gen.Load() }
 
+// KindGeneration returns the sum of the per-kind mutation counters for
+// kinds. It changes on every successful Put or Delete touching one of
+// those kinds and is stable across writes to every other kind — the
+// revalidation token for caches scoped to a subset of the store (a
+// resume-ticket write must not thrash a memoized party built from
+// credentials, policies and ontologies). Like Generation, replay during
+// Open does not bump it.
+func (s *Store) KindGeneration(kinds ...string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum uint64
+	for _, k := range kinds {
+		sum += s.kindGens[k]
+	}
+	return sum
+}
+
+// Observe registers a commit listener: fn receives every committed
+// mutation batch in log order, after the batch is durable (per the
+// policy) and applied to the in-memory view. Unlike Options.OnCommit it
+// cannot withhold acknowledgement — it is the invalidation feed for
+// read-through caches, and it fires for every write path including
+// cluster replication applies (which go through Put/Delete). fn runs on
+// the committer goroutine outside the store locks and must not block;
+// replay during Open is not observed. Listeners cannot be removed.
+func (s *Store) Observe(fn func(entries []Entry)) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	s.observers = append(s.observers, fn)
+}
+
+// notifyObservers fans a committed batch out to every listener.
+func (s *Store) notifyObservers(entries []Entry) {
+	s.obsMu.RLock() //lint:allow nakedlock snapshot only; listeners run unlocked below
+	obs := s.observers
+	s.obsMu.RUnlock()
+	for _, fn := range obs {
+		fn(entries)
+	}
+}
+
 // ErrNotFound is returned by Get and Delete for missing records.
 var ErrNotFound = errors.New("store: record not found")
 
 // New creates an in-memory store with no durability.
 func New() *Store {
 	return &Store{
-		byKey:  make(map[string]*Record),
-		byKind: make(map[string]map[string]*Record),
-		byType: make(map[string]map[string][]*Record),
+		byKey:    make(map[string]*Record),
+		byKind:   make(map[string]map[string]*Record),
+		byType:   make(map[string]map[string][]*Record),
+		kindGens: make(map[string]uint64),
 	}
 }
 
@@ -214,74 +289,27 @@ func OpenDurable(path string) (*Store, error) {
 	return OpenWithOptions(path, Options{Durability: DurabilityGroup})
 }
 
-// OpenWithOptions opens a WAL-backed store with explicit tuning.
+// OpenWithOptions opens a backend-backed store with explicit tuning:
+// construct the selected backend, recover its persisted state into the
+// in-memory view, then start the group-commit committer.
 func OpenWithOptions(path string, opts Options) (*Store, error) {
 	s := New()
 	s.path = path
 	s.opts = opts.withDefaults()
 	s.fs = s.opts.FS
-	if err := s.recover(); err != nil {
+	b, err := s.newBackend(path)
+	if err != nil {
 		return nil, err
 	}
+	if err := b.Recover(s.applyReplay); err != nil {
+		return nil, err
+	}
+	s.backend = b
+	s.hasCommitter = true
 	s.commitCh = make(chan commitReq, 4*s.opts.MaxBatch)
 	s.commitWG.Add(1)
 	go s.committer(s.commitCh)
 	return s, nil
-}
-
-// recover rebuilds the in-memory state: newest valid snapshot first,
-// then replay of the legacy v1 file (as segment 0) and every segment at
-// or above the snapshot's cover sequence, ascending. It finishes by
-// creating a fresh active segment above everything seen, so appends
-// never touch a file that might carry a torn tail.
-func (s *Store) recover() error {
-	// A crash mid-checkpoint may leave a half-written snapshot tmp; it
-	// was never published, so it is garbage.
-	if err := os.Remove(snapshotTmpPath(s.path)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: remove stale snapshot tmp: %w", err)
-	}
-	snapEntries, coverSeq, err := loadSnapshot(s.path)
-	if err != nil {
-		return err
-	}
-	if err := s.applyReplay(snapEntries, "snapshot"); err != nil {
-		return err
-	}
-	if coverSeq == 0 {
-		legacy, err := replaySegmentFile(s.path)
-		if err != nil {
-			return err
-		}
-		if err := s.applyReplay(legacy, s.path); err != nil {
-			return err
-		}
-	}
-	refs, err := listSegments(s.path)
-	if err != nil {
-		return err
-	}
-	maxSeq := coverSeq
-	for _, ref := range refs {
-		if ref.seq > maxSeq {
-			maxSeq = ref.seq
-		}
-		if ref.seq < coverSeq {
-			continue // summarized by the snapshot; awaiting deletion
-		}
-		entries, err := replaySegmentFile(ref.path)
-		if err != nil {
-			return err
-		}
-		if err := s.applyReplay(entries, ref.path); err != nil {
-			return err
-		}
-	}
-	active, err := createSegment(s.fs, s.path, maxSeq+1)
-	if err != nil {
-		return err
-	}
-	s.active = active
-	return nil
 }
 
 // applyReplay applies recovered entries to the in-memory maps.
@@ -305,18 +333,25 @@ func (s *Store) applyReplay(entries []walEntry, source string) error {
 	return nil
 }
 
-// Close stops the committer (draining queued writes), seals the active
-// segment and releases its handle. The in-memory view stays readable but
-// further writes fail with ErrWALClosed.
+// Close stops the committer (draining queued writes), seals the backend
+// and releases its handles. The in-memory view stays readable but further
+// writes fail with ErrWALClosed. Concurrent and repeated Closes are safe:
+// every call waits until the committer has fully shut down, so when any
+// Close returns, no goroutine is still writing to the backend — the fence
+// Destroy relies on. (Previously a second Close returned immediately
+// while the first was still draining, and a Destroy sequenced after it
+// could unlink segments the committer was mid-write on.)
 func (s *Store) Close() error {
 	s.closeMu.Lock() //lint:allow nakedlock must release before commitWG.Wait, or the committer deadlocks
 	ch := s.commitCh
 	s.commitCh = nil
 	s.closeMu.Unlock()
-	if ch == nil {
-		return nil // in-memory, or already closed
+	if ch != nil {
+		close(ch)
 	}
-	close(ch)
+	// Always wait, even when another Close already took the channel: the
+	// WaitGroup is a no-op for in-memory stores and otherwise blocks until
+	// the committer has sealed the backend.
 	s.commitWG.Wait()
 	return s.closeErr
 }
@@ -335,10 +370,11 @@ func (s *Store) Put(kind, key string, doc *xmldom.Node) error {
 	if _, err := rec.Doc(); err != nil {
 		return err
 	}
-	if s.path == "" {
+	if !s.hasCommitter {
 		s.mu.Lock() //lint:allow nakedlock commitHook below must run outside the lock (it may do I/O)
 		s.applyRecord(rec)
 		s.gen.Add(1)
+		s.kindGens[kind]++
 		s.met().records.Set(int64(len(s.byKey)))
 		s.mu.Unlock()
 		return s.commitHook([]Entry{{Op: OpPut, Kind: kind, Key: key, Doc: rec.XML}})
@@ -398,7 +434,8 @@ func (s *Store) removeFromTypeIndex(rec *Record) {
 	}
 }
 
-// Get returns the record stored under (kind, key).
+// Get returns the record stored under (kind, key). The result is the
+// caller's copy: mutating its parsed document does not touch the store.
 func (s *Store) Get(kind, key string) (*Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -406,12 +443,12 @@ func (s *Store) Get(kind, key string) (*Record, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
 	}
-	return rec, nil
+	return rec.view(), nil
 }
 
 // Delete removes a record, durably logging the removal when WAL-backed.
 func (s *Store) Delete(kind, key string) error {
-	if s.path == "" {
+	if !s.hasCommitter {
 		s.mu.Lock() //lint:allow nakedlock commitHook below must run outside the lock (it may do I/O)
 		if _, ok := s.byKey[composite(kind, key)]; !ok {
 			s.mu.Unlock()
@@ -419,6 +456,7 @@ func (s *Store) Delete(kind, key string) error {
 		}
 		s.applyDelete(kind, key)
 		s.gen.Add(1)
+		s.kindGens[kind]++
 		s.met().records.Set(int64(len(s.byKey)))
 		s.mu.Unlock()
 		return s.commitHook([]Entry{{Op: OpDelete, Kind: kind, Key: key}})
@@ -442,14 +480,15 @@ func (s *Store) applyDelete(kind, key string) {
 	delete(s.byKind[kind], key)
 }
 
-// List returns the records of a kind, sorted by key.
+// List returns the records of a kind, sorted by key. The results are the
+// caller's copies (see Get).
 func (s *Store) List(kind string) []*Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	km := s.byKind[kind]
 	out := make([]*Record, 0, len(km))
 	for _, r := range km {
-		out = append(out, r)
+		out = append(out, r.view())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
@@ -463,20 +502,40 @@ func (s *Store) Count(kind string) int {
 }
 
 // ByTypeAttr returns the records of a kind whose root "type" attribute
-// equals typ, using the secondary index.
+// equals typ, using the secondary index. The results are the caller's
+// copies (see Get).
 func (s *Store) ByTypeAttr(kind, typ string) []*Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	lst := s.byType[kind][typ]
-	out := make([]*Record, len(lst))
-	copy(out, lst)
+	out := make([]*Record, 0, len(lst))
+	for _, r := range lst {
+		out = append(out, r.view())
+	}
+	return out
+}
+
+// listInternal snapshots the live records of a kind, sorted by key. The
+// returned records are the indexed ones — internal use only, never to be
+// handed to callers.
+func (s *Store) listInternal(kind string) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	km := s.byKind[kind]
+	out := make([]*Record, 0, len(km))
+	for _, r := range km {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
 // Query returns the records of a kind whose document satisfies the
-// XPath predicate, sorted by key.
+// XPath predicate, sorted by key. The results are the caller's copies
+// (see Get); the predicate itself runs over the store's pre-parsed trees,
+// so matching does not re-parse.
 func (s *Store) Query(kind string, pred *xpath.Expr) ([]*Record, error) {
-	recs := s.List(kind)
+	recs := s.listInternal(kind)
 	out := make([]*Record, 0, len(recs))
 	for _, r := range recs {
 		doc, err := r.Doc()
@@ -484,7 +543,7 @@ func (s *Store) Query(kind string, pred *xpath.Expr) ([]*Record, error) {
 			return nil, err
 		}
 		if pred.Bool(doc) {
-			out = append(out, r)
+			out = append(out, r.view())
 		}
 	}
 	return out, nil
@@ -499,14 +558,14 @@ func (s *Store) QueryString(kind, expr string) ([]*Record, error) {
 	return s.Query(kind, e)
 }
 
-// Compact is the online checkpoint: it rotates the log, writes the live
-// records to a CRC-framed snapshot file (atomically published via
-// rename), and deletes the sealed segments the snapshot covers. Unlike
-// the v1 stop-the-world rewrite, concurrent Puts keep committing into the
-// fresh segment while the snapshot is written. No-op for in-memory
-// stores.
+// Compact is the online checkpoint: a Rotate barrier through the
+// committer captures the live record set and a checkpoint token, then the
+// backend persists the snapshot and garbage-collects what it supersedes —
+// all while concurrent Puts keep committing into the post-rotation log.
+// Backends with nothing to truncate (memory, dirkind) make this a cheap
+// sweep. No-op for in-memory stores built with New.
 func (s *Store) Compact() error {
-	if s.path == "" {
+	if !s.hasCommitter {
 		return nil
 	}
 	s.ckptMu.Lock()
@@ -515,39 +574,19 @@ func (s *Store) Compact() error {
 	if res.err != nil {
 		return res.err
 	}
-	if err := writeSnapshot(s.fs, s.path, res.coverSeq, res.entries); err != nil {
+	if err := s.backend.Snapshot(res.coverSeq, res.entries); err != nil {
 		return err
 	}
 	s.met().compactions.Inc()
-	// The snapshot now owns everything below coverSeq: the legacy v1
-	// file and sealed old segments are garbage. A failed delete is
-	// retried by the next checkpoint (recovery skips them by sequence),
-	// but still reported.
-	var firstErr error
-	if err := s.fs.Remove(s.path); err != nil && !os.IsNotExist(err) {
-		firstErr = fmt.Errorf("store: remove legacy WAL: %w", err)
-	}
-	refs, err := listSegments(s.path)
-	if err != nil {
-		return err
-	}
-	for _, ref := range refs {
-		if ref.seq >= res.coverSeq {
-			continue
-		}
-		if err := s.fs.Remove(ref.path); err != nil && !os.IsNotExist(err) && firstErr == nil {
-			firstErr = fmt.Errorf("store: remove sealed segment %d: %w", ref.seq, err)
-		}
-	}
-	return firstErr
+	return nil
 }
 
-// Path returns the WAL base path ("" for in-memory stores).
+// Path returns the backend base path ("" for in-memory stores).
 func (s *Store) Path() string { return s.path }
 
 // Sync forces everything logged so far to stable storage.
 func (s *Store) Sync() error {
-	if s.path == "" {
+	if !s.hasCommitter {
 		return nil
 	}
 	res := s.submit(commitReq{kind: ckSync, done: make(chan commitResult, 1)})
@@ -555,25 +594,19 @@ func (s *Store) Sync() error {
 }
 
 // Destroy closes the store and removes every file it owns. For tests.
+// Close waits for the committer to shut down and ckptMu fences an
+// in-flight Compact, so nothing is still writing to the files Destroy
+// unlinks — the other half of the Destroy/Close race fix.
 func (s *Store) Destroy() error {
 	if err := s.Close(); err != nil {
 		return err
 	}
-	if s.path == "" {
+	if s.backend == nil {
 		return nil
 	}
-	paths := []string{s.path, snapshotPath(s.path), snapshotTmpPath(s.path)}
-	if refs, err := listSegments(s.path); err == nil {
-		for _, ref := range refs {
-			paths = append(paths, ref.path)
-		}
-	}
-	for _, p := range paths {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
-			return err
-		}
-	}
-	return nil
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.backend.Destroy()
 }
 
 // sortedKeys returns m's keys in sorted order.

@@ -48,6 +48,11 @@ type TNService struct {
 	// the invoker" (§6.2). Party then only supplies identity, trust
 	// anchors, keys and hooks.
 	DB *store.Store
+	// PartyReader, when set, is the read path used for the party reload —
+	// typically a *cacher.Cache over DB, so N concurrent StartNegotiation
+	// calls coalesce onto one store fetch per kind. When nil, reads go to
+	// DB directly. Writes (resume tickets, session docs) always go to DB.
+	PartyReader partydb.Reader
 	// MaxSessionAge bounds idle session lifetime (default 5 minutes).
 	MaxSessionAge time.Duration
 	// MaxSessions bounds concurrently ACTIVE negotiations (default
@@ -98,8 +103,13 @@ type TNService struct {
 	active atomic.Int64
 
 	// partyMu guards the memoized partydb.LoadParty result, revalidated
-	// against DB.Generation() so a store write still forces the §6.2
-	// "reload from the database" semantics on the next session.
+	// against the per-kind generation of the kinds the party actually
+	// reads (credential, policy, ontology) so a store write to those still
+	// forces the §6.2 "reload from the database" semantics on the next
+	// session — while unrelated writes (resume tickets, cluster session
+	// docs) no longer throw the memo away. Keying on the global
+	// Generation() was a bug: every suspended-session save invalidated the
+	// party and forced a full re-parse of all credentials and policies.
 	partyMu    sync.Mutex
 	partyGen   uint64
 	partyCache *negotiation.Party
@@ -407,23 +417,36 @@ func (s *TNService) sessionParty() (*negotiation.Party, error) {
 	return party, nil
 }
 
+// partyKinds are the store kinds a party reload reads — the memo key and
+// invalidation scope of loadPartyCached.
+var partyKinds = []string{partydb.KindCredential, partydb.KindPolicy, partydb.KindOntology}
+
 // loadPartyCached memoizes partydb.LoadParty across sessions, keyed by
-// the store's generation counter: any Put/Delete bumps the generation
-// and forces a reload, so the paper's per-StartNegotiation database
-// reload semantics are preserved without reparsing every policy and
-// credential document for each of N concurrent joins. Sharing the loaded
-// Party across sessions mirrors the non-DB path, which shares s.Party
-// directly.
+// the summed per-kind generation of the kinds a party is built from: a
+// Put/Delete of a credential, policy or ontology bumps that sum and
+// forces a reload, so the paper's per-StartNegotiation database reload
+// semantics are preserved without reparsing every policy and credential
+// document for each of N concurrent joins — and, unlike the old global
+// Generation() key, a resume-ticket or replicated-session write leaves
+// the memo intact. Sharing the loaded Party across sessions mirrors the
+// non-DB path, which shares s.Party directly.
 func (s *TNService) loadPartyCached() (*negotiation.Party, error) {
-	gen := s.DB.Generation()
+	gen := s.DB.KindGeneration(partyKinds...)
 	s.partyMu.Lock()
 	defer s.partyMu.Unlock()
 	if s.partyCache != nil && s.partyGen == gen {
 		return s.partyCache, nil
 	}
-	loaded, err := partydb.LoadParty(s.DB, s.Party)
+	var reader partydb.Reader = s.DB
+	if s.PartyReader != nil {
+		reader = s.PartyReader
+	}
+	loaded, err := partydb.LoadParty(reader, s.Party)
 	if err != nil {
 		return nil, err
+	}
+	if m := s.Metrics; m != nil {
+		m.Counter("tn_party_reloads_total").Inc()
 	}
 	s.partyGen, s.partyCache = gen, loaded
 	return loaded, nil
